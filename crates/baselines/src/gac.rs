@@ -1,0 +1,234 @@
+//! GAC: bucketed group-average agglomerative clustering with re-clustering
+//! (Yang et al. 1999, extending Cutting's Fractionation — paper §2.2).
+//!
+//! Chronologically ordered documents are divided into fixed-size buckets;
+//! inside each bucket, group-average hierarchical agglomeration merges the
+//! most similar pair until the bucket shrinks by a reduction factor ρ.
+//! Surviving clusters from consecutive buckets are re-bucketed and the
+//! process repeats until the global cluster count reaches the target.
+//!
+//! Group-average similarity between clusters of *unit* vectors is computed
+//! from summed representatives: for clusters A, B with sums `S_A, S_B`,
+//!
+//! ```text
+//! ga_sim(A,B) = (S_A · S_B) / (|A|·|B|)
+//! ```
+//!
+//! which is exactly the average pairwise cosine between members.
+
+use nidc_textproc::{DocId, SparseVector};
+
+/// Configuration for [`gac`].
+#[derive(Debug, Clone)]
+pub struct GacConfig {
+    /// Target number of top-level clusters.
+    pub target_clusters: usize,
+    /// Bucket size (documents or clusters per bucket).
+    pub bucket_size: usize,
+    /// Reduction factor ρ ∈ (0,1): each bucket is agglomerated until
+    /// `⌈ρ·bucket⌉` clusters remain.
+    pub reduction: f64,
+}
+
+impl Default for GacConfig {
+    fn default() -> Self {
+        Self {
+            target_clusters: 8,
+            bucket_size: 64,
+            reduction: 0.5,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct GacCluster {
+    sum: SparseVector,
+    members: Vec<DocId>,
+}
+
+impl GacCluster {
+    fn ga_sim(&self, other: &GacCluster) -> f64 {
+        self.sum.dot(&other.sum) / (self.members.len() as f64 * other.members.len() as f64)
+    }
+
+    fn merge(self, other: GacCluster) -> GacCluster {
+        GacCluster {
+            sum: self.sum.add_scaled(&other.sum, 1.0),
+            members: {
+                let mut m = self.members;
+                m.extend(other.members);
+                m
+            },
+        }
+    }
+}
+
+/// Agglomerates `bucket` down to `target` clusters by repeatedly merging the
+/// globally most-similar pair (O(n²) per pass; buckets are small).
+fn agglomerate(mut bucket: Vec<GacCluster>, target: usize) -> Vec<GacCluster> {
+    while bucket.len() > target.max(1) {
+        let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+        for i in 0..bucket.len() {
+            for j in (i + 1)..bucket.len() {
+                let s = bucket[i].ga_sim(&bucket[j]);
+                if s > best.2 {
+                    best = (i, j, s);
+                }
+            }
+        }
+        let (i, j, _) = best;
+        let b = bucket.swap_remove(j);
+        let a = std::mem::replace(
+            &mut bucket[i],
+            GacCluster {
+                sum: SparseVector::new(),
+                members: Vec::new(),
+            },
+        );
+        bucket[i] = a.merge(b);
+    }
+    bucket
+}
+
+/// Runs GAC over `(id, vector)` pairs in chronological order. Returns
+/// document ids per cluster.
+pub fn gac(docs: &[(DocId, SparseVector)], config: &GacConfig) -> Vec<Vec<DocId>> {
+    let mut clusters: Vec<GacCluster> = docs
+        .iter()
+        .filter_map(|(id, v)| {
+            v.normalized().map(|unit| GacCluster {
+                sum: unit,
+                members: vec![*id],
+            })
+        })
+        .collect();
+    if clusters.is_empty() {
+        return Vec::new();
+    }
+    let bucket_size = config.bucket_size.max(2);
+    loop {
+        if clusters.len() <= config.target_clusters {
+            break;
+        }
+        // one pass: bucket consecutive clusters and shrink each bucket
+        let mut next: Vec<GacCluster> = Vec::new();
+        let mut progressed = false;
+        for chunk in clusters.chunks(bucket_size) {
+            let target = ((chunk.len() as f64 * config.reduction).ceil() as usize).max(1);
+            let reduced = agglomerate(chunk.to_vec(), target);
+            if reduced.len() < chunk.len() {
+                progressed = true;
+            }
+            next.extend(reduced);
+        }
+        clusters = next;
+        if !progressed {
+            // single bucket that cannot shrink further: finish globally
+            clusters = agglomerate(clusters, config.target_clusters);
+            break;
+        }
+        if clusters.len() <= bucket_size {
+            // final global agglomeration
+            clusters = agglomerate(clusters, config.target_clusters);
+            break;
+        }
+    }
+    clusters.into_iter().map(|c| c.members).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nidc_textproc::TermId;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    fn three_groups() -> Vec<(DocId, SparseVector)> {
+        let mut docs = Vec::new();
+        for g in 0..3u32 {
+            for i in 0..5u64 {
+                let id = DocId(g as u64 * 5 + i);
+                docs.push((id, v(&[(g * 3, 2.0), (g * 3 + 1, 1.0 + (i % 2) as f64)])));
+            }
+        }
+        docs
+    }
+
+    #[test]
+    fn recovers_disjoint_groups() {
+        let docs = three_groups();
+        let clusters = gac(
+            &docs,
+            &GacConfig {
+                target_clusters: 3,
+                bucket_size: 6,
+                reduction: 0.5,
+            },
+        );
+        assert_eq!(clusters.len(), 3);
+        for c in &clusters {
+            let groups: std::collections::HashSet<u64> = c.iter().map(|d| d.0 / 5).collect();
+            assert_eq!(groups.len(), 1, "mixed cluster {c:?}");
+        }
+    }
+
+    #[test]
+    fn all_docs_preserved() {
+        let docs = three_groups();
+        let clusters = gac(&docs, &GacConfig::default());
+        let mut all: Vec<u64> = clusters.iter().flatten().map(|d| d.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ga_sim_is_average_pairwise_cosine() {
+        let a = GacCluster {
+            sum: v(&[(0, 1.0)]).add_scaled(&v(&[(0, 0.6), (1, 0.8)]), 1.0),
+            members: vec![DocId(0), DocId(1)],
+        };
+        let b = GacCluster {
+            sum: v(&[(1, 1.0)]),
+            members: vec![DocId(2)],
+        };
+        // pairwise cosines: (e0·e1)=0, ((0.6,0.8)·e1)=0.8 → avg 0.4
+        assert!((a.ga_sim(&b) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_of_one_merges_everything() {
+        let docs = three_groups();
+        let clusters = gac(
+            &docs,
+            &GacConfig {
+                target_clusters: 1,
+                bucket_size: 4,
+                reduction: 0.5,
+            },
+        );
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 15);
+    }
+
+    #[test]
+    fn empty_and_zero_vector_inputs() {
+        assert!(gac(&[], &GacConfig::default()).is_empty());
+        let docs = vec![(DocId(0), SparseVector::new())];
+        assert!(gac(&docs, &GacConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn fewer_docs_than_target_returns_singletons() {
+        let docs = vec![(DocId(0), v(&[(0, 1.0)])), (DocId(1), v(&[(1, 1.0)]))];
+        let clusters = gac(
+            &docs,
+            &GacConfig {
+                target_clusters: 5,
+                ..GacConfig::default()
+            },
+        );
+        assert_eq!(clusters.len(), 2);
+    }
+}

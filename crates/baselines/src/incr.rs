@@ -1,0 +1,199 @@
+//! Single-pass incremental clustering (INCR, Yang et al. 1999 — paper §2.2).
+//!
+//! Documents are processed one at a time in arrival order. A document joins
+//! the existing cluster whose centroid it is most similar to if that
+//! similarity clears a preselected threshold; otherwise it seeds a new
+//! cluster. A linear time-decay window optionally discounts similarity to
+//! old clusters — the lineage the paper contrasts its *exponential* decay
+//! against.
+
+use nidc_textproc::{DocId, SparseVector};
+
+/// Configuration for [`incr`].
+#[derive(Debug, Clone)]
+pub struct IncrConfig {
+    /// Similarity threshold for joining an existing cluster.
+    pub threshold: f64,
+    /// Linear decay window in days: a cluster last touched `age` days ago has
+    /// its similarity scaled by `max(0, 1 − age/window)`. `None` disables
+    /// decay (pure INCR).
+    pub window_days: Option<f64>,
+    /// Upper bound on the number of clusters (0 = unlimited). When the bound
+    /// is hit, documents below threshold join their best cluster anyway.
+    pub max_clusters: usize,
+}
+
+impl Default for IncrConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.3,
+            window_days: None,
+            max_clusters: 0,
+        }
+    }
+}
+
+struct IncrCluster {
+    centroid: Vec<f64>,
+    norm: f64,
+    members: Vec<DocId>,
+    last_touched: f64,
+}
+
+impl IncrCluster {
+    fn cosine(&self, unit: &SparseVector) -> f64 {
+        if self.norm == 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (t, w) in unit.iter() {
+            if let Some(&c) = self.centroid.get(t.index()) {
+                acc += c * w;
+            }
+        }
+        acc / self.norm
+    }
+
+    fn add(&mut self, unit: &SparseVector, id: DocId, day: f64) {
+        for (t, w) in unit.iter() {
+            let i = t.index();
+            if i >= self.centroid.len() {
+                self.centroid.resize(i + 1, 0.0);
+            }
+            self.centroid[i] += w;
+        }
+        self.norm = self.centroid.iter().map(|x| x * x).sum::<f64>().sqrt();
+        self.members.push(id);
+        self.last_touched = day;
+    }
+}
+
+/// Runs single-pass INCR over `(id, day, vector)` triples, which must be in
+/// chronological order. Returns document ids per cluster, in creation order.
+pub fn incr(docs: &[(DocId, f64, SparseVector)], config: &IncrConfig) -> Vec<Vec<DocId>> {
+    let mut clusters: Vec<IncrCluster> = Vec::new();
+    for (id, day, v) in docs {
+        let Some(unit) = v.normalized() else {
+            continue; // zero vector carries no signal
+        };
+        let mut best: Option<(usize, f64)> = None;
+        for (p, c) in clusters.iter().enumerate() {
+            let mut s = c.cosine(&unit);
+            if let Some(w) = config.window_days {
+                let age = (day - c.last_touched).max(0.0);
+                s *= (1.0 - age / w).max(0.0);
+            }
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((p, s));
+            }
+        }
+        let join = match best {
+            Some((_, s)) if s >= config.threshold => true,
+            _ => config.max_clusters > 0 && clusters.len() >= config.max_clusters,
+        };
+        if join {
+            let (p, _) = best.expect("join implies a best cluster");
+            clusters[p].add(&unit, *id, *day);
+        } else {
+            let mut c = IncrCluster {
+                centroid: Vec::new(),
+                norm: 0.0,
+                members: Vec::new(),
+                last_touched: *day,
+            };
+            c.add(&unit, *id, *day);
+            clusters.push(c);
+        }
+    }
+    clusters.into_iter().map(|c| c.members).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nidc_textproc::TermId;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    #[test]
+    fn groups_similar_documents() {
+        let docs = vec![
+            (DocId(0), 0.0, v(&[(0, 1.0), (1, 1.0)])),
+            (DocId(1), 0.1, v(&[(0, 1.0), (1, 2.0)])),
+            (DocId(2), 0.2, v(&[(9, 1.0)])),
+            (DocId(3), 0.3, v(&[(0, 2.0), (1, 1.0)])),
+        ];
+        let clusters = incr(&docs, &IncrConfig::default());
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![DocId(0), DocId(1), DocId(3)]);
+        assert_eq!(clusters[1], vec![DocId(2)]);
+    }
+
+    #[test]
+    fn high_threshold_splinters() {
+        let docs = vec![
+            (DocId(0), 0.0, v(&[(0, 1.0)])),
+            (DocId(1), 0.1, v(&[(0, 1.0), (1, 1.0)])),
+        ];
+        let clusters = incr(
+            &docs,
+            &IncrConfig {
+                threshold: 0.99,
+                ..IncrConfig::default()
+            },
+        );
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn time_window_forces_new_cluster_for_stale_topics() {
+        let docs = vec![
+            (DocId(0), 0.0, v(&[(0, 1.0)])),
+            // identical content, 20 days later — window is 10 days
+            (DocId(1), 20.0, v(&[(0, 1.0)])),
+        ];
+        let without = incr(&docs, &IncrConfig::default());
+        assert_eq!(without.len(), 1);
+        let with = incr(
+            &docs,
+            &IncrConfig {
+                window_days: Some(10.0),
+                ..IncrConfig::default()
+            },
+        );
+        assert_eq!(with.len(), 2, "stale cluster should not absorb new doc");
+    }
+
+    #[test]
+    fn max_clusters_cap_forces_joins() {
+        let docs = vec![
+            (DocId(0), 0.0, v(&[(0, 1.0)])),
+            (DocId(1), 0.1, v(&[(1, 1.0)])),
+            (DocId(2), 0.2, v(&[(2, 1.0)])),
+        ];
+        let clusters = incr(
+            &docs,
+            &IncrConfig {
+                threshold: 0.9,
+                max_clusters: 2,
+                ..IncrConfig::default()
+            },
+        );
+        assert_eq!(clusters.len(), 2);
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn zero_vectors_are_skipped() {
+        let docs = vec![(DocId(0), 0.0, SparseVector::new())];
+        assert!(incr(&docs, &IncrConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn empty_input_yields_no_clusters() {
+        assert!(incr(&[], &IncrConfig::default()).is_empty());
+    }
+}

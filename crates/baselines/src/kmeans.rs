@@ -1,0 +1,366 @@
+//! Classic cosine (spherical) K-means — the algorithm of the paper's §4.1
+//! that the extended method builds on.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use nidc_textproc::{DocId, SparseVector};
+
+/// Seeding strategy for the initial centroids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Seeding {
+    /// K documents chosen uniformly at random (the paper's step 1).
+    Random,
+    /// Farthest-point (k-means++-style) seeding: iteratively pick the
+    /// document least similar to its nearest chosen seed.
+    FarthestPoint,
+}
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters K.
+    pub k: usize,
+    /// Maximum iterations before giving up on convergence.
+    pub max_iters: usize,
+    /// RNG seed for the initial centroid choice.
+    pub seed: u64,
+    /// Seeding strategy.
+    pub seeding: Seeding,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            max_iters: 50,
+            seed: 42,
+            seeding: Seeding::Random,
+        }
+    }
+}
+
+/// The outcome of a K-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Document ids per cluster (clusters may be empty).
+    pub clusters: Vec<Vec<DocId>>,
+    /// Iterations executed until convergence (no assignment changed).
+    pub iterations: usize,
+    /// Sum over documents of cosine similarity to their centroid (higher is
+    /// tighter).
+    pub objective: f64,
+}
+
+struct Dense {
+    v: Vec<f64>,
+    norm: f64,
+}
+
+impl Dense {
+    fn zero(dim: usize) -> Self {
+        Self {
+            v: vec![0.0; dim],
+            norm: 0.0,
+        }
+    }
+
+    fn add(&mut self, s: &SparseVector) {
+        for (t, w) in s.iter() {
+            let i = t.index();
+            if i >= self.v.len() {
+                self.v.resize(i + 1, 0.0);
+            }
+            self.v[i] += w;
+        }
+    }
+
+    fn refresh_norm(&mut self) {
+        self.norm = self.v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    }
+
+    /// Cosine between the dense centroid and a unit-normalised sparse doc.
+    fn cosine(&self, s: &SparseVector) -> f64 {
+        if self.norm == 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (t, w) in s.iter() {
+            if let Some(&c) = self.v.get(t.index()) {
+                acc += c * w;
+            }
+        }
+        acc / self.norm
+    }
+}
+
+/// Runs cosine K-means on the given documents (vectors are L2-normalised
+/// internally; zero vectors are dropped into their own trailing cluster
+/// assignment order but never crash).
+///
+/// Follows the paper's description of the classic method: choose K seeds,
+/// assign every document to the most similar centroid, recompute centroids,
+/// repeat until no assignment changes (or `max_iters`).
+pub fn kmeans(docs: &[(DocId, SparseVector)], config: &KMeansConfig) -> KMeansResult {
+    let k = config.k.min(docs.len()).max(1);
+    let dim = docs
+        .iter()
+        .flat_map(|(_, v)| v.entries().last().map(|&(t, _)| t.index() + 1))
+        .max()
+        .unwrap_or(0);
+    // unit-normalise
+    let unit: Vec<SparseVector> = docs
+        .iter()
+        .map(|(_, v)| v.normalized().unwrap_or_default())
+        .collect();
+
+    if docs.is_empty() {
+        return KMeansResult {
+            clusters: vec![Vec::new(); k],
+            iterations: 0,
+            objective: 0.0,
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let seed_idx: Vec<usize> = match config.seeding {
+        Seeding::Random => {
+            let mut idx: Vec<usize> = (0..docs.len()).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(k);
+            idx
+        }
+        Seeding::FarthestPoint => {
+            let mut chosen = vec![rng.gen_range(0..docs.len())];
+            while chosen.len() < k {
+                // similarity of each doc to its nearest chosen seed
+                let next = (0..docs.len())
+                    .filter(|i| !chosen.contains(i))
+                    .min_by(|&a, &b| {
+                        let sa = chosen
+                            .iter()
+                            .map(|&c| unit[a].dot(&unit[c]))
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        let sb = chosen
+                            .iter()
+                            .map(|&c| unit[b].dot(&unit[c]))
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                match next {
+                    Some(i) => chosen.push(i),
+                    None => break,
+                }
+            }
+            chosen
+        }
+    };
+
+    let mut centroids: Vec<Dense> = seed_idx
+        .iter()
+        .map(|&i| {
+            let mut d = Dense::zero(dim);
+            d.add(&unit[i]);
+            d.refresh_norm();
+            d
+        })
+        .collect();
+
+    let mut assignment: Vec<usize> = vec![usize::MAX; docs.len()];
+    let mut iterations = 0;
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        let mut changed = false;
+        for (i, u) in unit.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.cosine(u)
+                        .partial_cmp(&b.cosine(u))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(p, _)| p)
+                .unwrap_or(0);
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // standard empty-cluster fix-up: reseed an empty cluster with the
+        // document least similar to its current centroid (taken from a
+        // cluster that can spare one)
+        let mut counts = vec![0usize; centroids.len()];
+        for &a in &assignment {
+            counts[a] += 1;
+        }
+        for p in 0..centroids.len() {
+            if counts[p] > 0 {
+                continue;
+            }
+            let victim = (0..unit.len())
+                .filter(|&i| counts[assignment[i]] > 1)
+                .min_by(|&a, &b| {
+                    let sa = centroids[assignment[a]].cosine(&unit[a]);
+                    let sb = centroids[assignment[b]].cosine(&unit[b]);
+                    sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                });
+            if let Some(i) = victim {
+                counts[assignment[i]] -= 1;
+                assignment[i] = p;
+                counts[p] += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // recompute centroids
+        for c in &mut centroids {
+            c.v.iter_mut().for_each(|x| *x = 0.0);
+        }
+        for (i, u) in unit.iter().enumerate() {
+            centroids[assignment[i]].add(u);
+        }
+        for c in &mut centroids {
+            c.refresh_norm();
+        }
+    }
+
+    let mut clusters = vec![Vec::new(); centroids.len()];
+    let mut objective = 0.0;
+    for (i, &(id, _)) in docs.iter().enumerate() {
+        clusters[assignment[i]].push(id);
+        objective += centroids[assignment[i]].cosine(&unit[i]);
+    }
+    KMeansResult {
+        clusters,
+        iterations,
+        objective,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nidc_textproc::TermId;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    /// Two well-separated groups in disjoint term subspaces.
+    fn two_groups() -> Vec<(DocId, SparseVector)> {
+        let mut docs = Vec::new();
+        for i in 0..6u64 {
+            docs.push((DocId(i), v(&[(0, 3.0 + i as f64 % 2.0), (1, 1.0)])));
+        }
+        for i in 6..12u64 {
+            docs.push((DocId(i), v(&[(5, 2.0), (6, 3.0 + i as f64 % 2.0)])));
+        }
+        docs
+    }
+
+    #[test]
+    fn separates_disjoint_groups() {
+        let docs = two_groups();
+        let result = kmeans(
+            &docs,
+            &KMeansConfig {
+                k: 2,
+                ..KMeansConfig::default()
+            },
+        );
+        let nonempty: Vec<_> = result.clusters.iter().filter(|c| !c.is_empty()).collect();
+        assert_eq!(nonempty.len(), 2);
+        for cluster in nonempty {
+            let low = cluster.iter().filter(|d| d.0 < 6).count();
+            assert!(
+                low == 0 || low == cluster.len(),
+                "mixed cluster: {cluster:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let docs = two_groups();
+        let result = kmeans(
+            &docs,
+            &KMeansConfig {
+                k: 2,
+                max_iters: 100,
+                ..KMeansConfig::default()
+            },
+        );
+        assert!(result.iterations < 100, "did not converge");
+        assert!(result.objective > 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_docs_is_clamped() {
+        let docs = vec![(DocId(0), v(&[(0, 1.0)])), (DocId(1), v(&[(1, 1.0)]))];
+        let result = kmeans(
+            &docs,
+            &KMeansConfig {
+                k: 10,
+                ..KMeansConfig::default()
+            },
+        );
+        let assigned: usize = result.clusters.iter().map(Vec::len).sum();
+        assert_eq!(assigned, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let result = kmeans(&[], &KMeansConfig::default());
+        assert_eq!(result.iterations, 0);
+        assert!(result.clusters.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let docs = two_groups();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 7,
+            ..KMeansConfig::default()
+        };
+        let a = kmeans(&docs, &cfg);
+        let b = kmeans(&docs, &cfg);
+        assert_eq!(a.clusters, b.clusters);
+    }
+
+    #[test]
+    fn farthest_point_seeding_separates_groups() {
+        let docs = two_groups();
+        let result = kmeans(
+            &docs,
+            &KMeansConfig {
+                k: 2,
+                seeding: Seeding::FarthestPoint,
+                ..KMeansConfig::default()
+            },
+        );
+        for cluster in result.clusters.iter().filter(|c| !c.is_empty()) {
+            let low = cluster.iter().filter(|d| d.0 < 6).count();
+            assert!(low == 0 || low == cluster.len());
+        }
+    }
+
+    #[test]
+    fn all_documents_assigned_exactly_once() {
+        let docs = two_groups();
+        let result = kmeans(
+            &docs,
+            &KMeansConfig {
+                k: 4,
+                ..KMeansConfig::default()
+            },
+        );
+        let mut all: Vec<u64> = result.clusters.iter().flatten().map(|d| d.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,23 @@
+//! Baseline clustering methods the paper positions itself against (§2.2):
+//!
+//! * [`kmeans`] — the classic cosine (spherical) K-means the paper extends
+//!   (§4.1), with random or farthest-point seeding;
+//! * [`incr`] — Yang et al.'s single-pass incremental clustering (INCR):
+//!   threshold-based assignment with an optional linear time-decay window;
+//! * [`gac`] — Yang et al.'s bucketed group-average agglomerative clustering
+//!   (GAC) with re-clustering, extending Cutting's Fractionation.
+//!
+//! All baselines consume `(DocId, SparseVector)` pairs (any weighting; they
+//! L2-normalise internally) so they can run on exactly the same tf·idf
+//! vectors as the paper's method, isolating the *algorithmic* difference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gac;
+mod incr;
+mod kmeans;
+
+pub use gac::{gac, GacConfig};
+pub use incr::{incr, IncrConfig};
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult, Seeding};

@@ -1,0 +1,106 @@
+//! Property tests for the baseline clustering methods: totality,
+//! conservation of documents, and determinism.
+
+use nidc_baselines::{gac, incr, kmeans, GacConfig, IncrConfig, KMeansConfig};
+use nidc_textproc::{DocId, SparseVector, TermId};
+use proptest::prelude::*;
+
+fn docs_strategy() -> impl Strategy<Value = Vec<(DocId, SparseVector)>> {
+    prop::collection::vec(prop::collection::vec((0u32..20, 0.1f64..3.0), 1..8), 1..30).prop_map(
+        |raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, pairs)| {
+                    (
+                        DocId(i as u64),
+                        SparseVector::from_entries(
+                            pairs.into_iter().map(|(t, w)| (TermId(t), w)).collect(),
+                        ),
+                    )
+                })
+                .collect()
+        },
+    )
+}
+
+fn sorted_ids(clusters: &[Vec<DocId>]) -> Vec<u64> {
+    let mut ids: Vec<u64> = clusters.iter().flatten().map(|d| d.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// K-means assigns every document exactly once, for any K.
+    #[test]
+    fn kmeans_conserves_documents(docs in docs_strategy(), k in 1usize..8, seed in 0u64..5) {
+        let result = kmeans(&docs, &KMeansConfig { k, seed, ..KMeansConfig::default() });
+        prop_assert_eq!(sorted_ids(&result.clusters), (0..docs.len() as u64).collect::<Vec<_>>());
+        prop_assert!(result.iterations >= 1);
+    }
+
+    /// K-means is deterministic for a fixed seed.
+    #[test]
+    fn kmeans_deterministic(docs in docs_strategy(), k in 1usize..6) {
+        let cfg = KMeansConfig { k, seed: 9, ..KMeansConfig::default() };
+        prop_assert_eq!(kmeans(&docs, &cfg).clusters, kmeans(&docs, &cfg).clusters);
+    }
+
+    /// INCR conserves all non-zero documents and respects creation order.
+    #[test]
+    fn incr_conserves_documents(docs in docs_strategy(), threshold in 0.0f64..1.0) {
+        let timed: Vec<(DocId, f64, SparseVector)> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, (id, v))| (*id, i as f64 * 0.1, v.clone()))
+            .collect();
+        let clusters = incr(&timed, &IncrConfig { threshold, ..IncrConfig::default() });
+        prop_assert_eq!(sorted_ids(&clusters), (0..docs.len() as u64).collect::<Vec<_>>());
+        // no empty clusters
+        prop_assert!(clusters.iter().all(|c| !c.is_empty()));
+    }
+
+    /// With threshold 0 every doc joins the first cluster; with threshold
+    /// > 1 every doc becomes its own cluster.
+    #[test]
+    fn incr_threshold_extremes(docs in docs_strategy()) {
+        let timed: Vec<(DocId, f64, SparseVector)> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, (id, v))| (*id, i as f64 * 0.1, v.clone()))
+            .collect();
+        let all_in_one = incr(&timed, &IncrConfig { threshold: 0.0, ..IncrConfig::default() });
+        prop_assert_eq!(all_in_one.len(), 1);
+        let singletons = incr(&timed, &IncrConfig { threshold: 1.1, ..IncrConfig::default() });
+        prop_assert_eq!(singletons.len(), docs.len());
+    }
+
+    /// GAC conserves documents and never exceeds… never returns fewer than
+    /// one cluster nor more clusters than documents.
+    #[test]
+    fn gac_conserves_documents(docs in docs_strategy(), target in 1usize..6) {
+        let clusters = gac(&docs, &GacConfig {
+            target_clusters: target,
+            bucket_size: 8,
+            reduction: 0.5,
+        });
+        prop_assert_eq!(sorted_ids(&clusters), (0..docs.len() as u64).collect::<Vec<_>>());
+        prop_assert!(!clusters.is_empty());
+        prop_assert!(clusters.len() <= docs.len());
+    }
+
+    /// GAC reaches (close to) the requested number of top-level clusters
+    /// when enough documents exist.
+    #[test]
+    fn gac_hits_target(docs in docs_strategy(), target in 1usize..4) {
+        prop_assume!(docs.len() >= 8);
+        let clusters = gac(&docs, &GacConfig {
+            target_clusters: target,
+            bucket_size: 6,
+            reduction: 0.5,
+        });
+        prop_assert!(clusters.len() <= target.max(1) + 1,
+            "{} clusters for target {target}", clusters.len());
+    }
+}

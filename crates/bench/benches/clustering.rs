@@ -1,0 +1,124 @@
+//! End-to-end clustering benchmarks: one extended-K-means run per paper
+//! experiment setting, on a reduced-scale corpus (Criterion needs many
+//! repetitions, so the workload is the 0.15-scale analogue of each table's
+//! setting; the experiment binaries run the full-scale versions once).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use nidc_bench::{run_window, PreparedCorpus};
+use nidc_core::{cluster_with_initial, ClusteringConfig, InitialState};
+use nidc_corpus::Generator;
+use nidc_forgetting::{DecayParams, Repository, Timestamp};
+use nidc_similarity::DocVectors;
+use nidc_textproc::{DocId, Pipeline, SparseVector, Vocabulary};
+
+/// Table 4 kernel: cluster one window under each half-life span.
+fn bench_window_clustering(c: &mut Criterion) {
+    let prep = PreparedCorpus::standard(0.15);
+    let windows = prep.corpus.standard_windows();
+    for beta in [7.0, 30.0] {
+        c.bench_function(&format!("table4_window1_beta{}", beta as u32), |bench| {
+            bench.iter(|| {
+                let config = ClusteringConfig {
+                    k: 24,
+                    seed: 22,
+                    ..ClusteringConfig::default()
+                };
+                black_box(run_window(&prep, &windows[0], beta, 30.0, &config))
+            })
+        });
+    }
+}
+
+/// Table 1 kernel: incremental vs cold statistics + clustering on a dense
+/// stream (the Experiment 1 contrast at bench scale).
+fn bench_incremental_vs_cold(c: &mut Criterion) {
+    let corpus = Generator::dense_stream(7, 15, 40, 32);
+    let pipeline = Pipeline::raw();
+    let mut vocab = Vocabulary::new();
+    let tfs: Vec<(DocId, f64, SparseVector)> = corpus
+        .articles()
+        .iter()
+        .map(|a| {
+            (
+                DocId(a.id),
+                a.day,
+                pipeline.analyze(&a.text, &mut vocab).to_sparse(),
+            )
+        })
+        .collect();
+    let decay = DecayParams::from_spans(7.0, 14.0).unwrap();
+    let config = ClusteringConfig {
+        k: 32,
+        seed: 42,
+        ..ClusteringConfig::default()
+    };
+
+    // warm state through day 14
+    let mut repo = Repository::new(decay);
+    for (id, day, tf) in tfs.iter().filter(|(_, d, _)| *d < 14.0) {
+        repo.insert(*id, Timestamp(*day), tf.clone()).unwrap();
+    }
+    repo.advance_to(Timestamp(14.0)).unwrap();
+    let warm_vecs = DocVectors::build(&repo);
+    let warm = cluster_with_initial(&warm_vecs, &config, InitialState::Random).unwrap();
+    let prev = warm.assignment();
+    let last_day: Vec<_> = tfs.iter().filter(|(_, d, _)| *d >= 14.0).cloned().collect();
+
+    c.bench_function("table1_incremental_day", |bench| {
+        bench.iter_batched(
+            || (repo.clone(), last_day.clone(), prev.clone()),
+            |(mut r, docs, prev)| {
+                for (id, day, tf) in docs {
+                    r.insert(id, Timestamp(day), tf).unwrap();
+                }
+                r.advance_to(Timestamp(15.0)).unwrap();
+                r.expire();
+                let vecs = DocVectors::build(&r);
+                black_box(
+                    cluster_with_initial(&vecs, &config, InitialState::Assignment(prev)).unwrap(),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("table1_noninc_full", |bench| {
+        bench.iter_batched(
+            || tfs.clone(),
+            |docs| {
+                let mut r = Repository::new(decay);
+                for (id, day, tf) in docs {
+                    r.insert(id, Timestamp(day), tf).unwrap();
+                }
+                r.advance_to(Timestamp(15.0)).unwrap();
+                r.expire();
+                let vecs = DocVectors::build(&r);
+                black_box(cluster_with_initial(&vecs, &config, InitialState::Random).unwrap())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+/// Corpus generation + windowing (Tables 2/5, Figures 5–9 substrate).
+fn bench_corpus_generation(c: &mut Criterion) {
+    c.bench_function("corpus_generate_scale0.1", |bench| {
+        bench.iter(|| {
+            let corpus = Generator::new(nidc_corpus::GeneratorConfig {
+                scale: 0.1,
+                ..nidc_corpus::GeneratorConfig::default()
+            })
+            .generate();
+            black_box(corpus.standard_windows().len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_window_clustering, bench_incremental_vs_cold, bench_corpus_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Micro-benchmarks of the hot kernels:
+//!
+//! * the §4.4 claim — O(|φ|) `avg_sim_if_added` vs naive O(n²) pairwise
+//!   recomputation;
+//! * the §5.1 claim — incremental statistics update vs from-scratch rebuild;
+//! * the sparse-vector dot product and the text pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nidc_forgetting::{DecayParams, Repository, Timestamp};
+use nidc_similarity::ClusterRep;
+use nidc_textproc::{DocId, Pipeline, SparseVector, TermId, Vocabulary};
+
+fn random_phi(rng: &mut StdRng, dim: u32, nnz: usize) -> SparseVector {
+    SparseVector::from_entries(
+        (0..nnz)
+            .map(|_| (TermId(rng.gen_range(0..dim)), rng.gen_range(0.01..1.0)))
+            .collect(),
+    )
+}
+
+fn bench_sparse_dot(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = random_phi(&mut rng, 50_000, 120);
+    let b = random_phi(&mut rng, 50_000, 120);
+    c.bench_function("sparse_dot_120nnz", |bench| {
+        bench.iter(|| black_box(a.dot(black_box(&b))))
+    });
+}
+
+fn bench_avg_sim_update_vs_naive(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let dim = 50_000u32;
+    let members: Vec<SparseVector> = (0..200).map(|_| random_phi(&mut rng, dim, 120)).collect();
+    let newcomer = random_phi(&mut rng, dim, 120);
+    let rep = ClusterRep::from_members(dim as usize, members.iter());
+
+    // the paper's fast path: eq. 26 via the representative
+    c.bench_function("avg_sim_if_added_rep_200docs", |bench| {
+        bench.iter(|| black_box(rep.avg_sim_if_added(black_box(&newcomer))))
+    });
+
+    // the naive path the paper §4.4 replaces: full pairwise recomputation
+    c.bench_function("avg_sim_if_added_naive_200docs", |bench| {
+        bench.iter(|| {
+            let mut all: Vec<&SparseVector> = members.iter().collect();
+            all.push(&newcomer);
+            let n = all.len();
+            let mut acc = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    acc += all[i].dot(all[j]);
+                }
+            }
+            black_box(2.0 * acc / (n as f64 * (n as f64 - 1.0)))
+        })
+    });
+}
+
+fn stats_repo(n_docs: u64) -> Repository {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut repo = Repository::new(DecayParams::from_spans(7.0, 14.0).unwrap());
+    for i in 0..n_docs {
+        let tf = random_phi(&mut rng, 20_000, 120);
+        repo.insert(DocId(i), Timestamp(i as f64 / 300.0), tf)
+            .unwrap();
+    }
+    repo
+}
+
+fn bench_stats_update(c: &mut Criterion) {
+    let repo = stats_repo(3000);
+    let mut rng = StdRng::seed_from_u64(4);
+    let new_docs: Vec<(DocId, SparseVector)> = (0..200)
+        .map(|i| (DocId(10_000 + i), random_phi(&mut rng, 20_000, 120)))
+        .collect();
+
+    // §5.1 incremental: decay-scale + insert one day of documents
+    c.bench_function("stats_update_incremental_200new", |bench| {
+        bench.iter_batched(
+            || (repo.clone(), new_docs.clone()),
+            |(mut r, docs)| {
+                let t = Timestamp(r.now().days() + 1.0);
+                r.insert_batch(t, docs).unwrap();
+                black_box(r.tdw())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // non-incremental: rebuild every statistic from scratch
+    c.bench_function("stats_update_scratch_3000docs", |bench| {
+        bench.iter_batched(
+            || repo.clone(),
+            |mut r| {
+                r.recompute_from_scratch();
+                black_box(r.tdw())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_text_pipeline(c: &mut Criterion) {
+    let text = "The committee announced that negotiations over the national \
+                tobacco settlement would resume next week, with lawmakers \
+                predicting a difficult compromise on advertising restrictions \
+                and liability protections for the industry"
+        .repeat(4);
+    let pipeline = Pipeline::english();
+    c.bench_function("pipeline_english_analyze", |bench| {
+        bench.iter_batched(
+            Vocabulary::new,
+            |mut vocab| black_box(pipeline.analyze(&text, &mut vocab)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sparse_dot,
+    bench_avg_sim_update_vs_naive,
+    bench_stats_update,
+    bench_text_pipeline
+);
+criterion_main!(benches);

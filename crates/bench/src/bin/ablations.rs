@@ -1,0 +1,336 @@
+//! **Ablations** — design choices the paper leaves open, measured:
+//!
+//! 1. **Assignment criterion** (DESIGN.md §4): the literal avg_sim increase
+//!    vs the G-term increase.
+//! 2. **Incremental vs non-incremental result quality** — the paper's own
+//!    open question ("whether the incremental approach can provide similar
+//!    clustering quality … we will investigate this issue in future work").
+//! 3. **K sweep** — the paper's future work ("a method to estimate the
+//!    appropriate K value").
+//! 4. **Outlier handling** — share of documents landing in the outlier list
+//!    per β (the mechanism behind novelty bias).
+//! 5. **Baselines** — cosine K-means, INCR and GAC on the same windows.
+//! 6. **Cover-coefficient K estimate** per window.
+//! 7. **Window size × half-life** — the paper's future work ("experiments
+//!    using the small and large forgetting factor values on larger time
+//!    window size").
+//! 8. **Exponential vs linear decay update cost** — the §5.1 argument that
+//!    the O(1)-per-document incremental update "is due to the selection of
+//!    the exponential forgetting factor", measured against a linear-window
+//!    counterfactual (INCR's weight family, §2.2).
+//!
+//! Reduced corpus scale by default (`NIDC_SCALE`, default 0.5) to keep the
+//! sweep quick.
+
+use nidc_baselines::{gac, incr, kmeans, GacConfig, IncrConfig, KMeansConfig};
+use nidc_bench::{run_window, scale_from_env, PreparedCorpus};
+use nidc_core::{ClusteringConfig, Criterion, NoveltyPipeline};
+use nidc_eval::{evaluate, nmi, purity, MARKING_THRESHOLD};
+use nidc_forgetting::{DecayParams, Timestamp};
+use nidc_textproc::{DocId, SparseVector};
+
+fn main() {
+    let scale = scale_from_env(0.5);
+    let prep = PreparedCorpus::standard(scale);
+    let windows = prep.corpus.standard_windows();
+    let w = &windows[3]; // Apr4–May3, the paper's showcase window
+    let labels = prep.labels_for(&w.article_indices);
+
+    // ---- 1. assignment criterion --------------------------------------
+    println!("## Ablation 1: assignment criterion (window 4, beta=7)");
+    for criterion in [Criterion::GTerm, Criterion::AvgSim] {
+        let config = ClusteringConfig {
+            k: 24,
+            seed: 22,
+            criterion,
+            ..ClusteringConfig::default()
+        };
+        let run = run_window(&prep, w, 7.0, 30.0, &config);
+        println!(
+            "  {:?}: micro F1 {:.2}, macro F1 {:.2}, outliers {}, iterations {}",
+            criterion,
+            run.evaluation.micro_f1,
+            run.evaluation.macro_f1,
+            run.clustering.outliers().len(),
+            run.clustering.iterations()
+        );
+    }
+
+    // ---- 2. incremental vs non-incremental quality --------------------
+    println!("\n## Ablation 2: incremental vs non-incremental clustering quality");
+    println!("(stream window 4 day by day; compare final clustering against a batch run)");
+    let decay = DecayParams::from_spans(7.0, 30.0).unwrap();
+    let config = ClusteringConfig {
+        k: 24,
+        seed: 22,
+        ..ClusteringConfig::default()
+    };
+    let mut pipe = NoveltyPipeline::new(decay, config.clone());
+    let mut day_batch: Vec<(DocId, SparseVector)> = Vec::new();
+    let mut current_day = f64::NEG_INFINITY;
+    let mut last = None;
+    for &i in &w.article_indices {
+        let a = &prep.corpus.articles()[i];
+        if a.day.floor() > current_day && !day_batch.is_empty() {
+            pipe.ingest_batch(Timestamp(current_day + 1.0), day_batch.drain(..))
+                .unwrap();
+            // recluster every 5 days (a "news program" cadence)
+            if (current_day as i64) % 5 == 4 {
+                last = Some(pipe.recluster_incremental().unwrap());
+            }
+        }
+        current_day = a.day.floor();
+        day_batch.push((DocId(a.id), prep.tfs[i].clone()));
+    }
+    pipe.ingest_batch(Timestamp(w.end), day_batch.drain(..))
+        .unwrap();
+    pipe.advance_to(Timestamp(w.end)).unwrap();
+    let incremental = pipe.recluster_incremental().unwrap();
+    let _ = last;
+    let batch_run = run_window(&prep, w, 7.0, 30.0, &config);
+    let e_inc = evaluate(&incremental.member_lists(), &labels, MARKING_THRESHOLD);
+    let e_bat = &batch_run.evaluation;
+    println!(
+        "  incremental:     micro F1 {:.2}, macro F1 {:.2}, purity {:.2}, NMI(vs labels) {:.2}, iterations(final) {}",
+        e_inc.micro_f1,
+        e_inc.macro_f1,
+        purity(&incremental.member_lists(), &labels),
+        nmi(&incremental.member_lists(), &labels),
+        incremental.iterations()
+    );
+    println!(
+        "  non-incremental: micro F1 {:.2}, macro F1 {:.2}, purity {:.2}, NMI(vs labels) {:.2}, iterations {}",
+        e_bat.micro_f1,
+        e_bat.macro_f1,
+        purity(&batch_run.clustering.member_lists(), &labels),
+        nmi(&batch_run.clustering.member_lists(), &labels),
+        batch_run.clustering.iterations()
+    );
+
+    // ---- 3. K sweep -----------------------------------------------------
+    println!("\n## Ablation 3: K sweep (window 4, beta=7)");
+    for k in [8, 16, 24, 32, 48] {
+        let config = ClusteringConfig {
+            k,
+            seed: 22,
+            ..ClusteringConfig::default()
+        };
+        let run = run_window(&prep, w, 7.0, 30.0, &config);
+        println!(
+            "  K={k:>2}: micro F1 {:.2}, macro F1 {:.2}, detected topics {}, outliers {}",
+            run.evaluation.micro_f1,
+            run.evaluation.macro_f1,
+            run.evaluation.detected_topics.len(),
+            run.clustering.outliers().len()
+        );
+    }
+
+    // ---- 4. outlier share per beta ---------------------------------------
+    println!("\n## Ablation 4: outlier share per half-life (window 4)");
+    for beta in [3.5, 7.0, 14.0, 30.0, 60.0] {
+        let config = ClusteringConfig {
+            k: 24,
+            seed: 22,
+            ..ClusteringConfig::default()
+        };
+        let run = run_window(&prep, w, beta, 60.0, &config);
+        let share = run.clustering.outliers().len() as f64 / w.len() as f64;
+        println!(
+            "  beta={beta:>4}: outliers {:>4} ({:>4.1}%), micro F1 {:.2}",
+            run.clustering.outliers().len(),
+            share * 100.0,
+            run.evaluation.micro_f1
+        );
+    }
+
+    // ---- 5. baselines ---------------------------------------------------
+    println!("\n## Ablation 5: baselines on window 4 (cosine tf vectors)");
+    let docs: Vec<(DocId, SparseVector)> = w
+        .article_indices
+        .iter()
+        .map(|&i| (DocId(prep.corpus.articles()[i].id), prep.tfs[i].clone()))
+        .collect();
+    let docs_t: Vec<(DocId, f64, SparseVector)> = w
+        .article_indices
+        .iter()
+        .map(|&i| {
+            let a = &prep.corpus.articles()[i];
+            (DocId(a.id), a.day, prep.tfs[i].clone())
+        })
+        .collect();
+
+    let km = kmeans(
+        &docs,
+        &KMeansConfig {
+            k: 24,
+            seed: 22,
+            ..KMeansConfig::default()
+        },
+    );
+    let e = evaluate(&km.clusters, &labels, MARKING_THRESHOLD);
+    println!(
+        "  cosine K-means : micro F1 {:.2}, macro F1 {:.2}, purity {:.2}",
+        e.micro_f1,
+        e.macro_f1,
+        purity(&km.clusters, &labels)
+    );
+
+    let ic = incr(
+        &docs_t,
+        &IncrConfig {
+            threshold: 0.45,
+            window_days: None,
+            max_clusters: 0,
+        },
+    );
+    let e = evaluate(&ic, &labels, MARKING_THRESHOLD);
+    println!(
+        "  INCR           : micro F1 {:.2}, macro F1 {:.2}, purity {:.2}, clusters {}",
+        e.micro_f1,
+        e.macro_f1,
+        purity(&ic, &labels),
+        ic.len()
+    );
+
+    let gc = gac(
+        &docs,
+        &GacConfig {
+            target_clusters: 24,
+            bucket_size: 64,
+            reduction: 0.5,
+        },
+    );
+    let e = evaluate(&gc, &labels, MARKING_THRESHOLD);
+    println!(
+        "  GAC            : micro F1 {:.2}, macro F1 {:.2}, purity {:.2}",
+        e.micro_f1,
+        e.macro_f1,
+        purity(&gc, &labels)
+    );
+    let nov = run_window(&prep, w, 7.0, 30.0, &config);
+    println!(
+        "  novelty (b=7)  : micro F1 {:.2}, macro F1 {:.2}, purity {:.2}",
+        nov.evaluation.micro_f1,
+        nov.evaluation.macro_f1,
+        purity(&nov.clustering.member_lists(), &labels)
+    );
+
+    // F²ICM — the paper's predecessor method, same forgetting model
+    let decay = DecayParams::from_spans(7.0, 30.0).unwrap();
+    let repo = prep.build_repository(&w.article_indices, decay, Timestamp(w.end));
+    let mut f2 = nidc_f2icm::F2icm::new(nidc_f2icm::F2icmConfig {
+        k: Some(24),
+        ..nidc_f2icm::F2icmConfig::default()
+    });
+    let f2c = f2.cluster(&repo).expect("non-empty window");
+    let e = evaluate(&f2c.member_lists(), &labels, MARKING_THRESHOLD);
+    println!(
+        "  F2ICM (b=7)    : micro F1 {:.2}, macro F1 {:.2}, purity {:.2}, ragbag {}",
+        e.micro_f1,
+        e.macro_f1,
+        purity(&f2c.member_lists(), &labels),
+        f2c.ragbag().len()
+    );
+
+    // ---- 6. C²ICM cluster-count estimate vs Table 2 topic counts ----------
+    println!("\n## Ablation 6: cover-coefficient K estimate per window (paper future work)");
+    for win in &windows {
+        let repo = prep.build_repository(
+            &win.article_indices,
+            DecayParams::from_spans(30.0, 60.0).unwrap(),
+            Timestamp(win.end),
+        );
+        let n_c = nidc_f2icm::cover::estimate_num_clusters(&repo);
+        let stats = prep.corpus.window_stats(win);
+        println!(
+            "  {}: n_c estimate {:>6.1} vs {} ground-truth topics ({} docs)",
+            win.label, n_c, stats.num_topics, stats.num_docs
+        );
+    }
+
+    // ---- 7. window size × half-life (paper future work) -------------------
+    println!("\n## Ablation 7: larger time windows (60/90 days) x half-life");
+    for (label, start, end) in [
+        ("30-day (w4)", 90.0, 120.0),
+        ("60-day (w4+w5)", 90.0, 150.0),
+        ("90-day (w4..w6)", 90.0, 178.0),
+    ] {
+        for beta in [7.0, 30.0, 60.0] {
+            let indices: Vec<usize> = prep
+                .corpus
+                .articles()
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.day >= start && a.day < end)
+                .map(|(i, _)| i)
+                .collect();
+            let window_labels: nidc_eval::Labeling<u32> = prep.labels_for(&indices);
+            let decay = DecayParams::from_spans(beta, end - start).unwrap();
+            let repo = prep.build_repository(&indices, decay, Timestamp(end));
+            let vecs = nidc_similarity::DocVectors::build(&repo);
+            let cfg = ClusteringConfig {
+                k: 24,
+                seed: 22,
+                ..ClusteringConfig::default()
+            };
+            let clustering = nidc_core::cluster_batch(&vecs, &cfg).unwrap();
+            let e = evaluate(
+                &clustering.member_lists(),
+                &window_labels,
+                MARKING_THRESHOLD,
+            );
+            println!(
+                "  {label:<16} beta={beta:>4}: micro F1 {:.2}, macro F1 {:.2}, outliers {:>4} ({:>4.1}%), detected {}",
+                e.micro_f1,
+                e.macro_f1,
+                clustering.outliers().len(),
+                100.0 * clustering.outliers().len() as f64 / indices.len() as f64,
+                e.detected_topics.len()
+            );
+        }
+    }
+
+    // ---- 8. exponential vs linear decay: statistics update cost -----------
+    println!("\n## Ablation 8: statistics-update cost, exponential vs linear decay");
+    println!("(daily updates over a growing stream; exponential uses the eq. 27 shortcut,");
+    println!(" linear must recompute every statistic — the paper's §5.1 design argument)");
+    let stream: Vec<(DocId, f64, SparseVector)> = prep
+        .corpus
+        .articles()
+        .iter()
+        .zip(&prep.tfs)
+        .filter(|(a, _)| a.day < 30.0)
+        .map(|(a, tf)| (DocId(a.id), a.day, tf.clone()))
+        .collect();
+    use std::time::Instant;
+    // interleave chronologically: each day's documents, then the end-of-day
+    // statistics update (the repeated cost under comparison)
+    let t0 = Instant::now();
+    let mut exp_repo =
+        nidc_forgetting::Repository::new(DecayParams::from_spans(7.0, 14.0).unwrap());
+    for day in 0..30 {
+        for (id, d, tf) in stream.iter().filter(|(_, d, _)| d.floor() as i64 == day) {
+            exp_repo.insert(*id, Timestamp(*d), tf.clone()).unwrap();
+        }
+        exp_repo.advance_to(Timestamp(day as f64 + 0.999)).unwrap();
+        exp_repo.expire();
+    }
+    let exp_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let mut lin_repo = nidc_forgetting::LinearRepository::new(14.0).unwrap();
+    for day in 0..30 {
+        for (id, d, tf) in stream.iter().filter(|(_, d, _)| d.floor() as i64 == day) {
+            lin_repo.insert(*id, Timestamp(*d), tf.clone()).unwrap();
+        }
+        lin_repo.advance_to(Timestamp(day as f64 + 0.999)).unwrap();
+    }
+    let lin_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  exponential (incremental): {exp_ms:>8.1} ms for {} docs + 30 daily updates",
+        stream.len()
+    );
+    println!(
+        "  linear (full recompute):   {lin_ms:>8.1} ms  ({:.1}x slower)",
+        lin_ms / exp_ms.max(1e-9)
+    );
+}

@@ -1,0 +1,68 @@
+//! **Figures 1–4 (paper §6.2.3)** — per-cluster precision and recall for a
+//! time window under both half-life spans.
+//!
+//! Figure 1: window 1 (Jan4–Feb2), β = 7; Figure 2: window 1, β = 30;
+//! Figure 3: window 4 (Apr4–May3), β = 7; Figure 4: window 4, β = 30.
+//!
+//! Each marked cluster is one bar pair (precision, recall) labelled with its
+//! marked topic; unmarked clusters print with a `-` topic. The reproduced
+//! shape: precision is high (≥ 0.6 by construction of marking) in both
+//! settings; β = 7 recalls are thinner slices of their topics, and large
+//! topics ("Asian Economic Crisis", "Monica Lewinsky Case") appear in more
+//! than one cluster.
+//!
+//! Usage: `fig1_4_precision_recall [--window N]` (1-based, default: both
+//! paper windows 1 and 4).
+
+use nidc_bench::{run_window, scale_from_env, topic_label, PreparedCorpus};
+use nidc_core::ClusteringConfig;
+
+fn bar(v: f64) -> String {
+    let filled = (v * 30.0).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(30 - filled))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let windows_wanted: Vec<usize> = match args.iter().position(|a| a == "--window") {
+        Some(i) => vec![args[i + 1].parse::<usize>().expect("window number") - 1],
+        None => vec![0, 3],
+    };
+    let prep = PreparedCorpus::standard(scale_from_env(1.0));
+    let windows = prep.corpus.standard_windows();
+    let mut fig = 1;
+    for &wi in &windows_wanted {
+        for beta in [7.0, 30.0] {
+            let config = ClusteringConfig {
+                k: 24,
+                seed: 22,
+                ..ClusteringConfig::default()
+            };
+            let run = run_window(&prep, &windows[wi], beta, 30.0, &config);
+            println!(
+                "\nFigure {fig}: clustering result for {} with {}-day half life span",
+                windows[wi].label, beta as u32
+            );
+            println!(
+                "(micro F1 {:.2}, macro F1 {:.2}, {} outliers)\n",
+                run.evaluation.micro_f1,
+                run.evaluation.macro_f1,
+                run.clustering.outliers().len()
+            );
+            println!("cluster  size  P     R     topic");
+            for r in &run.evaluation.clusters {
+                let topic = match r.marked_topic {
+                    Some(t) => topic_label(&prep.corpus, t),
+                    None => "-".to_owned(),
+                };
+                println!(
+                    "  c{:02}   {:>5}  {:.2}  {:.2}  {}",
+                    r.cluster, r.size, r.precision, r.recall, topic
+                );
+                println!("        P |{}|", bar(r.precision));
+                println!("        R |{}|", bar(r.recall));
+            }
+            fig += 1;
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! **Figures 5–9 (paper §6.2.3)** — daily document histograms of the five
+//! narrative topics:
+//!
+//! * Figure 5: 20074 "Nigerian Protest Violence" — scattered, denser in
+//!   windows 4 and 6 (late in w4, early in w6);
+//! * Figure 6: 20077 "Unabomber" — burst in the first half of window 1,
+//!   quiet, re-emergence late in window 4;
+//! * Figure 7: 20078 "Denmark Strike" — late window 4 + early window 5 only;
+//! * Figure 8: 20001 "Asian Economic Crisis" — large, heaviest in w1–w2,
+//!   declining tail;
+//! * Figure 9: 20002 "Monica Lewinsky Case" — large, sustained with early
+//!   peak.
+
+use nidc_bench::{scale_from_env, PreparedCorpus};
+use nidc_corpus::TopicId;
+
+fn main() {
+    let prep = PreparedCorpus::standard(scale_from_env(1.0));
+    let corpus = &prep.corpus;
+    let figures = [
+        (5, 20074u32),
+        (6, 20077),
+        (7, 20078),
+        (8, 20001),
+        (9, 20002),
+    ];
+    for (fig, topic) in figures {
+        let name = corpus.topic_name(TopicId(topic)).unwrap_or("?");
+        let hist = corpus.topic_histogram(TopicId(topic), 1.0);
+        let total: usize = hist.iter().map(|&(_, n)| n).sum();
+        let max = hist.iter().map(|&(_, n)| n).max().unwrap_or(1).max(1);
+        println!("\nFigure {fig}: topic {topic} \"{name}\" ({total} docs; histogram by day; | = window boundary)");
+        // one row per 2-day bin to keep the plot narrow; column = count bar
+        for chunk in hist.chunks(2) {
+            let day = chunk[0].0;
+            let n: usize = chunk.iter().map(|&(_, c)| c).sum();
+            let boundary = [30.0, 60.0, 90.0, 120.0, 150.0]
+                .iter()
+                .any(|b| (day - b).abs() < 1.0);
+            if n == 0 && !boundary {
+                continue;
+            }
+            let bar_len = (n as f64 / max as f64 * 40.0).ceil() as usize;
+            println!(
+                "  day {:>3}{} {:>3} {}",
+                day as u32,
+                if boundary { "|" } else { " " },
+                n,
+                "#".repeat(bar_len)
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! **First-story detection DET analysis** — runs the TDT-style FSD task
+//! (an application of the paper's similarity machinery, §2.1) over the
+//! synthetic stream and reports the DET operating points and the minimum
+//! normalised TDT detection cost, comparing the forgetting-aware detector
+//! (β = 7) against a slow-forgetting one (β = 60 ≈ no novelty bias).
+//!
+//! Env: `NIDC_SCALE` (default 0.25).
+
+use std::collections::BTreeMap;
+
+use nidc_bench::{scale_from_env, PreparedCorpus};
+use nidc_corpus::TopicId;
+use nidc_forgetting::{DecayParams, Timestamp};
+use nidc_tdt::{det_curve, min_cost, CostParams, FirstStoryDetector, FsdConfig, Trial};
+use nidc_textproc::DocId;
+
+fn run_detector(prep: &PreparedCorpus, beta: f64, gamma: f64) -> Vec<Trial> {
+    let mut fsd = FirstStoryDetector::new(
+        DecayParams::from_spans(beta, gamma).expect("valid"),
+        FsdConfig::default(),
+    );
+    let mut last_seen: BTreeMap<TopicId, f64> = BTreeMap::new();
+    let mut trials = Vec::new();
+    for (a, tf) in prep.corpus.articles().iter().zip(&prep.tfs) {
+        let truth = last_seen
+            .get(&a.topic)
+            .is_none_or(|&prev| a.day - prev > gamma);
+        last_seen.insert(a.topic, a.day);
+        let decision = fsd
+            .process(DocId(a.id), Timestamp(a.day), tf.clone())
+            .expect("chronological");
+        if a.day >= 3.0 {
+            // skip the cold-start window where everything is new
+            trials.push(Trial {
+                target: truth,
+                score: decision.score,
+            });
+        }
+    }
+    trials
+}
+
+fn main() {
+    let prep = PreparedCorpus::standard(scale_from_env(0.25));
+    println!(
+        "FSD DET analysis over {} articles (TDT cost: C_miss=1, C_fa=0.1, P_target=0.02)\n",
+        prep.corpus.len()
+    );
+    let params = CostParams::default();
+    for (label, beta, gamma) in [("beta=7d, gamma=21d", 7.0, 21.0), ("beta=60d, gamma=180d", 60.0, 180.0)] {
+        let trials = run_detector(&prep, beta, gamma);
+        let targets = trials.iter().filter(|t| t.target).count();
+        let curve = det_curve(&trials);
+        let (best, cost) = min_cost(&trials, &params).expect("non-degenerate");
+        println!("--- {label}: {} trials, {targets} true first stories", trials.len());
+        println!(
+            "    min normalised detection cost {cost:.3} at threshold {:.2} (P_miss {:.2}, P_fa {:.2})",
+            best.threshold, best.p_miss, best.p_fa
+        );
+        // a few representative operating points
+        println!("    DET points (threshold, P_miss, P_fa):");
+        let step = (curve.len() / 6).max(1);
+        for p in curve.iter().step_by(step) {
+            println!(
+                "      {:>6.3}  {:.2}  {:.2}",
+                if p.threshold.is_finite() { p.threshold } else { 9.999 },
+                p.p_miss,
+                p.p_fa
+            );
+        }
+    }
+    println!("\n(1.0 = the trivial detector; lower is better. The short half-life detector");
+    println!(" wins because its memory — and therefore its notion of novelty — matches the");
+    println!(" ground-truth definition of a first story within the life span.)");
+}

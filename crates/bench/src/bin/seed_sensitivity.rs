@@ -1,0 +1,77 @@
+//! **Seed-sensitivity study** — the paper's method starts from K *randomly
+//! selected* documents (§4.3 step 1) and, like all K-means variants, its
+//! result depends on that draw. The paper reports single runs; this binary
+//! quantifies the spread so readers can judge which paper-vs-measured gaps
+//! are within initialisation noise.
+//!
+//! For each window × β it reports mean ± stddev and min/max of micro F1 and
+//! macro F1 over `NIDC_SEEDS` seeds (default 10), plus the mean pairwise
+//! Adjusted Rand Index between runs (how *structurally* similar two runs
+//! with different seeds are).
+
+use nidc_bench::{run_window, scale_from_env, PreparedCorpus};
+use nidc_core::ClusteringConfig;
+use nidc_eval::{ari, Labeling};
+use nidc_textproc::DocId;
+
+fn mean_sd(v: &[f64]) -> (f64, f64) {
+    let m = v.iter().sum::<f64>() / v.len() as f64;
+    let var = v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64;
+    (m, var.sqrt())
+}
+
+fn main() {
+    let n_seeds: u64 = std::env::var("NIDC_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let prep = PreparedCorpus::standard(scale_from_env(0.5));
+    let windows = prep.corpus.standard_windows();
+    println!("Seed sensitivity over {n_seeds} random initialisations (K=24, gamma=30d)\n");
+    println!("| window | beta | micro F1 mean±sd [min,max] | macro F1 mean±sd | run-vs-run ARI |");
+    println!("|--------|------|----------------------------|------------------|----------------|");
+    for w in &windows {
+        for beta in [7.0, 30.0] {
+            let mut micro = Vec::new();
+            let mut macr = Vec::new();
+            let mut runs: Vec<Vec<Vec<DocId>>> = Vec::new();
+            for s in 0..n_seeds {
+                let config = ClusteringConfig {
+                    k: 24,
+                    seed: 101 * (s + 1),
+                    ..ClusteringConfig::default()
+                };
+                let run = run_window(&prep, w, beta, 30.0, &config);
+                micro.push(run.evaluation.micro_f1);
+                macr.push(run.evaluation.macro_f1);
+                runs.push(run.clustering.member_lists());
+            }
+            // pairwise ARI between runs: label each run's docs by its own
+            // cluster indices and compare against every other run
+            let mut aris = Vec::new();
+            for i in 0..runs.len() {
+                let as_labels: Labeling<u32> = runs[i]
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(p, members)| members.iter().map(move |&d| (d, p as u32)))
+                    .collect();
+                for other in runs.iter().skip(i + 1) {
+                    aris.push(ari(other, &as_labels));
+                }
+            }
+            let (mm, ms) = mean_sd(&micro);
+            let (am, asd) = mean_sd(&macr);
+            let (rm, _) = mean_sd(&aris);
+            let lo = micro.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = micro.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            println!(
+                "| w{} | {beta:>4} | {mm:.3}±{ms:.3} [{lo:.2},{hi:.2}] | {am:.3}±{asd:.3} | {rm:.3} |",
+                w.index + 1
+            );
+        }
+    }
+    println!("\nreading: ±sd ≈ 0.02–0.05 is the single-run noise floor; paper-vs-measured gaps");
+    println!(
+        "inside that band are not meaningful. High run-vs-run ARI = stable cluster structure."
+    );
+}

@@ -1,0 +1,75 @@
+//! **Table 2 (paper §6.2.1)** — time-window statistics of the evaluation
+//! corpus: documents, topics, min/max/median/mean topic size per window.
+//!
+//! Paper targets (TDT2 single-"YES"-label subset):
+//!
+//! | | First | Second | Third | Fourth | Fifth | Sixth |
+//! |---|---|---|---|---|---|---|
+//! | No. of docs | 1820 | 2393 | 823 | 570 | 1090 | 882 |
+//! | No. of topics | 30 | 44 | 47 | 39 | 40 | 43 |
+//! | Min topic size | 1 | 1 | 1 | 1 | 1 | 1 |
+//! | Max topic size | 461 | 875 | 129 | 96 | 327 | 138 |
+//! | Med topic size | 16.5 | 6 | 4 | 5 | 4.5 | 4 |
+//! | Mean topic size | 60.67 | 54.39 | 17.51 | 14.62 | 27.25 | 20.51 |
+
+use nidc_bench::{scale_from_env, PreparedCorpus};
+
+fn main() {
+    let scale = scale_from_env(1.0);
+    let prep = PreparedCorpus::standard(scale);
+    let corpus = &prep.corpus;
+    println!(
+        "Table 2: time-window statistics (scale {scale}, total {} docs, {} topics)\n",
+        corpus.len(),
+        corpus.topics().len()
+    );
+    let windows = corpus.standard_windows();
+    let stats: Vec<_> = windows.iter().map(|w| corpus.window_stats(w)).collect();
+
+    let labels: Vec<&str> = windows.iter().map(|w| w.label.as_str()).collect();
+    println!("| {:<16} | {} |", "", labels.join(" | "));
+    let row = |name: &str, values: Vec<String>| {
+        println!("| {:<16} | {} |", name, values.join(" | "));
+    };
+    row(
+        "No. of docs",
+        stats.iter().map(|s| format!("{:>9}", s.num_docs)).collect(),
+    );
+    row(
+        "No. of topics",
+        stats
+            .iter()
+            .map(|s| format!("{:>9}", s.num_topics))
+            .collect(),
+    );
+    row(
+        "Min. topic size",
+        stats
+            .iter()
+            .map(|s| format!("{:>9}", s.min_topic_size))
+            .collect(),
+    );
+    row(
+        "Max. topic size",
+        stats
+            .iter()
+            .map(|s| format!("{:>9}", s.max_topic_size))
+            .collect(),
+    );
+    row(
+        "Med. topic size",
+        stats
+            .iter()
+            .map(|s| format!("{:>9.1}", s.median_topic_size))
+            .collect(),
+    );
+    row(
+        "Mean topic size",
+        stats
+            .iter()
+            .map(|s| format!("{:>9.2}", s.mean_topic_size))
+            .collect(),
+    );
+    println!("\npaper:   docs [1820 2393 823 570 1090 882], topics [30 44 47 39 40 43],");
+    println!("         max [461 875 129 96 327 138], median [16.5 6 4 5 4.5 4], mean [60.67 54.39 17.51 14.62 27.25 20.51]");
+}

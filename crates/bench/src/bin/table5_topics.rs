@@ -1,0 +1,35 @@
+//! **Table 5 (paper §6.2.1)** — the topic inventory of the evaluation
+//! corpus: topic id, document count and topic name, mirroring the selected
+//! TDT2 topics from Jan 4 – Jun 30 1998.
+
+use nidc_bench::{scale_from_env, PreparedCorpus};
+
+fn main() {
+    let scale = scale_from_env(1.0);
+    let prep = PreparedCorpus::standard(scale);
+    let corpus = &prep.corpus;
+    println!("Table 5: topics in the synthetic TDT2-like corpus (scale {scale})\n");
+    println!("| Topic ID | Count | Topic Name |");
+    println!("|----------|-------|------------|");
+    // named topics first (ids < 30000 mirror the paper), then the synthetic
+    // filler tail in one summary row
+    let mut filler_topics = 0usize;
+    let mut filler_docs = 0usize;
+    for t in corpus.topics() {
+        if t.id.0 < 30000 {
+            println!("| {:>8} | {:>5} | {} |", t.id.0, t.count, t.name);
+        } else {
+            filler_topics += 1;
+            filler_docs += t.count;
+        }
+    }
+    println!(
+        "| 30000+   | {:>5} | ({} synthetic minor stories, long tail) |",
+        filler_docs, filler_topics
+    );
+    println!(
+        "\ntotal: {} documents, {} topics",
+        corpus.len(),
+        corpus.topics().len()
+    );
+}

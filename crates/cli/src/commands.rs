@@ -1,0 +1,495 @@
+//! The subcommand implementations.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write;
+
+use nidc_core::{cluster_batch, Cluster, Clustering, ClusteringConfig, NoveltyPipeline};
+use nidc_corpus::{Corpus, Generator, GeneratorConfig, TopicId};
+use nidc_eval::{evaluate, purity, Labeling, MARKING_THRESHOLD};
+use nidc_forgetting::{DecayParams, Repository, Timestamp};
+use nidc_similarity::DocVectors;
+use nidc_textproc::{DocId, Pipeline, SparseVector, Vocabulary};
+
+use crate::{CliError, ParsedArgs, Result};
+
+/// Dispatches a parsed command line, writing human output to `out`.
+pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
+    match args.command {
+        crate::Command::Generate => generate(args, out),
+        crate::Command::Stats => stats(args, out),
+        crate::Command::Cluster => cluster(args, out),
+        crate::Command::Stream => stream(args, out),
+        crate::Command::Eval => eval(args, out),
+    }
+}
+
+fn load_corpus(args: &ParsedArgs) -> Result<Corpus> {
+    let path = args.require("input")?;
+    let file = File::open(path)?;
+    Corpus::load_jsonl(file).map_err(CliError::Io)
+}
+
+/// Tokenises a corpus with the raw pipeline (synthetic corpora are already
+/// clean tokens; real text should be pre-processed upstream).
+fn tokenise(corpus: &Corpus) -> (Vocabulary, Vec<SparseVector>) {
+    let pipeline = Pipeline::raw();
+    let mut vocab = Vocabulary::new();
+    let tfs = corpus
+        .articles()
+        .iter()
+        .map(|a| pipeline.analyze(&a.text, &mut vocab).to_sparse())
+        .collect();
+    (vocab, tfs)
+}
+
+fn decay_from(args: &ParsedArgs, default_beta: f64, default_gamma: f64) -> Result<DecayParams> {
+    let beta = args.get_f64("beta", default_beta)?;
+    let gamma = args.get_f64("gamma", default_gamma)?;
+    DecayParams::from_spans(beta, gamma)
+        .map_err(|e| CliError::Usage(format!("invalid decay parameters: {e}")))
+}
+
+// ---------------------------------------------------------------- generate
+
+fn generate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
+    let path = args.require("out")?;
+    let scale = args.get_f64("scale", 1.0)?;
+    let seed = args.get_u64("seed", 19980104)?;
+    let corpus = Generator::new(GeneratorConfig {
+        seed,
+        scale,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    corpus.save_jsonl(File::create(path)?)?;
+    writeln!(
+        out,
+        "wrote {} articles / {} topics to {path}",
+        corpus.len(),
+        corpus.topics().len()
+    )?;
+    Ok(())
+}
+
+// ------------------------------------------------------------------- stats
+
+fn stats<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
+    let corpus = load_corpus(args)?;
+    writeln!(
+        out,
+        "{} articles, {} topics, day range 0..{:.1}",
+        corpus.len(),
+        corpus.topics().len(),
+        corpus.articles().last().map_or(0.0, |a| a.day)
+    )?;
+    for w in corpus.standard_windows() {
+        let s = corpus.window_stats(&w);
+        writeln!(
+            out,
+            "{:<11} docs {:>5}  topics {:>3}  sizes min {} / med {:.1} / mean {:.2} / max {}",
+            w.label,
+            s.num_docs,
+            s.num_topics,
+            s.min_topic_size,
+            s.median_topic_size,
+            s.mean_topic_size,
+            s.max_topic_size
+        )?;
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------- cluster
+
+/// Renders one cluster as an overview line.
+fn overview_line(
+    cluster: &Cluster,
+    vocab: &Vocabulary,
+    corpus: &Corpus,
+    topic_of: &BTreeMap<DocId, TopicId>,
+) -> String {
+    let keywords: Vec<String> = cluster
+        .rep()
+        .top_terms(5)
+        .into_iter()
+        .filter_map(|(t, _)| vocab.term(t).map(str::to_owned))
+        .collect();
+    let mut counts: BTreeMap<TopicId, usize> = BTreeMap::new();
+    for d in cluster.members() {
+        if let Some(&t) = topic_of.get(d) {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+    }
+    let label = counts
+        .iter()
+        .max_by_key(|(_, &n)| n)
+        .map(|(t, &n)| {
+            let name = corpus.topic_name(*t).unwrap_or("?");
+            format!("{name} {n}/{}", cluster.len())
+        })
+        .unwrap_or_default();
+    format!(
+        "{:>4} docs  avg_sim {:.2e}  [{label}]  {}",
+        cluster.len(),
+        cluster.avg_sim(),
+        keywords.join(" ")
+    )
+}
+
+fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
+    let corpus = load_corpus(args)?;
+    let (vocab, tfs) = tokenise(&corpus);
+    let from = args.get_f64("from", 0.0)?;
+    let to = args.get_f64("to", corpus.articles().last().map_or(0.0, |a| a.day) + 0.01)?;
+    let decay = decay_from(args, 7.0, 30.0)?;
+    let config = ClusteringConfig {
+        k: args.get_usize("k", 24)?,
+        seed: args.get_u64("seed", 42)?,
+        ..ClusteringConfig::default()
+    };
+    let top = args.get_usize("top", 10)?;
+
+    let mut repo = Repository::new(decay);
+    let mut topic_of = BTreeMap::new();
+    for (a, tf) in corpus.articles().iter().zip(&tfs) {
+        if a.day >= from && a.day < to {
+            repo.insert(DocId(a.id), Timestamp(a.day), tf.clone())
+                .map_err(|e| CliError::Other(e.to_string()))?;
+            topic_of.insert(DocId(a.id), a.topic);
+        }
+    }
+    if repo.is_empty() {
+        return Err(CliError::Other(format!(
+            "no articles in day range {from}..{to}"
+        )));
+    }
+    repo.advance_to(Timestamp(to))
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    let vecs = DocVectors::build(&repo);
+    let clustering = cluster_batch(&vecs, &config).map_err(|e| CliError::Other(e.to_string()))?;
+
+    if args.flag("json") {
+        let assignment: BTreeMap<String, usize> = clustering
+            .assignment()
+            .into_iter()
+            .map(|(d, p)| (d.0.to_string(), p))
+            .collect();
+        let payload = serde_json::json!({
+            "days": [from, to],
+            "k": config.k,
+            "g": clustering.g(),
+            "iterations": clustering.iterations(),
+            "outliers": clustering.outliers().iter().map(|d| d.0).collect::<Vec<_>>(),
+            "assignment": assignment,
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&payload)?)?;
+        return Ok(());
+    }
+
+    writeln!(
+        out,
+        "clustered {} docs (days {from:.1}..{to:.1}) into {} clusters, G = {:.3e}, {} outliers\n",
+        repo.len(),
+        clustering.non_empty_clusters(),
+        clustering.g(),
+        clustering.outliers().len()
+    )?;
+    let mut ranked: Vec<&Cluster> = clustering
+        .clusters()
+        .iter()
+        .filter(|c| !c.is_empty())
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.rep()
+            .g_term()
+            .partial_cmp(&a.rep().g_term())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for (i, c) in ranked.iter().take(top).enumerate() {
+        writeln!(
+            out,
+            "{:>2}. {}",
+            i + 1,
+            overview_line(c, &vocab, &corpus, &topic_of)
+        )?;
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------------ stream
+
+fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
+    let corpus = load_corpus(args)?;
+    let (vocab, tfs) = tokenise(&corpus);
+    let decay = decay_from(args, 7.0, 21.0)?;
+    let every = args.get_f64("every", 5.0)?;
+    let config = ClusteringConfig {
+        k: args.get_usize("k", 16)?,
+        seed: args.get_u64("seed", 42)?,
+        ..ClusteringConfig::default()
+    };
+    // --state FILE: resume from a previous run's checkpoint, if present,
+    // and write a new checkpoint when the stream is exhausted.
+    let state_path = args.get("state").map(str::to_owned);
+    let mut pipeline = match &state_path {
+        Some(p) if std::path::Path::new(p).exists() => {
+            let restored = NoveltyPipeline::load_json(File::open(p)?)?;
+            writeln!(
+                out,
+                "resumed from {p}: {} live docs at {}",
+                restored.repository().len(),
+                restored.repository().now()
+            )?;
+            restored
+        }
+        _ => NoveltyPipeline::new(decay, config),
+    };
+    let resume_day = pipeline.repository().now().days();
+    let mut topic_of = BTreeMap::new();
+    let mut next_report = (resume_day / every).floor() * every + every;
+    let report = |pipeline: &NoveltyPipeline,
+                  clustering: &Clustering,
+                  day: f64,
+                  out: &mut W,
+                  topic_of: &BTreeMap<DocId, TopicId>|
+     -> Result<()> {
+        let mut ranked: Vec<&Cluster> = clustering
+            .clusters()
+            .iter()
+            .filter(|c| c.len() >= 2)
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.rep()
+                .g_term()
+                .partial_cmp(&a.rep().g_term())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        writeln!(
+            out,
+            "day {:>5.1}  {:>5} live docs | top: {}",
+            day,
+            pipeline.repository().len(),
+            ranked
+                .iter()
+                .take(3)
+                .map(|c| overview_line(c, &vocab, &corpus, topic_of))
+                .collect::<Vec<_>>()
+                .join(" || ")
+        )?;
+        Ok(())
+    };
+    for (a, tf) in corpus.articles().iter().zip(&tfs) {
+        if a.day <= resume_day {
+            continue; // already processed before the checkpoint
+        }
+        while a.day >= next_report {
+            pipeline
+                .advance_to(Timestamp(next_report))
+                .map_err(|e| CliError::Other(e.to_string()))?;
+            let clustering = pipeline
+                .recluster_incremental()
+                .map_err(|e| CliError::Other(e.to_string()))?;
+            report(&pipeline, &clustering, next_report, out, &topic_of)?;
+            next_report += every;
+        }
+        topic_of.insert(DocId(a.id), a.topic);
+        pipeline
+            .ingest(DocId(a.id), Timestamp(a.day), tf.clone())
+            .map_err(|e| CliError::Other(e.to_string()))?;
+    }
+    let clustering = pipeline
+        .recluster_incremental()
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    report(
+        &pipeline,
+        &clustering,
+        pipeline.repository().now().days(),
+        out,
+        &topic_of,
+    )?;
+    if let Some(p) = &state_path {
+        pipeline.save_json(File::create(p)?)?;
+        writeln!(out, "checkpoint written to {p}")?;
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------------- eval
+
+fn eval<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
+    let corpus = load_corpus(args)?;
+    let (_, tfs) = tokenise(&corpus);
+    let window_no = args.get_usize("window", 0)?;
+    if !(1..=6).contains(&window_no) {
+        return Err(CliError::Usage("--window must be 1..6".into()));
+    }
+    let windows = corpus.standard_windows();
+    let w = &windows[window_no - 1];
+    let decay = decay_from(args, 7.0, 30.0)?;
+    let config = ClusteringConfig {
+        k: args.get_usize("k", 24)?,
+        seed: args.get_u64("seed", 42)?,
+        ..ClusteringConfig::default()
+    };
+    let mut repo = Repository::new(decay);
+    for &i in &w.article_indices {
+        let a = &corpus.articles()[i];
+        repo.insert(DocId(a.id), Timestamp(a.day), tfs[i].clone())
+            .map_err(|e| CliError::Other(e.to_string()))?;
+    }
+    repo.advance_to(Timestamp(w.end))
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    let vecs = DocVectors::build(&repo);
+    let clustering = cluster_batch(&vecs, &config).map_err(|e| CliError::Other(e.to_string()))?;
+    let labels: Labeling<u32> = w
+        .article_indices
+        .iter()
+        .map(|&i| {
+            let a = &corpus.articles()[i];
+            (DocId(a.id), a.topic.0)
+        })
+        .collect();
+    let e = evaluate(&clustering.member_lists(), &labels, MARKING_THRESHOLD);
+    writeln!(out, "window {} ({}): {} docs", window_no, w.label, w.len())?;
+    writeln!(
+        out,
+        "micro F1 {:.3}   macro F1 {:.3}   purity {:.3}   detected topics {}   outliers {}",
+        e.micro_f1,
+        e.macro_f1,
+        purity(&clustering.member_lists(), &labels),
+        e.detected_topics.len(),
+        clustering.outliers().len()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("nidc_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn generate_corpus(name: &str) -> String {
+        let path = temp_path(name).to_string_lossy().into_owned();
+        let args =
+            ParsedArgs::parse(["generate", "--out", &path, "--scale", "0.05", "--seed", "3"])
+                .unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        path
+    }
+
+    #[test]
+    fn generate_then_stats() {
+        let path = generate_corpus("g1.jsonl");
+        let args = ParsedArgs::parse(["stats", "--input", &path]).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("articles"));
+        assert!(text.contains("Jan4-Feb2"));
+    }
+
+    #[test]
+    fn cluster_produces_overview() {
+        let path = generate_corpus("g2.jsonl");
+        let args = ParsedArgs::parse([
+            "cluster", "--input", &path, "--k", "8", "--from", "0", "--to", "30",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("clustered"), "{text}");
+        assert!(text.contains("docs"));
+    }
+
+    #[test]
+    fn cluster_json_mode_is_valid_json() {
+        let path = generate_corpus("g3.jsonl");
+        let args = ParsedArgs::parse([
+            "cluster", "--input", &path, "--k", "6", "--to", "30", "--json",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&out).unwrap();
+        assert!(v["g"].as_f64().is_some());
+        assert!(v["assignment"].as_object().is_some());
+    }
+
+    #[test]
+    fn eval_reports_scores() {
+        let path = generate_corpus("g4.jsonl");
+        let args =
+            ParsedArgs::parse(["eval", "--input", &path, "--window", "1", "--k", "8"]).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("micro F1"));
+    }
+
+    #[test]
+    fn stream_reports_periodically() {
+        let path = generate_corpus("g5.jsonl");
+        let args =
+            ParsedArgs::parse(["stream", "--input", &path, "--every", "30", "--k", "8"]).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.lines().count() >= 5, "{text}");
+        assert!(text.contains("live docs"));
+    }
+
+    #[test]
+    fn stream_checkpoint_and_resume() {
+        let path = generate_corpus("g8.jsonl");
+        let state = temp_path("g8.state.json");
+        let _ = std::fs::remove_file(&state);
+        let state_s = state.to_string_lossy().into_owned();
+        let args = ParsedArgs::parse([
+            "stream", "--input", &path, "--every", "60", "--k", "6", "--state", &state_s,
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        assert!(state.exists(), "checkpoint file not written");
+        // resuming runs cleanly and reports the resume
+        let mut out2 = Vec::new();
+        run(&args, &mut out2).unwrap();
+        let text = String::from_utf8(out2).unwrap();
+        assert!(text.contains("resumed from"), "{text}");
+    }
+
+    #[test]
+    fn missing_input_file_is_io_error() {
+        let args = ParsedArgs::parse(["stats", "--input", "/nonexistent/x.jsonl"]).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run(&args, &mut out), Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn empty_day_range_is_reported() {
+        let path = generate_corpus("g6.jsonl");
+        let args = ParsedArgs::parse([
+            "cluster", "--input", &path, "--from", "9000", "--to", "9001",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run(&args, &mut out), Err(CliError::Other(_))));
+    }
+
+    #[test]
+    fn eval_window_bounds_checked() {
+        let path = generate_corpus("g7.jsonl");
+        let args = ParsedArgs::parse(["eval", "--input", &path, "--window", "9"]).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run(&args, &mut out), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,76 @@
+//! Library backing the `nidc` command-line tool: argument parsing and the
+//! subcommand implementations, separated from `main.rs` so they are unit
+//! testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Command, ParsedArgs};
+
+/// CLI errors: usage problems and I/O or clustering failures.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line could not be parsed; the string is the usage hint.
+    Usage(String),
+    /// An I/O failure.
+    Io(std::io::Error),
+    /// A library-level failure.
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Other(format!("json error: {e}"))
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+nidc — novelty-based incremental document clustering (Khy et al., ICDE 2006)
+
+USAGE:
+    nidc <command> [options]
+
+COMMANDS:
+    generate   generate a synthetic TDT2-like corpus as JSONL
+               --out FILE [--scale F=1.0] [--seed N]
+    stats      per-window corpus statistics (Table 2 layout)
+               --input FILE
+    cluster    cluster a time range and print the hot-topic overview
+               --input FILE [--k N=24] [--beta DAYS=7] [--gamma DAYS=30]
+               [--from DAY=0] [--to DAY=end] [--top N=10] [--json]
+    stream     replay the corpus incrementally, printing overviews
+               --input FILE [--k N=16] [--beta DAYS=7] [--gamma DAYS=21]
+               [--every DAYS=5] [--state FILE]
+               (--state: resume from / checkpoint to a pipeline state file)
+    eval       cluster a window and score it against the labels
+               --input FILE --window N(1-6) [--k N=24] [--beta DAYS=7]
+               [--gamma DAYS=30] [--seed N]
+
+Corpus JSONL format: first line = topic inventory (array), then one article
+per line: {\"id\":u64, \"topic\":u32, \"day\":f64, \"text\":\"...\"} —
+the format written by `nidc generate` and `Corpus::save_jsonl`.";

@@ -1,0 +1,27 @@
+//! The `nidc` binary: parse the command line and dispatch.
+
+use nidc_cli::{commands, CliError, ParsedArgs, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let parsed = match ParsedArgs::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = commands::run(&parsed, &mut out) {
+        eprintln!("{e}");
+        std::process::exit(match e {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        });
+    }
+}

@@ -1,0 +1,415 @@
+//! The extended K-means repetition process (paper §4.3).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nidc_similarity::{ClusterRep, DocVectors};
+use nidc_textproc::DocId;
+
+use crate::{Cluster, Clustering, ClusteringConfig, Error, Result};
+
+/// How the repetition process is initialised.
+#[derive(Debug, Clone)]
+pub enum InitialState {
+    /// Select K documents at random as singleton clusters (the paper's
+    /// initial process, §4.3).
+    Random,
+    /// Start from a previous assignment `DocId → cluster index < K`
+    /// (the incremental warm start, §5.2 step 3). Documents absent from the
+    /// map start unassigned; empty cluster slots are reseeded with the
+    /// newest unassigned documents.
+    Assignment(BTreeMap<DocId, usize>),
+}
+
+/// Runs the full extended K-means with random initialisation (the
+/// *non-incremental* mode of the paper's experiments).
+pub fn cluster_batch(vecs: &DocVectors, config: &ClusteringConfig) -> Result<Clustering> {
+    cluster_with_initial(vecs, config, InitialState::Random)
+}
+
+/// Runs the extended K-means from an explicit [`InitialState`].
+pub fn cluster_with_initial(
+    vecs: &DocVectors,
+    config: &ClusteringConfig,
+    initial: InitialState,
+) -> Result<Clustering> {
+    if config.k == 0 {
+        return Err(Error::ZeroClusters);
+    }
+    let ids = vecs.ids();
+    if ids.is_empty() {
+        return Ok(Clustering::new(Vec::new(), Vec::new(), 0.0, 0));
+    }
+    let k = config.k.min(ids.len());
+
+    // --- Initial process -------------------------------------------------
+    let mut reps: Vec<ClusterRep> = (0..k).map(|_| ClusterRep::new(vecs.vocab_dim())).collect();
+    let mut assign: BTreeMap<DocId, usize> = BTreeMap::new();
+    let mut sizes = vec![0usize; k];
+
+    match initial {
+        InitialState::Random => {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let mut pool = ids.clone();
+            pool.shuffle(&mut rng);
+            for (p, &seed_doc) in pool.iter().take(k).enumerate() {
+                assign.insert(seed_doc, p);
+            }
+        }
+        InitialState::Assignment(prev) => {
+            for (&d, &p) in &prev {
+                if p >= k {
+                    return Err(Error::InvalidInitialAssignment { cluster: p, k });
+                }
+                if vecs.phi(d).is_some() {
+                    assign.insert(d, p);
+                }
+            }
+            // reseed empty slots with the newest unassigned documents (new
+            // documents are the likeliest nuclei of new topics)
+            let mut used = vec![false; k];
+            for &p in assign.values() {
+                used[p] = true;
+            }
+            let fresh: Vec<DocId> = ids
+                .iter()
+                .rev()
+                .filter(|d| !assign.contains_key(d))
+                .copied()
+                .collect();
+            let mut fresh = fresh.into_iter();
+            for (p, _) in used.iter().enumerate().filter(|(_, &u)| !u) {
+                if let Some(d) = fresh.next() {
+                    assign.insert(d, p);
+                }
+            }
+        }
+    }
+    for (&d, &p) in &assign {
+        reps[p].add(vecs.phi(d).expect("assigned doc has a vector"));
+        sizes[p] += 1;
+    }
+
+    let mut g_old: f64 = reps.iter().map(ClusterRep::g_term).sum();
+
+    // --- Repetition process ----------------------------------------------
+    let mut outliers: Vec<DocId> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        outliers.clear();
+        for &d in &ids {
+            let phi = vecs.phi(d).expect("id comes from vecs");
+            let current = assign.get(&d).copied();
+            if let Some(p) = current {
+                if config.keep_last_member && sizes[p] == 1 {
+                    continue; // keep the cluster alive; d stays its nucleus
+                }
+            }
+            // step 1(a): preview every cluster's intra-cluster similarity
+            // with d appended (eq. 26 / its G-term variant). Conceptually d
+            // is first removed from its current cluster (§4.4 speaks of
+            // documents being removed and appended during this step); for
+            // the current cluster the "remove then re-append" preview equals
+            // d's present contribution, so no mutation is needed unless d
+            // actually moves — this keeps converged iterations cheap, which
+            // is what makes warm restarts (§5.2) fast.
+            let mut best: Option<(usize, f64)> = None;
+            for (q, rep) in reps.iter().enumerate() {
+                let delta = if current == Some(q) {
+                    // d's current contribution: score(C) − score(C \ {d})
+                    match config.criterion {
+                        crate::Criterion::AvgSim => rep.avg_sim() - rep.avg_sim_if_removed(phi),
+                        crate::Criterion::GTerm => {
+                            rep.g_term()
+                                - (rep.size().saturating_sub(1)) as f64
+                                    * rep.avg_sim_if_removed(phi)
+                        }
+                    }
+                } else {
+                    match config.criterion {
+                        crate::Criterion::AvgSim => rep.avg_sim_if_added(phi) - rep.avg_sim(),
+                        crate::Criterion::GTerm => rep.g_term_if_added(phi) - rep.g_term(),
+                    }
+                };
+                if best.is_none_or(|(_, bd)| delta > bd) {
+                    best = Some((q, delta));
+                }
+            }
+            // step 1(b): largest strictly-positive increase wins, else outlier
+            match best {
+                Some((q, delta)) if delta > 0.0 => {
+                    if current != Some(q) {
+                        if let Some(p) = current {
+                            reps[p].remove(phi);
+                            sizes[p] -= 1;
+                        }
+                        reps[q].add(phi);
+                        sizes[q] += 1;
+                        assign.insert(d, q);
+                    }
+                }
+                _ => {
+                    if let Some(p) = current {
+                        reps[p].remove(phi);
+                        sizes[p] -= 1;
+                        assign.remove(&d);
+                    }
+                    outliers.push(d);
+                }
+            }
+        }
+
+        // steps 2–3: representatives are maintained online; rebuild exactly
+        // to clear floating-point drift, then recompute G
+        let mut members: Vec<Vec<DocId>> = vec![Vec::new(); k];
+        for (&d, &p) in &assign {
+            members[p].push(d);
+        }
+        for (p, rep) in reps.iter_mut().enumerate() {
+            rep.recompute_exact(
+                members[p]
+                    .iter()
+                    .map(|d| vecs.phi(*d).expect("member has a vector")),
+            );
+        }
+        let g_new: f64 = reps.iter().map(ClusterRep::g_term).sum();
+
+        // step 4: convergence test (G_new − G_old)/G_old < δ
+        let converged = if g_old > 0.0 {
+            (g_new - g_old) / g_old < config.delta
+        } else {
+            g_new <= 0.0
+        };
+        g_old = g_new;
+        if converged || iterations >= config.max_iters {
+            let clusters = members
+                .into_iter()
+                .zip(reps)
+                .map(|(m, rep)| Cluster::new(m, rep))
+                .collect();
+            return Ok(Clustering::new(clusters, outliers, g_new, iterations));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nidc_forgetting::{DecayParams, Repository, Timestamp};
+    use nidc_textproc::{SparseVector, TermId};
+
+    fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    /// Builds vectors for two clean topic groups plus (optionally) one
+    /// unrelated document.
+    fn two_topic_vectors(with_stray: bool) -> DocVectors {
+        let mut repo = Repository::new(DecayParams::from_spans(7.0, 30.0).unwrap());
+        // topic A: terms 0..3, docs 0..5
+        for i in 0..5u64 {
+            repo.insert(
+                DocId(i),
+                Timestamp(0.0),
+                tf(&[(0, 3.0), (1, 2.0), (2 + (i % 2) as u32, 1.0)]),
+            )
+            .unwrap();
+        }
+        // topic B: terms 10..13, docs 5..10
+        for i in 5..10u64 {
+            repo.insert(
+                DocId(i),
+                Timestamp(0.1),
+                tf(&[(10, 3.0), (11, 2.0), (12 + (i % 2) as u32, 1.0)]),
+            )
+            .unwrap();
+        }
+        if with_stray {
+            repo.insert(DocId(99), Timestamp(0.2), tf(&[(30, 1.0)]))
+                .unwrap();
+        }
+        DocVectors::build(&repo)
+    }
+
+    #[test]
+    fn separates_two_topics() {
+        let vecs = two_topic_vectors(false);
+        let config = ClusteringConfig {
+            k: 2,
+            seed: 3,
+            ..ClusteringConfig::default()
+        };
+        let clustering = cluster_batch(&vecs, &config).unwrap();
+        assert_eq!(clustering.non_empty_clusters(), 2);
+        for c in clustering.clusters() {
+            if c.is_empty() {
+                continue;
+            }
+            let group_a = c.members().iter().filter(|d| d.0 < 5).count();
+            assert!(
+                group_a == 0 || group_a == c.len(),
+                "mixed cluster {:?}",
+                c.members()
+            );
+        }
+        assert!(clustering.g() > 0.0);
+    }
+
+    #[test]
+    fn stray_document_becomes_outlier() {
+        let vecs = two_topic_vectors(true);
+        let config = ClusteringConfig {
+            k: 2,
+            seed: 3,
+            ..ClusteringConfig::default()
+        };
+        let clustering = cluster_batch(&vecs, &config).unwrap();
+        // The stray shares no term with either topic: adding it to any
+        // cluster cannot increase avg_sim, unless it seeded a cluster itself.
+        let is_outlier = clustering.outliers().contains(&DocId(99));
+        let seeded_own = clustering
+            .clusters()
+            .iter()
+            .any(|c| c.members() == [DocId(99)]);
+        assert!(
+            is_outlier || seeded_own,
+            "stray doc neither outlier nor own cluster: outliers={:?}",
+            clustering.outliers()
+        );
+    }
+
+    #[test]
+    fn zero_k_is_rejected() {
+        let vecs = two_topic_vectors(false);
+        let config = ClusteringConfig {
+            k: 0,
+            ..ClusteringConfig::default()
+        };
+        assert!(matches!(
+            cluster_batch(&vecs, &config),
+            Err(Error::ZeroClusters)
+        ));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_clustering() {
+        let repo = Repository::new(DecayParams::from_spans(7.0, 14.0).unwrap());
+        let vecs = DocVectors::build(&repo);
+        let clustering = cluster_batch(&vecs, &ClusteringConfig::default()).unwrap();
+        assert_eq!(clustering.clusters().len(), 0);
+        assert_eq!(clustering.iterations(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let vecs = two_topic_vectors(true);
+        let config = ClusteringConfig {
+            k: 3,
+            seed: 11,
+            ..ClusteringConfig::default()
+        };
+        let a = cluster_batch(&vecs, &config).unwrap();
+        let b = cluster_batch(&vecs, &config).unwrap();
+        assert_eq!(a.member_lists(), b.member_lists());
+        assert_eq!(a.g(), b.g());
+        assert_eq!(a.iterations(), b.iterations());
+    }
+
+    #[test]
+    fn warm_start_converges_fast_and_respects_assignment() {
+        let vecs = two_topic_vectors(false);
+        let config = ClusteringConfig {
+            k: 2,
+            seed: 5,
+            ..ClusteringConfig::default()
+        };
+        let cold = cluster_batch(&vecs, &config).unwrap();
+        let warm =
+            cluster_with_initial(&vecs, &config, InitialState::Assignment(cold.assignment()))
+                .unwrap();
+        assert!(
+            warm.iterations() <= cold.iterations(),
+            "warm start took more iterations ({} > {})",
+            warm.iterations(),
+            cold.iterations()
+        );
+        assert_eq!(warm.member_lists(), cold.member_lists());
+    }
+
+    #[test]
+    fn warm_start_rejects_out_of_range_cluster() {
+        let vecs = two_topic_vectors(false);
+        let config = ClusteringConfig {
+            k: 2,
+            ..ClusteringConfig::default()
+        };
+        let mut bad = BTreeMap::new();
+        bad.insert(DocId(0), 7usize);
+        let err = cluster_with_initial(&vecs, &config, InitialState::Assignment(bad));
+        assert!(matches!(
+            err,
+            Err(Error::InvalidInitialAssignment { cluster: 7, k: 2 })
+        ));
+    }
+
+    #[test]
+    fn warm_start_ignores_dead_documents_and_reseeds_empty_slots() {
+        let vecs = two_topic_vectors(false);
+        let config = ClusteringConfig {
+            k: 2,
+            ..ClusteringConfig::default()
+        };
+        // previous assignment references only documents that no longer exist
+        let mut prev = BTreeMap::new();
+        prev.insert(DocId(500), 0usize);
+        prev.insert(DocId(501), 1usize);
+        let clustering =
+            cluster_with_initial(&vecs, &config, InitialState::Assignment(prev)).unwrap();
+        // both slots must have been reseeded and clustering still works
+        assert_eq!(clustering.non_empty_clusters(), 2);
+        assert_eq!(clustering.assigned_docs() + clustering.outliers().len(), 10);
+    }
+
+    #[test]
+    fn all_documents_accounted_for() {
+        let vecs = two_topic_vectors(true);
+        let config = ClusteringConfig {
+            k: 3,
+            seed: 2,
+            ..ClusteringConfig::default()
+        };
+        let clustering = cluster_batch(&vecs, &config).unwrap();
+        assert_eq!(clustering.assigned_docs() + clustering.outliers().len(), 11);
+        // no document appears twice
+        let mut seen = std::collections::HashSet::new();
+        for c in clustering.clusters() {
+            for d in c.members() {
+                assert!(seen.insert(*d), "{d} assigned twice");
+            }
+        }
+        for d in clustering.outliers() {
+            assert!(seen.insert(*d), "{d} both assigned and outlier");
+        }
+    }
+
+    #[test]
+    fn g_is_nonnegative_and_matches_definition() {
+        let vecs = two_topic_vectors(false);
+        let config = ClusteringConfig {
+            k: 2,
+            ..ClusteringConfig::default()
+        };
+        let clustering = cluster_batch(&vecs, &config).unwrap();
+        let g_direct: f64 = clustering
+            .clusters()
+            .iter()
+            .map(|c| c.len() as f64 * c.avg_sim())
+            .sum();
+        assert!(clustering.g() >= 0.0);
+        assert!((clustering.g() - g_direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the core clustering crate.
+
+/// Errors raised by the clustering algorithm and pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// K was zero.
+    ZeroClusters,
+    /// A forgetting-model operation failed.
+    Forgetting(nidc_forgetting::Error),
+    /// An initial assignment referenced a cluster index ≥ K.
+    InvalidInitialAssignment {
+        /// The offending cluster index.
+        cluster: usize,
+        /// The configured K.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::ZeroClusters => write!(f, "K must be at least 1"),
+            Error::Forgetting(e) => write!(f, "forgetting model error: {e}"),
+            Error::InvalidInitialAssignment { cluster, k } => {
+                write!(f, "initial assignment uses cluster {cluster} but K = {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Forgetting(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nidc_forgetting::Error> for Error {
+    fn from(e: nidc_forgetting::Error) -> Self {
+        Error::Forgetting(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        assert!(Error::ZeroClusters.to_string().contains("K"));
+        let e = Error::from(nidc_forgetting::Error::UnknownDocument(
+            nidc_textproc::DocId(1),
+        ));
+        assert!(e.to_string().contains("d1"));
+        assert!(e.source().is_some());
+        assert!(Error::ZeroClusters.source().is_none());
+    }
+}

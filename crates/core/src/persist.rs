@@ -1,0 +1,216 @@
+//! Pipeline persistence: snapshot and restore a running [`NoveltyPipeline`]
+//! — repository, configuration, and the previous clustering's assignment
+//! (the warm-start state of §5.2) — so an on-line clustering service can
+//! survive restarts without replaying its history.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use nidc_forgetting::RepositoryState;
+use nidc_textproc::DocId;
+
+use crate::config::Criterion;
+use crate::{ClusteringConfig, NoveltyPipeline, Result};
+
+/// Serialisable form of [`ClusteringConfig`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigState {
+    /// K.
+    pub k: usize,
+    /// Convergence constant δ.
+    pub delta: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Keep-last-member behaviour.
+    pub keep_last_member: bool,
+    /// `"g_term"` or `"avg_sim"`.
+    pub criterion: String,
+}
+
+impl From<&ClusteringConfig> for ConfigState {
+    fn from(c: &ClusteringConfig) -> Self {
+        Self {
+            k: c.k,
+            delta: c.delta,
+            max_iters: c.max_iters,
+            seed: c.seed,
+            keep_last_member: c.keep_last_member,
+            criterion: match c.criterion {
+                Criterion::GTerm => "g_term".to_owned(),
+                Criterion::AvgSim => "avg_sim".to_owned(),
+            },
+        }
+    }
+}
+
+impl From<&ConfigState> for ClusteringConfig {
+    fn from(s: &ConfigState) -> Self {
+        Self {
+            k: s.k,
+            delta: s.delta,
+            max_iters: s.max_iters,
+            seed: s.seed,
+            keep_last_member: s.keep_last_member,
+            criterion: if s.criterion == "avg_sim" {
+                Criterion::AvgSim
+            } else {
+                Criterion::GTerm
+            },
+        }
+    }
+}
+
+/// The complete serialisable state of a [`NoveltyPipeline`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineState {
+    /// The repository (documents, clock, decay parameters).
+    pub repository: RepositoryState,
+    /// The clustering configuration.
+    pub config: ConfigState,
+    /// The previous clustering's assignment (`doc id → cluster index`),
+    /// used to warm-start the next re-clustering.
+    pub previous_assignment: Option<Vec<(u64, usize)>>,
+}
+
+impl NoveltyPipeline {
+    /// Captures the pipeline's full state (repository + config + warm-start
+    /// assignment). The last clustering *result* object is not persisted —
+    /// re-clustering after a restore reproduces it.
+    pub fn to_state(&self) -> PipelineState {
+        PipelineState {
+            repository: self.repository().to_state(),
+            config: ConfigState::from(self.config()),
+            previous_assignment: self
+                .previous_assignment()
+                .map(|m| m.iter().map(|(&d, &p)| (d.0, p)).collect()),
+        }
+    }
+
+    /// Restores a pipeline from a captured state.
+    ///
+    /// # Errors
+    /// Propagates repository-restore failures (invalid parameters,
+    /// duplicate documents, …).
+    pub fn from_state(state: &PipelineState) -> Result<NoveltyPipeline> {
+        let repo = nidc_forgetting::Repository::from_state(&state.repository)?;
+        let config = ClusteringConfig::from(&state.config);
+        let previous: Option<BTreeMap<DocId, usize>> = state
+            .previous_assignment
+            .as_ref()
+            .map(|v| v.iter().map(|&(d, p)| (DocId(d), p)).collect());
+        Ok(NoveltyPipeline::from_parts(repo, config, previous))
+    }
+
+    /// Serialises the pipeline state as JSON.
+    pub fn save_json<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        serde_json::to_writer(writer, &self.to_state()).map_err(std::io::Error::from)
+    }
+
+    /// Restores a pipeline from JSON written by
+    /// [`NoveltyPipeline::save_json`].
+    pub fn load_json<R: std::io::Read>(reader: R) -> std::io::Result<NoveltyPipeline> {
+        let state: PipelineState = serde_json::from_reader(reader)?;
+        NoveltyPipeline::from_state(&state)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nidc_forgetting::{DecayParams, Timestamp};
+    use nidc_textproc::{SparseVector, TermId};
+
+    fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    fn running_pipeline() -> NoveltyPipeline {
+        let decay = DecayParams::from_spans(7.0, 21.0).unwrap();
+        let config = ClusteringConfig {
+            k: 2,
+            seed: 1,
+            ..ClusteringConfig::default()
+        };
+        let mut p = NoveltyPipeline::new(decay, config);
+        for i in 0..4u64 {
+            p.ingest(
+                DocId(i),
+                Timestamp(0.1 * i as f64),
+                tf(&[(0, 3.0), (1, 1.0 + i as f64 * 0.1)]),
+            )
+            .unwrap();
+        }
+        for i in 4..8u64 {
+            p.ingest(
+                DocId(i),
+                Timestamp(0.1 * i as f64),
+                tf(&[(7, 3.0), (8, 1.0 + i as f64 * 0.1)]),
+            )
+            .unwrap();
+        }
+        p.recluster_incremental().unwrap();
+        p
+    }
+
+    #[test]
+    fn pipeline_roundtrip_preserves_clustering_behaviour() {
+        let mut original = running_pipeline();
+        let mut buf = Vec::new();
+        original.save_json(&mut buf).unwrap();
+        let mut restored = NoveltyPipeline::load_json(buf.as_slice()).unwrap();
+
+        assert_eq!(restored.repository().len(), original.repository().len());
+        assert_eq!(restored.config().k, original.config().k);
+
+        // both continue identically: same ingest, same re-clustering
+        for p in [&mut original, &mut restored] {
+            p.ingest(DocId(100), Timestamp(1.0), tf(&[(0, 2.0), (1, 2.0)]))
+                .unwrap();
+        }
+        let a = original.recluster_incremental().unwrap();
+        let b = restored.recluster_incremental().unwrap();
+        assert_eq!(a.member_lists(), b.member_lists());
+        assert_eq!(a.outliers(), b.outliers());
+        assert!((a.g() - b.g()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_state_roundtrip_both_criteria() {
+        for criterion in [Criterion::GTerm, Criterion::AvgSim] {
+            let config = ClusteringConfig {
+                k: 5,
+                delta: 0.01,
+                max_iters: 9,
+                seed: 77,
+                keep_last_member: false,
+                criterion,
+            };
+            let back = ClusteringConfig::from(&ConfigState::from(&config));
+            assert_eq!(back.k, 5);
+            assert_eq!(back.delta, 0.01);
+            assert_eq!(back.max_iters, 9);
+            assert_eq!(back.seed, 77);
+            assert!(!back.keep_last_member);
+            assert_eq!(back.criterion, criterion);
+        }
+    }
+
+    #[test]
+    fn fresh_pipeline_roundtrips_without_assignment() {
+        let decay = DecayParams::from_spans(7.0, 14.0).unwrap();
+        let p = NoveltyPipeline::new(decay, ClusteringConfig::default());
+        let state = p.to_state();
+        assert!(state.previous_assignment.is_none());
+        let restored = NoveltyPipeline::from_state(&state).unwrap();
+        assert!(restored.repository().is_empty());
+    }
+
+    #[test]
+    fn corrupt_state_is_rejected() {
+        assert!(NoveltyPipeline::load_json(&b"[]"[..]).is_err());
+    }
+}

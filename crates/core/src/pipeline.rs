@@ -1,0 +1,265 @@
+//! The on-line pipeline: ingest → decay/expire → (incrementally) recluster
+//! (paper §5.2).
+
+use std::collections::BTreeMap;
+
+use nidc_forgetting::{DecayParams, Repository, Timestamp};
+use nidc_similarity::DocVectors;
+use nidc_textproc::{DocId, SparseVector};
+
+use crate::{cluster_with_initial, Clustering, ClusteringConfig, InitialState, Result};
+
+/// The stateful novelty-based clustering pipeline.
+///
+/// Drives the three steps of §5.2 on every re-clustering request:
+///
+/// 1. new documents have been incorporated by [`NoveltyPipeline::ingest`]
+///    (incremental statistics update, §5.1);
+/// 2. documents with `dw < ε` are expired;
+/// 3. the extended K-means runs, warm-started from the previous clustering
+///    (incremental mode) or from random seeds (non-incremental mode).
+#[derive(Debug, Clone)]
+pub struct NoveltyPipeline {
+    repo: Repository,
+    config: ClusteringConfig,
+    previous: Option<BTreeMap<DocId, usize>>,
+    last: Option<Clustering>,
+}
+
+impl NoveltyPipeline {
+    /// Creates an empty pipeline.
+    pub fn new(decay: DecayParams, config: ClusteringConfig) -> Self {
+        Self {
+            repo: Repository::new(decay),
+            config,
+            previous: None,
+            last: None,
+        }
+    }
+
+    /// The underlying repository (statistics, documents, clock).
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// The clustering configuration.
+    pub fn config(&self) -> &ClusteringConfig {
+        &self.config
+    }
+
+    /// The most recent clustering, if any.
+    pub fn last(&self) -> Option<&Clustering> {
+        self.last.as_ref()
+    }
+
+    /// The previous clustering's assignment (warm-start state of §5.2).
+    pub fn previous_assignment(&self) -> Option<&BTreeMap<DocId, usize>> {
+        self.previous.as_ref()
+    }
+
+    /// Reassembles a pipeline from parts (used by state restoration).
+    pub fn from_parts(
+        repo: Repository,
+        config: ClusteringConfig,
+        previous: Option<BTreeMap<DocId, usize>>,
+    ) -> Self {
+        Self {
+            repo,
+            config,
+            previous,
+            last: None,
+        }
+    }
+
+    /// Ingests one document acquired at `t` (statistics update is
+    /// incremental, §5.1).
+    pub fn ingest(&mut self, id: DocId, t: Timestamp, tf: SparseVector) -> Result<()> {
+        self.repo.insert(id, t, tf)?;
+        Ok(())
+    }
+
+    /// Ingests a batch that arrived at `t`.
+    pub fn ingest_batch<I>(&mut self, t: Timestamp, docs: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (DocId, SparseVector)>,
+    {
+        self.repo.insert_batch(t, docs)?;
+        Ok(())
+    }
+
+    /// Advances the clock without ingesting (pure decay).
+    pub fn advance_to(&mut self, t: Timestamp) -> Result<()> {
+        self.repo.advance_to(t)?;
+        Ok(())
+    }
+
+    /// Expires documents below `ε = λ^γ` (§5.2 step 2) and returns them.
+    pub fn expire(&mut self) -> Vec<DocId> {
+        self.repo.expire()
+    }
+
+    /// Incremental re-clustering (§5.2 step 3): expire, then warm-start the
+    /// extended K-means from the previous clustering's assignment. Falls
+    /// back to random seeding the first time.
+    pub fn recluster_incremental(&mut self) -> Result<Clustering> {
+        self.repo.expire();
+        let vecs = DocVectors::build(&self.repo);
+        let initial = match self.previous.take() {
+            Some(prev) => InitialState::Assignment(prev),
+            None => InitialState::Random,
+        };
+        let clustering = cluster_with_initial(&vecs, &self.config, initial)?;
+        self.previous = Some(clustering.assignment());
+        self.last = Some(clustering.clone());
+        Ok(clustering)
+    }
+
+    /// Non-incremental re-clustering (the paper's Experiment 1 baseline):
+    /// rebuilds every statistic from scratch and seeds randomly, ignoring
+    /// any previous clustering.
+    pub fn recluster_from_scratch(&mut self) -> Result<Clustering> {
+        self.repo.expire();
+        self.repo.recompute_from_scratch();
+        let vecs = DocVectors::build(&self.repo);
+        let clustering = cluster_with_initial(&vecs, &self.config, InitialState::Random)?;
+        self.previous = Some(clustering.assignment());
+        self.last = Some(clustering.clone());
+        Ok(clustering)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nidc_textproc::TermId;
+
+    fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    fn pipeline() -> NoveltyPipeline {
+        NoveltyPipeline::new(
+            DecayParams::from_spans(7.0, 14.0).unwrap(),
+            ClusteringConfig {
+                k: 2,
+                seed: 1, // a seed whose two random nuclei fall in different topics
+                ..ClusteringConfig::default()
+            },
+        )
+    }
+
+    fn seed_two_topics(p: &mut NoveltyPipeline, start_day: f64, id_base: u64) {
+        for i in 0..4u64 {
+            p.ingest(
+                DocId(id_base + i),
+                Timestamp(start_day + 0.01 * i as f64),
+                tf(&[(0, 3.0), (1, 1.0 + (i % 2) as f64)]),
+            )
+            .unwrap();
+        }
+        for i in 4..8u64 {
+            p.ingest(
+                DocId(id_base + i),
+                Timestamp(start_day + 0.01 * i as f64),
+                tf(&[(8, 3.0), (9, 1.0 + (i % 2) as f64)]),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn first_reclustering_uses_random_init() {
+        let mut p = pipeline();
+        seed_two_topics(&mut p, 0.0, 0);
+        let c = p.recluster_incremental().unwrap();
+        assert_eq!(c.non_empty_clusters(), 2);
+        assert!(p.last().is_some());
+    }
+
+    #[test]
+    fn incremental_reclustering_is_stable_with_no_change() {
+        let mut p = pipeline();
+        seed_two_topics(&mut p, 0.0, 0);
+        let first = p.recluster_incremental().unwrap().member_lists();
+        let second = p.recluster_incremental().unwrap();
+        assert_eq!(second.member_lists(), first);
+        assert_eq!(
+            second.iterations(),
+            1,
+            "warm restart should converge at once"
+        );
+    }
+
+    #[test]
+    fn new_documents_join_existing_topics() {
+        let mut p = pipeline();
+        seed_two_topics(&mut p, 0.0, 0);
+        p.recluster_incremental().unwrap();
+        // a new doc of topic A arrives the next day
+        p.ingest(DocId(100), Timestamp(1.0), tf(&[(0, 3.0), (1, 1.0)]))
+            .unwrap();
+        let c = p.recluster_incremental().unwrap();
+        let assign = c.assignment();
+        // The newcomer must be clustered, and never with topic-B documents
+        // (ids 4..8). (Old topic-A docs may individually fall to the outlier
+        // list as their decayed weights stop increasing avg_sim — that is
+        // the paper's §4.3 criterion at work.)
+        let new_cluster = assign
+            .get(&DocId(100))
+            .copied()
+            .expect("fresh document must be clustered");
+        for (d, &p) in &assign {
+            if p == new_cluster {
+                assert!(
+                    d.0 >= 100 || d.0 < 4,
+                    "topic-B doc {d} clustered with the topic-A newcomer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn old_documents_expire_from_clusters() {
+        let mut p = pipeline();
+        seed_two_topics(&mut p, 0.0, 0);
+        p.recluster_incremental().unwrap();
+        // 20 days later (γ = 14): everything old expires; fresh docs arrive
+        seed_two_topics(&mut p, 20.0, 200);
+        let c = p.recluster_incremental().unwrap();
+        for cl in c.clusters() {
+            for d in cl.members() {
+                assert!(d.0 >= 200, "expired doc {d} still clustered");
+            }
+        }
+        assert_eq!(p.repository().len(), 8);
+    }
+
+    #[test]
+    fn from_scratch_mode_matches_incremental_structure() {
+        let mut p1 = pipeline();
+        seed_two_topics(&mut p1, 0.0, 0);
+        let inc = p1.recluster_incremental().unwrap().member_lists();
+
+        let mut p2 = pipeline();
+        seed_two_topics(&mut p2, 0.0, 0);
+        let scratch = p2.recluster_from_scratch().unwrap().member_lists();
+
+        // same seed, same data, same init mode on first run → same result
+        assert_eq!(inc, scratch);
+    }
+
+    #[test]
+    fn advance_without_documents_is_fine() {
+        let mut p = pipeline();
+        p.advance_to(Timestamp(5.0)).unwrap();
+        let c = p.recluster_incremental().unwrap();
+        assert_eq!(c.clusters().len(), 0);
+    }
+
+    #[test]
+    fn duplicate_ingest_is_an_error() {
+        let mut p = pipeline();
+        p.ingest(DocId(0), Timestamp(0.0), tf(&[(0, 1.0)])).unwrap();
+        assert!(p.ingest(DocId(0), Timestamp(1.0), tf(&[(0, 1.0)])).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Articles and topic identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use nidc_textproc::DocId;
+
+/// A ground-truth topic label (the TDT2 topic ids are 20001–20100; synthetic
+/// filler topics use ids ≥ 30000).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TopicId(pub u32);
+
+impl fmt::Display for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One news article of the synthetic stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Article {
+    /// Unique article id (dense, in arrival order).
+    pub id: u64,
+    /// Ground-truth topic label.
+    pub topic: TopicId,
+    /// Arrival day (fractional), relative to day 0 = Jan 4.
+    pub day: f64,
+    /// The article body: space-separated synthetic tokens.
+    pub text: String,
+}
+
+impl Article {
+    /// The article id as a workspace [`DocId`].
+    pub fn doc_id(&self) -> DocId {
+        DocId(self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_id_mirrors_article_id() {
+        let a = Article {
+            id: 7,
+            topic: TopicId(20001),
+            day: 1.5,
+            text: "asia crisis market".into(),
+        };
+        assert_eq!(a.doc_id(), DocId(7));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Article {
+            id: 1,
+            topic: TopicId(20077),
+            day: 3.25,
+            text: "unabomber trial".into(),
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Article = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, 1);
+        assert_eq!(back.topic, TopicId(20077));
+        assert_eq!(back.day, 3.25);
+        assert_eq!(back.text, "unabomber trial");
+    }
+
+    #[test]
+    fn topic_display() {
+        assert_eq!(TopicId(20001).to_string(), "20001");
+    }
+}

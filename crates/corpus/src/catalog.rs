@@ -1,0 +1,437 @@
+//! The calibrated topic catalogue.
+//!
+//! Named topics reproduce the inventory of the paper's Table 5 (TDT2 topic
+//! ids and names) with per-window document counts and within-window placement
+//! calibrated to Table 2 (window statistics) and Figures 5–9 (topic
+//! histograms). Small per-window *filler topics* are added by the generator
+//! to reach the per-window topic counts of Table 2.
+
+use crate::article::TopicId;
+
+/// Where inside a time window a topic's documents of that window fall.
+///
+/// Figures 5–7 of the paper hinge on this: e.g. "Unabomber" occurs in the
+/// *first half* of window 1 (so a 7-day half-life has forgotten it by the
+/// window's end), while "Denmark Strike" happens *late* in window 4 (so the
+/// 7-day half-life spotlights it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Uniform over the window.
+    Uniform,
+    /// Concentrated in the first third.
+    Early,
+    /// Concentrated around the middle.
+    Center,
+    /// Concentrated in the last third.
+    Late,
+}
+
+impl Placement {
+    /// Maps a uniform sample `u ∈ [0,1)` to a fraction of the window.
+    pub fn warp(self, u: f64) -> f64 {
+        match self {
+            Placement::Uniform => u,
+            // squeeze into [0, 1/3)
+            Placement::Early => u / 3.0,
+            // triangular bump around the middle: [1/4, 3/4)
+            Placement::Center => 0.25 + u * 0.5,
+            // squeeze into [2/3, 1)
+            Placement::Late => 2.0 / 3.0 + u / 3.0,
+        }
+    }
+}
+
+/// A named topic: identity plus its temporal document layout.
+#[derive(Debug, Clone)]
+pub struct TopicSpec {
+    /// TDT2-style topic id.
+    pub id: TopicId,
+    /// Human-readable topic name (from the paper's Table 5).
+    pub name: &'static str,
+    /// Documents per standard window (w1..w6).
+    pub window_counts: [u32; 6],
+    /// Within-window placement per window.
+    pub placements: [Placement; 6],
+}
+
+impl TopicSpec {
+    /// Total documents across all windows.
+    pub fn total(&self) -> u32 {
+        self.window_counts.iter().sum()
+    }
+}
+
+use Placement::{Center, Early, Late, Uniform};
+
+const U6: [Placement; 6] = [Uniform; 6];
+
+macro_rules! topic {
+    ($id:expr, $name:expr, $counts:expr) => {
+        TopicSpec {
+            id: TopicId($id),
+            name: $name,
+            window_counts: $counts,
+            placements: U6,
+        }
+    };
+    ($id:expr, $name:expr, $counts:expr, $placements:expr) => {
+        TopicSpec {
+            id: TopicId($id),
+            name: $name,
+            window_counts: $counts,
+            placements: $placements,
+        }
+    };
+}
+
+/// The named topics, calibrated to the paper (see module docs).
+pub fn named_topics() -> Vec<TopicSpec> {
+    vec![
+        // The heavyweights (Table 5 counts; window layout from Figures 8–9
+        // and the 1998 news timeline).
+        topic!(
+            20015,
+            "Current Conflict with Iraq",
+            [300, 875, 150, 50, 70, 24]
+        ),
+        topic!(20001, "Asian Economic Crisis", [461, 330, 80, 50, 70, 28]),
+        topic!(20002, "Monica Lewinsky Case", [280, 320, 100, 70, 100, 43]),
+        topic!(
+            20013,
+            "1998 Winter Olympics",
+            [150, 309, 30, 5, 3, 2],
+            [Late, Center, Early, Uniform, Uniform, Uniform]
+        ),
+        topic!(
+            20070,
+            "India, A Nuclear Power?",
+            [0, 0, 0, 30, 327, 58],
+            [Uniform, Uniform, Uniform, Late, Early, Uniform]
+        ),
+        topic!(
+            20044,
+            "National Tobacco Settlement",
+            [30, 40, 40, 60, 80, 57]
+        ),
+        topic!(
+            20076,
+            "Anti-Suharto Violence",
+            [0, 5, 20, 50, 130, 60],
+            [Uniform, Uniform, Uniform, Uniform, Center, Early]
+        ),
+        topic!(
+            20071,
+            "Israeli-Palestinian Talks (London)",
+            [0, 0, 10, 50, 110, 61]
+        ),
+        topic!(
+            20012,
+            "Pope visits Cuba",
+            [140, 10, 0, 0, 0, 0],
+            [Center, Early, Uniform, Uniform, Uniform, Uniform]
+        ),
+        topic!(
+            20086,
+            "GM Strike",
+            [0, 0, 0, 0, 10, 128],
+            [Uniform, Uniform, Uniform, Uniform, Late, Uniform]
+        ),
+        topic!(20032, "Sgt. Gene McKinney", [40, 50, 30, 3, 2, 1]),
+        topic!(20023, "Violence in Algeria", [60, 40, 10, 5, 5, 5]),
+        topic!(
+            20048,
+            "Jonesboro shooting",
+            [0, 0, 120, 3, 1, 1],
+            [Uniform, Uniform, Late, Early, Uniform, Uniform]
+        ),
+        topic!(
+            20085,
+            "Saudi Soccer coach sacked",
+            [0, 0, 0, 0, 8, 120],
+            [Uniform, Uniform, Uniform, Uniform, Late, Center]
+        ),
+        topic!(
+            20039,
+            "India Parliamentary Elections",
+            [10, 70, 35, 2, 1, 1]
+        ),
+        // Figure 6: burst in the first half of w1, re-emerges late in w4.
+        topic!(
+            20077,
+            "Unabomber",
+            [90, 5, 2, 15, 3, 2],
+            [Early, Early, Uniform, Late, Early, Uniform]
+        ),
+        topic!(
+            20019,
+            "Cable Car Crash",
+            [0, 95, 10, 3, 1, 1],
+            [Uniform, Early, Uniform, Uniform, Uniform, Uniform]
+        ),
+        topic!(20018, "Bombing AL Clinic", [60, 30, 5, 2, 1, 1]),
+        topic!(
+            20047,
+            "Viagra Approval",
+            [0, 0, 10, 50, 41, 13],
+            [Uniform, Uniform, Late, Center, Uniform, Uniform]
+        ),
+        topic!(
+            20033,
+            "Superbowl '98",
+            [76, 0, 0, 0, 0, 0],
+            [Late, Uniform, Uniform, Uniform, Uniform, Uniform]
+        ),
+        topic!(
+            20087,
+            "NBA finals",
+            [0, 0, 0, 2, 40, 47],
+            [Uniform, Uniform, Uniform, Uniform, Late, Center]
+        ),
+        topic!(20026, "Oprah Lawsuit", [30, 35, 3, 1, 1, 0]),
+        topic!(
+            20096,
+            "Clinton-Jiang Debate",
+            [0, 0, 0, 0, 5, 59],
+            [Uniform, Uniform, Uniform, Uniform, Late, Late]
+        ),
+        topic!(
+            20065,
+            "Rats in Space!",
+            [0, 0, 5, 45, 8, 2],
+            [Uniform, Uniform, Late, Center, Early, Uniform]
+        ),
+        topic!(
+            20021,
+            "Tornado in Florida",
+            [0, 48, 3, 1, 1, 0],
+            [Uniform, Late, Early, Uniform, Uniform, Uniform]
+        ),
+        // Figure 5: scattered, slightly denser in w4 and w6; late in w4
+        // (detected by β=7 there), early in w6 (missed by β=7 there).
+        topic!(
+            20074,
+            "Nigerian Protest Violence",
+            [5, 5, 5, 18, 5, 15],
+            [Uniform, Uniform, Uniform, Late, Uniform, Early]
+        ),
+        topic!(20005, "Upcoming Philippine Elections", [2, 5, 8, 15, 8, 0]),
+        topic!(20031, "John Glenn", [30, 4, 1, 1, 0, 0]),
+        topic!(
+            20020,
+            "China Airlines Crash",
+            [0, 25, 5, 1, 1, 0],
+            [Uniform, Center, Early, Uniform, Uniform, Uniform]
+        ),
+        topic!(20022, "Diane Zamora", [5, 10, 8, 4, 2, 1]),
+        topic!(
+            20042,
+            "Asteroid Coming??",
+            [0, 0, 25, 3, 1, 0],
+            [Uniform, Uniform, Early, Uniform, Uniform, Uniform]
+        ),
+        topic!(20041, "Grossberg baby murder", [5, 8, 8, 3, 1, 1]),
+        topic!(
+            20004,
+            "McVeigh's Navy Dismissal & Fight",
+            [10, 5, 2, 1, 1, 0]
+        ),
+        topic!(
+            20011,
+            "State of the Union Address",
+            [18, 0, 0, 0, 0, 0],
+            [Late, Uniform, Uniform, Uniform, Uniform, Uniform]
+        ),
+        topic!(20017, "Babbitt Casino Case", [8, 5, 2, 1, 1, 0]),
+        topic!(
+            20083,
+            "World AIDS Conference",
+            [0, 0, 0, 0, 2, 15],
+            [Uniform, Uniform, Uniform, Uniform, Late, Late]
+        ),
+        topic!(20063, "Bird Watchers Hostage", [2, 3, 4, 4, 2, 1]),
+        // Figure 7: late w4 + early w5, small but sharply bursty.
+        topic!(
+            20078,
+            "Denmark Strike",
+            [0, 0, 0, 8, 7, 0],
+            [Uniform, Uniform, Uniform, Late, Early, Uniform]
+        ),
+        topic!(
+            20043,
+            "Dr. Spock Dies",
+            [0, 0, 13, 1, 1, 0],
+            [Uniform, Uniform, Center, Uniform, Uniform, Uniform]
+        ),
+        topic!(20064, "Race Relations Meetings", [2, 2, 2, 2, 2, 1]),
+        topic!(20098, "Cubans returned home", [0, 0, 0, 2, 3, 4]),
+        topic!(
+            20079,
+            "Akin Birdal Shot & Wounded",
+            [0, 0, 0, 0, 6, 2],
+            [Uniform, Uniform, Uniform, Uniform, Early, Uniform]
+        ),
+        topic!(20099, "Oregon bomb for Clinton?", [0, 0, 0, 0, 2, 6]),
+        topic!(20100, "Goldman Sachs - going public?", [0, 0, 0, 0, 2, 6]),
+        topic!(20075, "Food Stamps", [1, 1, 1, 2, 1, 1]),
+        topic!(20036, "Rev. Lyons Arrested", [1, 2, 1, 1, 0, 0]),
+        topic!(20046, "Great Lake Champlain??", [0, 2, 2, 1, 0, 0]),
+        topic!(
+            20088,
+            "Anti-Chinese Violence in Indonesia",
+            [0, 0, 0, 1, 3, 1]
+        ),
+        topic!(20082, "Abortion clinic acid attacks", [0, 0, 1, 1, 1, 1]),
+        topic!(20040, "Tello (Maryland) Murder", [2, 2, 1, 1, 0, 0]),
+        topic!(
+            20014,
+            "African Leaders and World Bank Pres.",
+            [1, 1, 0, 0, 0, 0]
+        ),
+        topic!(20030, "Pension for Mrs. Schindler", [1, 1, 0, 0, 0, 0]),
+        topic!(20062, "Mandela visits Angola", [0, 0, 1, 1, 0, 0]),
+        topic!(20097, "Martin Fogel's law degree", [0, 0, 0, 1, 1, 0]),
+    ]
+}
+
+/// Per-window targets from the paper's Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowTargets {
+    /// Total documents per window.
+    pub docs: [u32; 6],
+    /// Distinct topics per window.
+    pub topics: [u32; 6],
+}
+
+/// The paper's Table 2 targets.
+pub const TABLE2_TARGETS: WindowTargets = WindowTargets {
+    docs: [1820, 2393, 823, 570, 1090, 882],
+    topics: [30, 44, 47, 39, 40, 43],
+};
+
+/// The full topic catalogue: named topics + window targets.
+#[derive(Debug, Clone)]
+pub struct TopicCatalog {
+    /// The named (paper Table 5) topics.
+    pub named: Vec<TopicSpec>,
+    /// Per-window calibration targets (paper Table 2).
+    pub targets: WindowTargets,
+}
+
+impl Default for TopicCatalog {
+    fn default() -> Self {
+        Self {
+            named: named_topics(),
+            targets: TABLE2_TARGETS,
+        }
+    }
+}
+
+impl TopicCatalog {
+    /// Documents contributed by named topics in window `w`.
+    pub fn named_docs_in_window(&self, w: usize) -> u32 {
+        self.named.iter().map(|t| t.window_counts[w]).sum()
+    }
+
+    /// Named topics active (≥ 1 doc) in window `w`.
+    pub fn named_topics_in_window(&self, w: usize) -> u32 {
+        self.named.iter().filter(|t| t.window_counts[w] > 0).count() as u32
+    }
+
+    /// Looks up a named topic by id.
+    pub fn get(&self, id: TopicId) -> Option<&TopicSpec> {
+        self.named.iter().find(|t| t.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_topic_ids_are_unique() {
+        let cat = TopicCatalog::default();
+        let mut ids: Vec<u32> = cat.named.iter().map(|t| t.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), cat.named.len());
+    }
+
+    #[test]
+    fn named_docs_do_not_exceed_window_targets_by_much() {
+        let cat = TopicCatalog::default();
+        for w in 0..6 {
+            let named = cat.named_docs_in_window(w);
+            let target = cat.targets.docs[w];
+            assert!(
+                named <= target,
+                "window {w}: named {named} exceeds target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn named_topic_counts_leave_room_for_filler() {
+        let cat = TopicCatalog::default();
+        for w in 0..6 {
+            let named = cat.named_topics_in_window(w);
+            // Allow the named inventory to slightly exceed Table 2's topic
+            // count (w4 has more named topics than the target).
+            assert!(
+                named <= cat.targets.topics[w] + 5,
+                "window {w}: {named} named topics vs target {}",
+                cat.targets.topics[w]
+            );
+        }
+    }
+
+    #[test]
+    fn famous_totals_are_close_to_table5() {
+        let cat = TopicCatalog::default();
+        let check = |id: u32, expected: u32, tol: u32| {
+            let t = cat.get(TopicId(id)).unwrap();
+            let total = t.total();
+            assert!(
+                total.abs_diff(expected) <= tol,
+                "topic {id} ({}) total {total} vs Table 5 {expected}",
+                t.name
+            );
+        };
+        check(20015, 1439, 80); // Iraq
+        check(20001, 1034, 80); // Asian Economic Crisis
+        check(20002, 923, 80); // Lewinsky
+        check(20013, 530, 40); // Olympics
+        check(20070, 415, 20); // India nuclear
+        check(20078, 15, 2); // Denmark Strike
+        check(20074, 50, 5); // Nigerian Protest Violence
+        check(20077, 117, 10); // Unabomber
+    }
+
+    #[test]
+    fn placement_warp_stays_in_unit_interval_and_respects_region() {
+        for u in [0.0, 0.25, 0.5, 0.75, 0.999] {
+            assert!((0.0..1.0).contains(&Placement::Uniform.warp(u)));
+            let e = Placement::Early.warp(u);
+            assert!((0.0..1.0 / 3.0).contains(&e), "early {e}");
+            let l = Placement::Late.warp(u);
+            assert!((2.0 / 3.0..1.0).contains(&l), "late {l}");
+            let c = Placement::Center.warp(u);
+            assert!((0.25..0.75).contains(&c), "center {c}");
+        }
+    }
+
+    #[test]
+    fn table2_targets_sum_to_paper_total() {
+        let total: u32 = TABLE2_TARGETS.docs.iter().sum();
+        assert_eq!(total, 7578);
+    }
+
+    #[test]
+    fn denmark_strike_is_late_w4_early_w5() {
+        let cat = TopicCatalog::default();
+        let t = cat.get(TopicId(20078)).unwrap();
+        assert_eq!(t.placements[3], Placement::Late);
+        assert_eq!(t.placements[4], Placement::Early);
+        assert_eq!(t.window_counts[0], 0);
+        assert_eq!(t.window_counts[5], 0);
+    }
+}

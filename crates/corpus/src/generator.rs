@@ -1,0 +1,362 @@
+//! The deterministic corpus generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::article::{Article, TopicId};
+use crate::catalog::{Placement, TopicCatalog};
+use crate::corpus::{Corpus, TopicInfo};
+use crate::language::{LanguageModel, ZipfTable};
+use crate::STANDARD_WINDOW_BOUNDS;
+
+/// Configuration for [`Generator`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// RNG seed — the same seed always produces the identical corpus.
+    pub seed: u64,
+    /// Document-count scale factor. 1.0 reproduces the paper's 7,578-document
+    /// evaluation subset; smaller values generate proportionally smaller
+    /// corpora for fast tests.
+    pub scale: f64,
+    /// The synthetic language model.
+    pub language: LanguageModel,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 19980104, // Jan 4, 1998 — day 0 of TDT2
+            scale: 1.0,
+            language: LanguageModel::standard(),
+        }
+    }
+}
+
+/// Generates TDT2-like corpora (see the [crate docs](crate) for what is
+/// calibrated to which table/figure of the paper).
+#[derive(Debug, Clone)]
+pub struct Generator {
+    config: GeneratorConfig,
+    catalog: TopicCatalog,
+}
+
+impl Generator {
+    /// A generator with the default (paper Table 2/5) catalogue.
+    pub fn new(config: GeneratorConfig) -> Self {
+        Self {
+            config,
+            catalog: TopicCatalog::default(),
+        }
+    }
+
+    /// A generator over a custom catalogue.
+    pub fn with_catalog(config: GeneratorConfig, catalog: TopicCatalog) -> Self {
+        Self { config, catalog }
+    }
+
+    /// The catalogue in use.
+    pub fn catalog(&self) -> &TopicCatalog {
+        &self.catalog
+    }
+
+    fn scaled(&self, count: u32) -> u32 {
+        if count == 0 {
+            return 0;
+        }
+        // round, but never scale a non-zero count to zero: tiny topics must
+        // survive (they carry the paper's small-hot-topic claims)
+        (((count as f64) * self.config.scale).round() as u32).max(1)
+    }
+
+    /// Generates the labelled evaluation corpus (the analogue of the paper's
+    /// 7,578-document, 96-topic TDT2 subset).
+    pub fn generate(&self) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut articles: Vec<Article> = Vec::new();
+        let mut topics: Vec<TopicInfo> = Vec::new();
+        // dense topic index for the language model
+        let mut next_topic_idx: usize = 0;
+
+        // 1. Named topics.
+        for spec in &self.catalog.named {
+            let topic_idx = next_topic_idx;
+            next_topic_idx += 1;
+            topics.push(TopicInfo {
+                id: spec.id,
+                name: spec.name.to_owned(),
+                count: 0,
+            });
+            for (w, (&count, &placement)) in spec
+                .window_counts
+                .iter()
+                .zip(spec.placements.iter())
+                .enumerate()
+            {
+                let n = self.scaled(count);
+                self.emit_window_docs(&mut rng, &mut articles, spec.id, topic_idx, w, n, placement);
+            }
+        }
+
+        // 2. Filler topics per window, to reach the Table 2 per-window
+        //    document and topic counts.
+        let mut filler_id = 30000u32;
+        for w in 0..6 {
+            let target_docs =
+                ((self.catalog.targets.docs[w] as f64) * self.config.scale).round() as i64;
+            let named_docs: i64 = self
+                .catalog
+                .named
+                .iter()
+                .map(|t| self.scaled(t.window_counts[w]) as i64)
+                .sum();
+            let deficit_docs = (target_docs - named_docs).max(0) as u32;
+            let named_topics = self.catalog.named_topics_in_window(w);
+            let deficit_topics = self.catalog.targets.topics[w].saturating_sub(named_topics);
+            if deficit_topics == 0 && deficit_docs == 0 {
+                continue;
+            }
+            let n_filler = if deficit_topics > 0 {
+                deficit_topics.min(deficit_docs.max(1))
+            } else {
+                1
+            };
+            // distribute deficit docs over filler topics with a Zipfian skew
+            let mut sizes = vec![1u32; n_filler as usize];
+            let mut remaining = deficit_docs.saturating_sub(n_filler);
+            let zipf = ZipfTable::new(n_filler as usize, 1.0);
+            while remaining > 0 {
+                sizes[zipf.sample(&mut rng)] += 1;
+                remaining -= 1;
+            }
+            for size in sizes {
+                let id = TopicId(filler_id);
+                filler_id += 1;
+                let topic_idx = next_topic_idx;
+                next_topic_idx += 1;
+                topics.push(TopicInfo {
+                    id,
+                    name: format!("Synthetic minor story {}", filler_id - 30000),
+                    count: 0,
+                });
+                let placement = match rng.gen_range(0..4) {
+                    0 => Placement::Early,
+                    1 => Placement::Center,
+                    2 => Placement::Late,
+                    _ => Placement::Uniform,
+                };
+                self.emit_window_docs(&mut rng, &mut articles, id, topic_idx, w, size, placement);
+            }
+        }
+
+        Corpus::from_parts(articles, topics)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_window_docs(
+        &self,
+        rng: &mut StdRng,
+        articles: &mut Vec<Article>,
+        id: TopicId,
+        topic_idx: usize,
+        window: usize,
+        n: u32,
+        placement: Placement,
+    ) {
+        let (start, end) = STANDARD_WINDOW_BOUNDS[window];
+        let span = end - start;
+        for _ in 0..n {
+            let day = start + placement.warp(rng.gen::<f64>()) * span;
+            articles.push(Article {
+                id: 0, // reassigned by Corpus::from_parts
+                topic: id,
+                day,
+                text: self.config.language.generate_text(topic_idx, day, rng),
+            });
+        }
+    }
+
+    /// Generates a *dense unlabelled-style stream* for timing experiments
+    /// (the analogue of the raw 64k-document TDT2 feed used in the paper's
+    /// Experiment 1): `per_day` documents per day for `days` days, topics
+    /// drawn Zipf-style from a pool of `n_topics`.
+    pub fn dense_stream(seed: u64, days: u32, per_day: u32, n_topics: usize) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lm = LanguageModel::standard();
+        let zipf = ZipfTable::new(n_topics, 1.0);
+        let mut articles = Vec::with_capacity((days * per_day) as usize);
+        let topics: Vec<TopicInfo> = (0..n_topics)
+            .map(|i| TopicInfo {
+                id: TopicId(40000 + i as u32),
+                name: format!("Stream topic {i}"),
+                count: 0,
+            })
+            .collect();
+        for day in 0..days {
+            for _ in 0..per_day {
+                let topic_idx = zipf.sample(&mut rng);
+                let day_frac = day as f64 + rng.gen::<f64>();
+                articles.push(Article {
+                    id: 0,
+                    topic: TopicId(40000 + topic_idx as u32),
+                    day: day_frac,
+                    text: lm.generate_text(topic_idx, day_frac, &mut rng),
+                });
+            }
+        }
+        Corpus::from_parts(articles, topics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TABLE2_TARGETS;
+
+    fn small_corpus() -> Corpus {
+        Generator::new(GeneratorConfig {
+            scale: 0.1,
+            ..GeneratorConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_corpus();
+        let b = small_corpus();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.articles()[5].text, b.articles()[5].text);
+        assert_eq!(a.articles()[5].day, b.articles()[5].day);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_corpus();
+        let b = Generator::new(GeneratorConfig {
+            seed: 99,
+            scale: 0.1,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        assert_ne!(a.articles()[0].text, b.articles()[0].text);
+    }
+
+    #[test]
+    fn full_scale_matches_table2_document_totals() {
+        let corpus = Generator::new(GeneratorConfig::default()).generate();
+        let windows = corpus.standard_windows();
+        for (w, window) in windows.iter().enumerate() {
+            let target = TABLE2_TARGETS.docs[w] as f64;
+            let got = window.len() as f64;
+            assert!(
+                (got - target).abs() / target < 0.05,
+                "window {w}: {got} docs vs Table 2 target {target}"
+            );
+        }
+        // grand total ≈ 7578
+        assert!((corpus.len() as f64 - 7578.0).abs() / 7578.0 < 0.05);
+    }
+
+    #[test]
+    fn full_scale_matches_table2_topic_counts() {
+        let corpus = Generator::new(GeneratorConfig::default()).generate();
+        let windows = corpus.standard_windows();
+        for (w, window) in windows.iter().enumerate() {
+            let stats = corpus.window_stats(window);
+            let target = TABLE2_TARGETS.topics[w] as f64;
+            let got = stats.num_topics as f64;
+            assert!(
+                (got - target).abs() <= 6.0,
+                "window {w}: {got} topics vs Table 2 target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn articles_are_chronological_with_dense_ids() {
+        let c = small_corpus();
+        for (i, pair) in c.articles().windows(2).enumerate() {
+            assert!(pair[0].day <= pair[1].day, "out of order at {i}");
+        }
+        for (i, a) in c.articles().iter().enumerate() {
+            assert_eq!(a.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn every_article_has_a_known_topic_and_text() {
+        let c = small_corpus();
+        for a in c.articles() {
+            assert!(c.topic_name(a.topic).is_some(), "unknown topic {}", a.topic);
+            assert!(!a.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn denmark_strike_histogram_shape() {
+        // Figure 7: all documents late in w4 / early in w5.
+        let c = Generator::new(GeneratorConfig::default()).generate();
+        let hist = c.topic_histogram(TopicId(20078), 1.0);
+        let total: usize = hist.iter().map(|&(_, n)| n).sum();
+        assert!(total >= 10, "Denmark Strike too small: {total}");
+        for &(day, n) in &hist {
+            if n > 0 {
+                assert!(
+                    (110.0..130.0).contains(&day),
+                    "Denmark Strike doc outside late-w4/early-w5: day {day}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unabomber_histogram_is_bimodal() {
+        // Figure 6: burst in first half of w1, re-emergence late in w4.
+        let c = Generator::new(GeneratorConfig::default()).generate();
+        let hist = c.topic_histogram(TopicId(20077), 1.0);
+        let early: usize = hist
+            .iter()
+            .filter(|&&(d, _)| d < 15.0)
+            .map(|&(_, n)| n)
+            .sum();
+        let middle: usize = hist
+            .iter()
+            .filter(|&&(d, _)| (40.0..100.0).contains(&d))
+            .map(|&(_, n)| n)
+            .sum();
+        let late_w4: usize = hist
+            .iter()
+            .filter(|&&(d, _)| (110.0..120.0).contains(&d))
+            .map(|&(_, n)| n)
+            .sum();
+        assert!(early > 50, "w1 burst missing: {early}");
+        assert!(late_w4 >= 10, "w4 re-emergence missing: {late_w4}");
+        assert!(middle < early / 4, "no quiet middle: {middle} vs {early}");
+    }
+
+    #[test]
+    fn scaled_never_drops_small_topics() {
+        let c = Generator::new(GeneratorConfig {
+            scale: 0.05,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        // Denmark Strike (15 docs at scale 1) must still exist.
+        let total: usize = c
+            .articles()
+            .iter()
+            .filter(|a| a.topic == TopicId(20078))
+            .count();
+        assert!(total >= 2, "tiny topic vanished at small scale");
+    }
+
+    #[test]
+    fn dense_stream_has_requested_volume() {
+        let c = Generator::dense_stream(7, 5, 40, 16);
+        assert_eq!(c.len(), 200);
+        assert!(c.articles().iter().all(|a| a.day < 5.0));
+        // multiple topics in play
+        let distinct: std::collections::HashSet<_> = c.articles().iter().map(|a| a.topic).collect();
+        assert!(distinct.len() > 3);
+    }
+}

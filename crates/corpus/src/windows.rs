@@ -1,0 +1,166 @@
+//! Time windows and per-window corpus statistics (paper Table 2).
+
+use std::collections::BTreeMap;
+
+use crate::article::{Article, TopicId};
+
+/// One time window over the article stream.
+#[derive(Debug, Clone)]
+pub struct TimeWindow {
+    /// 0-based window index.
+    pub index: usize,
+    /// Human-readable label ("Jan4-Feb2", …).
+    pub label: String,
+    /// Inclusive start day.
+    pub start: f64,
+    /// Exclusive end day.
+    pub end: f64,
+    /// Indices into the corpus article vector, in chronological order.
+    pub article_indices: Vec<usize>,
+}
+
+impl TimeWindow {
+    /// Number of articles in the window.
+    pub fn len(&self) -> usize {
+        self.article_indices.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.article_indices.is_empty()
+    }
+
+    /// Iterates the window's articles out of a corpus article slice.
+    pub fn articles<'a>(&'a self, all: &'a [Article]) -> impl Iterator<Item = &'a Article> {
+        self.article_indices.iter().map(move |&i| &all[i])
+    }
+}
+
+/// Per-window statistics, i.e. one column of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Number of distinct topics.
+    pub num_topics: usize,
+    /// Smallest topic size.
+    pub min_topic_size: usize,
+    /// Largest topic size.
+    pub max_topic_size: usize,
+    /// Median topic size.
+    pub median_topic_size: f64,
+    /// Mean topic size.
+    pub mean_topic_size: f64,
+}
+
+impl WindowStats {
+    /// Computes the statistics of a window over `articles`.
+    pub fn compute(window: &TimeWindow, articles: &[Article]) -> Self {
+        let mut per_topic: BTreeMap<TopicId, usize> = BTreeMap::new();
+        for a in window.articles(articles) {
+            *per_topic.entry(a.topic).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<usize> = per_topic.values().copied().collect();
+        sizes.sort_unstable();
+        let num_topics = sizes.len();
+        let num_docs = window.len();
+        if num_topics == 0 {
+            return Self {
+                num_docs: 0,
+                num_topics: 0,
+                min_topic_size: 0,
+                max_topic_size: 0,
+                median_topic_size: 0.0,
+                mean_topic_size: 0.0,
+            };
+        }
+        let median = if num_topics % 2 == 1 {
+            sizes[num_topics / 2] as f64
+        } else {
+            (sizes[num_topics / 2 - 1] + sizes[num_topics / 2]) as f64 / 2.0
+        };
+        Self {
+            num_docs,
+            num_topics,
+            min_topic_size: sizes[0],
+            max_topic_size: *sizes.last().expect("non-empty"),
+            median_topic_size: median,
+            mean_topic_size: num_docs as f64 / num_topics as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn art(id: u64, topic: u32, day: f64) -> Article {
+        Article {
+            id,
+            topic: TopicId(topic),
+            day,
+            text: String::new(),
+        }
+    }
+
+    #[test]
+    fn stats_of_simple_window() {
+        let articles = vec![
+            art(0, 1, 0.5),
+            art(1, 1, 1.0),
+            art(2, 1, 2.0),
+            art(3, 2, 2.5),
+        ];
+        let w = TimeWindow {
+            index: 0,
+            label: "test".into(),
+            start: 0.0,
+            end: 30.0,
+            article_indices: vec![0, 1, 2, 3],
+        };
+        let s = WindowStats::compute(&w, &articles);
+        assert_eq!(s.num_docs, 4);
+        assert_eq!(s.num_topics, 2);
+        assert_eq!(s.min_topic_size, 1);
+        assert_eq!(s.max_topic_size, 3);
+        assert_eq!(s.median_topic_size, 2.0);
+        assert_eq!(s.mean_topic_size, 2.0);
+    }
+
+    #[test]
+    fn median_with_odd_topic_count() {
+        let articles = vec![
+            art(0, 1, 0.0),
+            art(1, 2, 0.0),
+            art(2, 2, 0.0),
+            art(3, 3, 0.0),
+            art(4, 3, 0.0),
+            art(5, 3, 0.0),
+        ];
+        let w = TimeWindow {
+            index: 0,
+            label: "t".into(),
+            start: 0.0,
+            end: 1.0,
+            article_indices: (0..6).collect(),
+        };
+        let s = WindowStats::compute(&w, &articles);
+        assert_eq!(s.num_topics, 3);
+        assert_eq!(s.median_topic_size, 2.0);
+    }
+
+    #[test]
+    fn empty_window_stats_are_zero() {
+        let w = TimeWindow {
+            index: 0,
+            label: "empty".into(),
+            start: 0.0,
+            end: 1.0,
+            article_indices: vec![],
+        };
+        let s = WindowStats::compute(&w, &[]);
+        assert_eq!(s.num_docs, 0);
+        assert_eq!(s.num_topics, 0);
+        assert_eq!(s.mean_topic_size, 0.0);
+    }
+}

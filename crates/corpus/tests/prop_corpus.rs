@@ -1,0 +1,109 @@
+//! Property tests for the corpus generator and container.
+
+use nidc_corpus::{Corpus, Generator, GeneratorConfig, TopicId};
+use proptest::prelude::*;
+
+fn corpus_strategy() -> impl Strategy<Value = Corpus> {
+    (0u64..1000, 2u32..8).prop_map(|(seed, scale_pct)| {
+        Generator::new(GeneratorConfig {
+            seed,
+            scale: scale_pct as f64 / 100.0, // 0.02..0.08 — fast
+            ..GeneratorConfig::default()
+        })
+        .generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Articles are chronological with dense arrival-order ids, all within
+    /// the 178-day span, and every topic label resolves to a name.
+    #[test]
+    fn corpus_invariants(corpus in corpus_strategy()) {
+        let mut prev = f64::NEG_INFINITY;
+        for (i, a) in corpus.articles().iter().enumerate() {
+            prop_assert_eq!(a.id, i as u64);
+            prop_assert!(a.day >= prev);
+            prop_assert!((0.0..178.0).contains(&a.day));
+            prop_assert!(corpus.topic_name(a.topic).is_some());
+            prop_assert!(!a.text.is_empty());
+            prev = a.day;
+        }
+    }
+
+    /// The six standard windows partition the articles exactly.
+    #[test]
+    fn windows_partition(corpus in corpus_strategy()) {
+        let windows = corpus.standard_windows();
+        prop_assert_eq!(windows.len(), 6);
+        let mut seen = vec![false; corpus.len()];
+        for w in &windows {
+            for &i in &w.article_indices {
+                prop_assert!(!seen[i], "article {i} in two windows");
+                seen[i] = true;
+                let a = &corpus.articles()[i];
+                prop_assert!(a.day >= w.start && a.day < w.end);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "article missed by all windows");
+    }
+
+    /// The topic inventory counts match the articles exactly.
+    #[test]
+    fn inventory_counts_match(corpus in corpus_strategy()) {
+        for t in corpus.topics() {
+            let actual = corpus
+                .articles()
+                .iter()
+                .filter(|a| a.topic == t.id)
+                .count();
+            prop_assert_eq!(t.count, actual, "topic {} count mismatch", t.id);
+        }
+        let total: usize = corpus.topics().iter().map(|t| t.count).sum();
+        prop_assert_eq!(total, corpus.len());
+    }
+
+    /// Histograms conserve counts for any bin width.
+    #[test]
+    fn histogram_conserves_counts(corpus in corpus_strategy(), bin in 1.0f64..40.0) {
+        let topic = corpus.topics()[0].id;
+        let hist = corpus.topic_histogram(topic, bin);
+        let total: usize = hist.iter().map(|&(_, n)| n).sum();
+        let expected = corpus.articles().iter().filter(|a| a.topic == topic).count();
+        prop_assert_eq!(total, expected);
+        // bins start at multiples of the width
+        for (i, &(start, _)) in hist.iter().enumerate() {
+            prop_assert!((start - i as f64 * bin).abs() < 1e-9);
+        }
+    }
+
+    /// JSONL round trip preserves the corpus (ids, labels, days, text).
+    #[test]
+    fn jsonl_roundtrip(corpus in corpus_strategy()) {
+        let mut buf = Vec::new();
+        corpus.save_jsonl(&mut buf).unwrap();
+        let back = Corpus::load_jsonl(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), corpus.len());
+        for (a, b) in corpus.articles().iter().zip(back.articles()) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.topic, b.topic);
+            prop_assert!((a.day - b.day).abs() < 1e-12);
+            prop_assert_eq!(&a.text, &b.text);
+        }
+    }
+
+    /// The five narrative topics exist at every scale (they carry the
+    /// paper's claims and must never be scaled away).
+    #[test]
+    fn narrative_topics_survive_scaling(corpus in corpus_strategy()) {
+        for id in [20074u32, 20077, 20078, 20001, 20002] {
+            let n = corpus
+                .articles()
+                .iter()
+                .filter(|a| a.topic == TopicId(id))
+                .count();
+            prop_assert!(n > 0, "topic {id} vanished");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The 2×2 contingency table (paper Table 3) and the measures derived
+//! from it.
+
+/// Counts of documents classified by (in cluster?) × (on topic?) —
+/// the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Contingency {
+    /// In cluster, on topic.
+    pub a: usize,
+    /// In cluster, not on topic.
+    pub b: usize,
+    /// Not in cluster, on topic.
+    pub c: usize,
+    /// Not in cluster, not on topic.
+    pub d: usize,
+}
+
+impl Contingency {
+    /// Builds a table from raw counts.
+    pub fn new(a: usize, b: usize, c: usize, d: usize) -> Self {
+        Self { a, b, c, d }
+    }
+
+    /// Builds the table for one (cluster, topic) pair given:
+    /// `in_cluster_on_topic`, the cluster size, the topic's total document
+    /// count, and the total number of documents.
+    pub fn from_counts(
+        in_cluster_on_topic: usize,
+        cluster_size: usize,
+        topic_size: usize,
+        total_docs: usize,
+    ) -> Self {
+        let a = in_cluster_on_topic;
+        let b = cluster_size - a;
+        let c = topic_size - a;
+        let d = total_docs - a - b - c;
+        Self { a, b, c, d }
+    }
+
+    /// Precision `p = a/(a+b)`; 0 when the cluster is empty.
+    pub fn precision(&self) -> f64 {
+        if self.a + self.b == 0 {
+            0.0
+        } else {
+            self.a as f64 / (self.a + self.b) as f64
+        }
+    }
+
+    /// Recall `r = a/(a+c)`; 0 when the topic is empty.
+    pub fn recall(&self) -> f64 {
+        if self.a + self.c == 0 {
+            0.0
+        } else {
+            self.a as f64 / (self.a + self.c) as f64
+        }
+    }
+
+    /// `F1 = 2a/(2a+b+c)` — the harmonic mean of precision and recall;
+    /// 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let denom = 2 * self.a + self.b + self.c;
+        if denom == 0 {
+            0.0
+        } else {
+            2.0 * self.a as f64 / denom as f64
+        }
+    }
+
+    /// Cell-wise sum of two tables (used for micro-averaging).
+    pub fn merged(&self, other: &Contingency) -> Contingency {
+        Contingency {
+            a: self.a + other.a,
+            b: self.b + other.b,
+            c: self.c + other.c,
+            d: self.d + other.d,
+        }
+    }
+
+    /// Total documents accounted for.
+    pub fn total(&self) -> usize {
+        self.a + self.b + self.c + self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_cluster() {
+        let t = Contingency::new(10, 0, 0, 90);
+        assert_eq!(t.precision(), 1.0);
+        assert_eq!(t.recall(), 1.0);
+        assert_eq!(t.f1(), 1.0);
+    }
+
+    #[test]
+    fn from_counts_derives_cells() {
+        // 6 of the topic's 10 docs in a cluster of size 8, corpus of 100.
+        let t = Contingency::from_counts(6, 8, 10, 100);
+        assert_eq!(t, Contingency::new(6, 2, 4, 88));
+        assert!((t.precision() - 0.75).abs() < 1e-12);
+        assert!((t.recall() - 0.6).abs() < 1e-12);
+        assert_eq!(t.total(), 100);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let t = Contingency::new(6, 2, 4, 88);
+        let (p, r) = (t.precision(), t.recall());
+        assert!((t.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_tables_yield_zero() {
+        let t = Contingency::new(0, 0, 0, 5);
+        assert_eq!(t.precision(), 0.0);
+        assert_eq!(t.recall(), 0.0);
+        assert_eq!(t.f1(), 0.0);
+    }
+
+    #[test]
+    fn merged_sums_cells() {
+        let t = Contingency::new(1, 2, 3, 4).merged(&Contingency::new(10, 20, 30, 40));
+        assert_eq!(t, Contingency::new(11, 22, 33, 44));
+    }
+
+    #[test]
+    fn precision_recall_bounds() {
+        let t = Contingency::new(3, 7, 2, 88);
+        assert!((0.0..=1.0).contains(&t.precision()));
+        assert!((0.0..=1.0).contains(&t.recall()));
+        assert!((0.0..=1.0).contains(&t.f1()));
+    }
+}

@@ -1,0 +1,215 @@
+//! Additional clustering-quality measures (purity, NMI) used by the
+//! ablation experiments — not in the paper, but standard companions.
+
+use std::collections::BTreeMap;
+
+use nidc_textproc::DocId;
+
+use crate::marking::Labeling;
+
+/// Cluster purity: `(1/N) Σ_p max_topic |C_p ∩ topic|`.
+///
+/// 1.0 when every cluster is topically pure; undefined (0.0) for an empty
+/// clustering.
+pub fn purity<L: Copy + Ord>(clusters: &[Vec<DocId>], labels: &Labeling<L>) -> f64 {
+    let mut total = 0usize;
+    let mut agree = 0usize;
+    for members in clusters {
+        let mut counts: BTreeMap<L, usize> = BTreeMap::new();
+        for &d in members {
+            if let Some(l) = labels.get(d) {
+                *counts.entry(l).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        agree += counts.values().copied().max().unwrap_or(0);
+    }
+    if total == 0 {
+        0.0
+    } else {
+        agree as f64 / total as f64
+    }
+}
+
+/// Normalised mutual information between the clustering and the labels,
+/// `NMI = 2·I(C;T) / (H(C) + H(T))`, over the labelled documents.
+///
+/// 1.0 for a clustering identical to the labels; 0.0 for independence or
+/// degenerate inputs.
+pub fn nmi<L: Copy + Ord>(clusters: &[Vec<DocId>], labels: &Labeling<L>) -> f64 {
+    // joint counts over labelled docs only
+    let mut joint: BTreeMap<(usize, L), usize> = BTreeMap::new();
+    let mut cluster_tot: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut topic_tot: BTreeMap<L, usize> = BTreeMap::new();
+    let mut n = 0usize;
+    for (p, members) in clusters.iter().enumerate() {
+        for &d in members {
+            if let Some(l) = labels.get(d) {
+                *joint.entry((p, l)).or_insert(0) += 1;
+                *cluster_tot.entry(p).or_insert(0) += 1;
+                *topic_tot.entry(l).or_insert(0) += 1;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for (&(p, l), &c) in &joint {
+        let pj = c as f64 / nf;
+        let pc = cluster_tot[&p] as f64 / nf;
+        let pt = topic_tot[&l] as f64 / nf;
+        mi += pj * (pj / (pc * pt)).ln();
+    }
+    let h = |tots: &BTreeMap<_, usize>| -> f64 {
+        tots.values()
+            .map(|&c| {
+                let p = c as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let hc: f64 = cluster_tot
+        .values()
+        .map(|&c| {
+            let p = c as f64 / nf;
+            -p * p.ln()
+        })
+        .sum();
+    let ht: f64 = h(&topic_tot);
+    if hc + ht == 0.0 {
+        // both partitions are single blocks: identical ⇒ perfect agreement
+        return 1.0;
+    }
+    (2.0 * mi / (hc + ht)).clamp(0.0, 1.0)
+}
+
+/// Adjusted Rand Index between the clustering and the labels, over the
+/// labelled documents that appear in some cluster.
+///
+/// 1.0 for identical partitions; ~0.0 for random agreement; can be negative
+/// for worse-than-random. Documents in no cluster are ignored.
+pub fn ari<L: Copy + Ord>(clusters: &[Vec<DocId>], labels: &Labeling<L>) -> f64 {
+    let mut joint: BTreeMap<(usize, L), usize> = BTreeMap::new();
+    let mut cluster_tot: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut topic_tot: BTreeMap<L, usize> = BTreeMap::new();
+    let mut n = 0usize;
+    for (p, members) in clusters.iter().enumerate() {
+        for &d in members {
+            if let Some(l) = labels.get(d) {
+                *joint.entry((p, l)).or_insert(0) += 1;
+                *cluster_tot.entry(p).or_insert(0) += 1;
+                *topic_tot.entry(l).or_insert(0) += 1;
+                n += 1;
+            }
+        }
+    }
+    if n < 2 {
+        return 0.0;
+    }
+    let c2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_joint: f64 = joint.values().map(|&c| c2(c)).sum();
+    let sum_clusters: f64 = cluster_tot.values().map(|&c| c2(c)).sum();
+    let sum_topics: f64 = topic_tot.values().map(|&c| c2(c)).sum();
+    let total_pairs = c2(n);
+    let expected = sum_clusters * sum_topics / total_pairs;
+    let max_index = (sum_clusters + sum_topics) / 2.0;
+    if (max_index - expected).abs() < 1e-15 {
+        return if (sum_joint - expected).abs() < 1e-15 {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    (sum_joint - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Labeling<u32> {
+        (0..8)
+            .map(|i| (DocId(i), if i < 4 { 1 } else { 2 }))
+            .collect()
+    }
+
+    #[test]
+    fn purity_of_perfect_clustering() {
+        let clusters = vec![
+            (0..4).map(DocId).collect::<Vec<_>>(),
+            (4..8).map(DocId).collect(),
+        ];
+        assert!((purity(&clusters, &labels()) - 1.0).abs() < 1e-12);
+        assert!((nmi(&clusters, &labels()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn purity_of_mixed_clustering() {
+        // two clusters, each half topic-1 half topic-2 → purity 0.5, NMI 0.
+        let clusters = vec![
+            vec![DocId(0), DocId(1), DocId(4), DocId(5)],
+            vec![DocId(2), DocId(3), DocId(6), DocId(7)],
+        ];
+        assert!((purity(&clusters, &labels()) - 0.5).abs() < 1e-12);
+        assert!(nmi(&clusters, &labels()) < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster_has_majority_purity() {
+        let clusters = vec![(0..8).map(DocId).collect::<Vec<_>>()];
+        assert!((purity(&clusters, &labels()) - 0.5).abs() < 1e-12);
+        // one cluster carries no information
+        assert!(nmi(&clusters, &labels()) < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(purity::<u32>(&[], &Labeling::new()), 0.0);
+        assert_eq!(nmi::<u32>(&[], &Labeling::new()), 0.0);
+    }
+
+    #[test]
+    fn ari_perfect_and_random() {
+        let l = labels();
+        let perfect = vec![
+            (0..4).map(DocId).collect::<Vec<_>>(),
+            (4..8).map(DocId).collect(),
+        ];
+        assert!((ari(&perfect, &l) - 1.0).abs() < 1e-12);
+        // anti-correlated split: each cluster half/half
+        let mixed = vec![
+            vec![DocId(0), DocId(1), DocId(4), DocId(5)],
+            vec![DocId(2), DocId(3), DocId(6), DocId(7)],
+        ];
+        assert!(ari(&mixed, &l).abs() < 0.2, "ari = {}", ari(&mixed, &l));
+    }
+
+    #[test]
+    fn ari_degenerate_inputs() {
+        assert_eq!(ari::<u32>(&[], &Labeling::new()), 0.0);
+        let l: Labeling<u32> = [(DocId(0), 1)].into_iter().collect();
+        assert_eq!(ari(&[vec![DocId(0)]], &l), 0.0); // single doc: undefined → 0
+                                                     // both partitions single block → identical → 1
+        let l2: Labeling<u32> = [(DocId(0), 1), (DocId(1), 1)].into_iter().collect();
+        assert_eq!(ari(&[vec![DocId(0), DocId(1)]], &l2), 1.0);
+    }
+
+    #[test]
+    fn splitting_a_topic_keeps_purity_but_lowers_nmi() {
+        let clusters_split = vec![
+            vec![DocId(0), DocId(1)],
+            vec![DocId(2), DocId(3)],
+            (4..8).map(DocId).collect::<Vec<_>>(),
+        ];
+        let clusters_exact = vec![
+            (0..4).map(DocId).collect::<Vec<_>>(),
+            (4..8).map(DocId).collect(),
+        ];
+        let l = labels();
+        assert!((purity(&clusters_split, &l) - 1.0).abs() < 1e-12);
+        assert!(nmi(&clusters_split, &l) < nmi(&clusters_exact, &l));
+    }
+}

@@ -1,0 +1,299 @@
+//! Cluster↔topic marking and micro/macro-averaged F1 (paper §6.2.3).
+
+use std::collections::BTreeMap;
+use std::hash::Hash;
+
+use nidc_textproc::DocId;
+
+use crate::Contingency;
+
+/// Ground-truth labels: `DocId → topic`.
+#[derive(Debug, Clone, Default)]
+pub struct Labeling<L> {
+    map: BTreeMap<DocId, L>,
+}
+
+impl<L: Copy + Ord> Labeling<L> {
+    /// An empty labeling.
+    pub fn new() -> Self {
+        Self {
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the label of one document.
+    pub fn insert(&mut self, id: DocId, label: L) {
+        self.map.insert(id, label);
+    }
+
+    /// The label of `id`, if any.
+    pub fn get(&self, id: DocId) -> Option<L> {
+        self.map.get(&id).copied()
+    }
+
+    /// Number of labelled documents.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no documents are labelled.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Documents per topic.
+    pub fn topic_sizes(&self) -> BTreeMap<L, usize> {
+        let mut sizes = BTreeMap::new();
+        for &label in self.map.values() {
+            *sizes.entry(label).or_insert(0) += 1;
+        }
+        sizes
+    }
+}
+
+impl<L: Copy + Ord> FromIterator<(DocId, L)> for Labeling<L> {
+    fn from_iter<I: IntoIterator<Item = (DocId, L)>>(iter: I) -> Self {
+        Self {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The evaluation outcome for one system cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterReport<L> {
+    /// Index of the cluster in the input clustering.
+    pub cluster: usize,
+    /// Cluster size (labelled documents only).
+    pub size: usize,
+    /// The topic the cluster was marked with (majority topic with precision ≥
+    /// threshold), if any.
+    pub marked_topic: Option<L>,
+    /// The contingency table against the best-precision topic (marked or
+    /// not).
+    pub table: Contingency,
+    /// Precision against the best topic.
+    pub precision: f64,
+    /// Recall against the best topic.
+    pub recall: f64,
+    /// F1 against the best topic.
+    pub f1: f64,
+}
+
+/// The full evaluation of a clustering (paper Table 4 row, Figures 1–4
+/// series).
+#[derive(Debug, Clone)]
+pub struct Evaluation<L> {
+    /// Per-cluster reports, in cluster order.
+    pub clusters: Vec<ClusterReport<L>>,
+    /// Micro-average F1 over the *marked* clusters (merged tables).
+    pub micro_f1: f64,
+    /// Macro-average F1 over the *marked* clusters (mean of per-cluster F1).
+    pub macro_f1: f64,
+    /// Macro-average precision over marked clusters.
+    pub macro_precision: f64,
+    /// Macro-average recall over marked clusters.
+    pub macro_recall: f64,
+    /// Topics that were detected (appeared as some cluster's mark).
+    pub detected_topics: Vec<L>,
+}
+
+impl<L: Copy + Ord> Evaluation<L> {
+    /// Whether `topic` was detected (some cluster is marked with it).
+    pub fn detects(&self, topic: L) -> bool {
+        self.detected_topics.binary_search(&topic).is_ok()
+    }
+}
+
+/// Evaluates `clusters` against `labels` with the given marking-precision
+/// threshold (the paper uses 0.60, [`crate::MARKING_THRESHOLD`]).
+///
+/// Documents without a label are ignored (the paper's evaluation only covers
+/// the annotated subset). Empty clusters are skipped.
+pub fn evaluate<L: Copy + Ord + Hash>(
+    clusters: &[Vec<DocId>],
+    labels: &Labeling<L>,
+    threshold: f64,
+) -> Evaluation<L> {
+    let topic_sizes = labels.topic_sizes();
+    let total_docs = labels.len();
+
+    let mut reports = Vec::with_capacity(clusters.len());
+    let mut merged = Contingency::default();
+    let mut marked_any = false;
+    let mut detected: Vec<L> = Vec::new();
+    let (mut sum_f1, mut sum_p, mut sum_r, mut n_marked) = (0.0, 0.0, 0.0, 0usize);
+
+    for (idx, members) in clusters.iter().enumerate() {
+        // count labelled members per topic
+        let mut counts: BTreeMap<L, usize> = BTreeMap::new();
+        let mut size = 0usize;
+        for &d in members {
+            if let Some(l) = labels.get(d) {
+                *counts.entry(l).or_insert(0) += 1;
+                size += 1;
+            }
+        }
+        if size == 0 {
+            continue;
+        }
+        // the topic with the highest in-cluster count = highest precision
+        let (&best_topic, &best_count) = counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .expect("non-empty counts");
+        let table =
+            Contingency::from_counts(best_count, size, topic_sizes[&best_topic], total_docs);
+        let precision = table.precision();
+        let marked = precision >= threshold;
+        if marked {
+            marked_any = true;
+            merged = merged.merged(&table);
+            sum_f1 += table.f1();
+            sum_p += precision;
+            sum_r += table.recall();
+            n_marked += 1;
+            detected.push(best_topic);
+        }
+        reports.push(ClusterReport {
+            cluster: idx,
+            size,
+            marked_topic: marked.then_some(best_topic),
+            table,
+            precision,
+            recall: table.recall(),
+            f1: table.f1(),
+        });
+    }
+
+    detected.sort_unstable();
+    detected.dedup();
+
+    Evaluation {
+        clusters: reports,
+        micro_f1: if marked_any { merged.f1() } else { 0.0 },
+        macro_f1: if n_marked > 0 {
+            sum_f1 / n_marked as f64
+        } else {
+            0.0
+        },
+        macro_precision: if n_marked > 0 {
+            sum_p / n_marked as f64
+        } else {
+            0.0
+        },
+        macro_recall: if n_marked > 0 {
+            sum_r / n_marked as f64
+        } else {
+            0.0
+        },
+        detected_topics: detected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Labeling<u32> {
+        // topic 1: docs 0-5 (6 docs); topic 2: docs 6-9 (4 docs)
+        (0..10)
+            .map(|i| (DocId(i), if i < 6 { 1 } else { 2 }))
+            .collect()
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let clusters = vec![
+            (0..6).map(DocId).collect::<Vec<_>>(),
+            (6..10).map(DocId).collect(),
+        ];
+        let e = evaluate(&clusters, &labels(), 0.6);
+        assert!((e.micro_f1 - 1.0).abs() < 1e-12);
+        assert!((e.macro_f1 - 1.0).abs() < 1e-12);
+        assert_eq!(e.detected_topics, vec![1, 2]);
+        assert!(e.detects(1));
+        assert!(!e.detects(3));
+    }
+
+    #[test]
+    fn low_precision_cluster_is_unmarked() {
+        // 50/50 mixed cluster: precision 0.5 < 0.6 → unmarked
+        let clusters = vec![vec![DocId(0), DocId(1), DocId(6), DocId(7)]];
+        let e = evaluate(&clusters, &labels(), 0.6);
+        assert_eq!(e.clusters.len(), 1);
+        assert!(e.clusters[0].marked_topic.is_none());
+        assert_eq!(e.micro_f1, 0.0);
+        assert!(e.detected_topics.is_empty());
+    }
+
+    #[test]
+    fn split_topic_micro_vs_macro() {
+        // topic 1 split into two pure clusters of 3
+        let clusters = vec![
+            (0..3).map(DocId).collect::<Vec<_>>(),
+            (3..6).map(DocId).collect(),
+            (6..10).map(DocId).collect(),
+        ];
+        let e = evaluate(&clusters, &labels(), 0.6);
+        // each sub-cluster of topic 1: p=1, r=0.5, f1=2/3; topic 2: f1=1
+        assert!((e.macro_f1 - (2.0 / 3.0 + 2.0 / 3.0 + 1.0) / 3.0).abs() < 1e-12);
+        // micro: merged a=10, b=0, c=6 → f1 = 20/26
+        assert!((e.micro_f1 - 20.0 / 26.0).abs() < 1e-12);
+        // both marks point at topic 1 → detected once
+        assert_eq!(e.detected_topics, vec![1, 2]);
+    }
+
+    #[test]
+    fn unlabelled_documents_are_ignored() {
+        let clusters = vec![vec![DocId(0), DocId(1), DocId(99)]];
+        let e = evaluate(&clusters, &labels(), 0.6);
+        assert_eq!(e.clusters[0].size, 2);
+        assert_eq!(e.clusters[0].table.a, 2);
+    }
+
+    #[test]
+    fn empty_clusters_are_skipped() {
+        let clusters = vec![vec![], (0..6).map(DocId).collect::<Vec<_>>()];
+        let e = evaluate(&clusters, &labels(), 0.6);
+        assert_eq!(e.clusters.len(), 1);
+        assert_eq!(e.clusters[0].cluster, 1);
+    }
+
+    #[test]
+    fn no_clusters_yields_zero_scores() {
+        let e = evaluate(&[], &labels(), 0.6);
+        assert_eq!(e.micro_f1, 0.0);
+        assert_eq!(e.macro_f1, 0.0);
+        assert!(e.clusters.is_empty());
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        // precision exactly 0.6: 3 of 5 docs on topic
+        let clusters = vec![vec![DocId(0), DocId(1), DocId(2), DocId(6), DocId(7)]];
+        let e = evaluate(&clusters, &labels(), 0.6);
+        assert_eq!(e.clusters[0].marked_topic, Some(1));
+    }
+
+    #[test]
+    fn macro_precision_and_recall_reported() {
+        let clusters = vec![
+            (0..3).map(DocId).collect::<Vec<_>>(), // p=1, r=0.5
+            (6..10).map(DocId).collect(),          // p=1, r=1
+        ];
+        let e = evaluate(&clusters, &labels(), 0.6);
+        assert!((e.macro_precision - 1.0).abs() < 1e-12);
+        assert!((e.macro_recall - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labeling_topic_sizes() {
+        let l = labels();
+        let sizes = l.topic_sizes();
+        assert_eq!(sizes[&1], 6);
+        assert_eq!(sizes[&2], 4);
+        assert_eq!(l.len(), 10);
+        assert!(!l.is_empty());
+    }
+}

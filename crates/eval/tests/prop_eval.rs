@@ -1,0 +1,124 @@
+//! Property tests for the evaluation framework: measure bounds, marking
+//! consistency, and agreement between the aggregate measures.
+
+use nidc_eval::{evaluate, nmi, purity, Contingency, Labeling};
+use nidc_textproc::DocId;
+use proptest::prelude::*;
+
+/// Generates a random labelled universe and clustering over it.
+fn scenario() -> impl Strategy<Value = (Vec<Vec<DocId>>, Labeling<u32>)> {
+    // up to 40 docs, up to 5 topics, up to 6 clusters; some docs unclustered
+    prop::collection::vec((0u32..5, 0usize..6, prop::bool::ANY), 1..40).prop_map(|docs| {
+        let mut clusters: Vec<Vec<DocId>> = vec![Vec::new(); 6];
+        let mut labels = Labeling::new();
+        for (i, (topic, cluster, clustered)) in docs.into_iter().enumerate() {
+            let id = DocId(i as u64);
+            labels.insert(id, topic);
+            if clustered {
+                clusters[cluster].push(id);
+            }
+        }
+        (clusters, labels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// All aggregate measures stay in [0, 1].
+    #[test]
+    fn measures_are_bounded((clusters, labels) in scenario()) {
+        let e = evaluate(&clusters, &labels, 0.6);
+        for v in [e.micro_f1, e.macro_f1, e.macro_precision, e.macro_recall] {
+            prop_assert!((0.0..=1.0).contains(&v), "measure out of range: {v}");
+        }
+        prop_assert!((0.0..=1.0).contains(&purity(&clusters, &labels)));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&nmi(&clusters, &labels)));
+    }
+
+    /// Every marked cluster clears the precision threshold; every unmarked
+    /// non-empty cluster is below it.
+    #[test]
+    fn marking_respects_threshold((clusters, labels) in scenario(), threshold in 0.1f64..0.95) {
+        let e = evaluate(&clusters, &labels, threshold);
+        for r in &e.clusters {
+            match r.marked_topic {
+                Some(_) => prop_assert!(r.precision >= threshold - 1e-12),
+                None => prop_assert!(r.precision < threshold),
+            }
+        }
+    }
+
+    /// detected_topics is exactly the set of marked topics, sorted and
+    /// deduplicated.
+    #[test]
+    fn detected_topics_match_marks((clusters, labels) in scenario()) {
+        let e = evaluate(&clusters, &labels, 0.6);
+        let mut expected: Vec<u32> = e
+            .clusters
+            .iter()
+            .filter_map(|r| r.marked_topic)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(&e.detected_topics, &expected);
+        for &t in &expected {
+            prop_assert!(e.detects(t));
+        }
+    }
+
+    /// The ground-truth clustering scores perfectly on every measure.
+    #[test]
+    fn ground_truth_is_perfect(topics in prop::collection::vec(0u32..4, 2..30)) {
+        let labels: Labeling<u32> = topics
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (DocId(i as u64), t))
+            .collect();
+        let mut clusters: Vec<Vec<DocId>> = vec![Vec::new(); 4];
+        for (i, &t) in topics.iter().enumerate() {
+            clusters[t as usize].push(DocId(i as u64));
+        }
+        let e = evaluate(&clusters, &labels, 0.6);
+        prop_assert!((e.micro_f1 - 1.0).abs() < 1e-12);
+        prop_assert!((e.macro_f1 - 1.0).abs() < 1e-12);
+        prop_assert!((purity(&clusters, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    /// Contingency identities: precision/recall/F1 agree with the closed
+    /// forms, and merging preserves the total.
+    #[test]
+    fn contingency_identities(a in 0usize..50, b in 0usize..50, c in 0usize..50, d in 0usize..50) {
+        let t = Contingency::new(a, b, c, d);
+        if a + b > 0 {
+            prop_assert!((t.precision() - a as f64 / (a + b) as f64).abs() < 1e-12);
+        }
+        if a + c > 0 {
+            prop_assert!((t.recall() - a as f64 / (a + c) as f64).abs() < 1e-12);
+        }
+        if 2 * a + b + c > 0 {
+            let f1 = 2.0 * a as f64 / (2 * a + b + c) as f64;
+            prop_assert!((t.f1() - f1).abs() < 1e-12);
+        }
+        let m = t.merged(&t);
+        prop_assert_eq!(m.total(), 2 * t.total());
+        // merging a table with itself preserves p, r, f1
+        prop_assert!((m.precision() - t.precision()).abs() < 1e-12);
+        prop_assert!((m.f1() - t.f1()).abs() < 1e-12);
+    }
+
+    /// Splitting one pure cluster in two never *increases* micro F1.
+    #[test]
+    fn splitting_never_helps_micro(n in 4usize..30, cut in 1usize..3) {
+        let labels: Labeling<u32> = (0..n).map(|i| (DocId(i as u64), 1u32)).collect();
+        let whole = vec![(0..n).map(|i| DocId(i as u64)).collect::<Vec<_>>()];
+        let cut = cut.min(n - 1);
+        let split = vec![
+            (0..cut).map(|i| DocId(i as u64)).collect::<Vec<_>>(),
+            (cut..n).map(|i| DocId(i as u64)).collect::<Vec<_>>(),
+        ];
+        let e_whole = evaluate(&whole, &labels, 0.6);
+        let e_split = evaluate(&split, &labels, 0.6);
+        prop_assert!(e_split.micro_f1 <= e_whole.micro_f1 + 1e-12);
+    }
+}

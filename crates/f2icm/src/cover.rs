@@ -1,0 +1,197 @@
+//! Cover-coefficient machinery (Can 1993) over the forgetting-weighted
+//! document–term matrix.
+//!
+//! Let `g_ik = Pr(d_i)·f_ik/len_i` — document `d_i`'s weighted term
+//! distribution (the entries of eq. 20's summand before idf). With column
+//! masses `m_k = Σ_i g_ik`, the **cover coefficient**
+//!
+//! ```text
+//! c_ij = (1/Σ_k g_ik) · Σ_k g_ik · g_jk / m_k
+//! ```
+//!
+//! is the probability of a two-stage random walk from `d_i` through a term
+//! to `d_j` — exactly the paper's eq. 5/6 structure. The rows of `C` are
+//! stochastic (`Σ_j c_ij = 1`), so the diagonal `δ_i = c_ii` — the
+//! **decoupling coefficient** — measures how much of `d_i`'s identity is
+//! its own, and `Σ_i δ_i` estimates how many clusters the collection
+//! naturally supports.
+
+use std::collections::BTreeMap;
+
+use nidc_forgetting::Repository;
+use nidc_textproc::DocId;
+
+/// Per-document cover diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverStats {
+    /// Decoupling coefficient `δ ∈ (0, 1]`.
+    pub decoupling: f64,
+    /// Coupling coefficient `ψ = 1 − δ`.
+    pub coupling: f64,
+    /// Seed power `p = δ·ψ·w` where `w` is the document's current
+    /// forgetting-model weight (recent documents make stronger seeds).
+    pub seed_power: f64,
+}
+
+/// Computes `δ_i`, `ψ_i` and seed power for every live document.
+///
+/// Cost: two passes over all postings — O(total tokens).
+pub fn decoupling(repo: &Repository) -> BTreeMap<DocId, CoverStats> {
+    // column masses m_k = Σ_i g_ik, over the weighted distributions
+    let mut col_mass: Vec<f64> = vec![0.0; repo.vocab_dim()];
+    let mut row_mass: BTreeMap<DocId, f64> = BTreeMap::new();
+    for (id, entry) in repo.iter() {
+        let pr = repo.pr_doc(id).expect("live doc");
+        let scale = pr / entry.len();
+        let mut row = 0.0;
+        for (t, f) in entry.tf().iter() {
+            let g = scale * f;
+            col_mass[t.index()] += g;
+            row += g;
+        }
+        row_mass.insert(id, row);
+    }
+    // δ_i = (1/row_i) Σ_k g_ik² / m_k
+    let mut out = BTreeMap::new();
+    for (id, entry) in repo.iter() {
+        let pr = repo.pr_doc(id).expect("live doc");
+        let scale = pr / entry.len();
+        let row = row_mass[&id];
+        if row <= 0.0 {
+            continue;
+        }
+        let mut self_cover = 0.0;
+        for (t, f) in entry.tf().iter() {
+            let g = scale * f;
+            let m = col_mass[t.index()];
+            if m > 0.0 {
+                self_cover += g * g / m;
+            }
+        }
+        let delta = (self_cover / row).clamp(0.0, 1.0);
+        let psi = 1.0 - delta;
+        out.insert(
+            id,
+            CoverStats {
+                decoupling: delta,
+                coupling: psi,
+                seed_power: delta * psi * entry.weight(),
+            },
+        );
+    }
+    out
+}
+
+/// C²ICM's estimate of the natural number of clusters: `n_c = Σ_i δ_i`.
+///
+/// This doubles as a data-driven choice of K for `nidc-core`'s extended
+/// K-means (the ICDE 2006 paper lists "a method to estimate the appropriate
+/// K value" as future work).
+pub fn estimate_num_clusters(repo: &Repository) -> f64 {
+    decoupling(repo).values().map(|s| s.decoupling).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nidc_forgetting::{DecayParams, Timestamp};
+    use nidc_textproc::{SparseVector, TermId};
+
+    fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    fn repo_with(docs: &[(u64, f64, &[(u32, f64)])]) -> Repository {
+        let mut repo = Repository::new(DecayParams::from_spans(7.0, 300.0).unwrap());
+        for &(id, day, pairs) in docs {
+            repo.insert(DocId(id), Timestamp(day), tf(pairs)).unwrap();
+        }
+        repo
+    }
+
+    #[test]
+    fn identical_documents_are_fully_coupled() {
+        let repo = repo_with(&[(0, 0.0, &[(0, 1.0)]), (1, 0.0, &[(0, 1.0)])]);
+        let stats = decoupling(&repo);
+        // each of two identical docs covers itself exactly half
+        for s in stats.values() {
+            assert!((s.decoupling - 0.5).abs() < 1e-12);
+            assert!((s.coupling - 0.5).abs() < 1e-12);
+        }
+        assert!((estimate_num_clusters(&repo) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_documents_are_fully_decoupled() {
+        let repo = repo_with(&[
+            (0, 0.0, &[(0, 2.0)]),
+            (1, 0.0, &[(5, 3.0)]),
+            (2, 0.0, &[(9, 1.0)]),
+        ]);
+        let stats = decoupling(&repo);
+        for s in stats.values() {
+            assert!((s.decoupling - 1.0).abs() < 1e-12);
+            assert!(
+                s.seed_power.abs() < 1e-12,
+                "fully decoupled ⇒ ψ = 0 ⇒ p = 0"
+            );
+        }
+        assert!((estimate_num_clusters(&repo) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_count_estimate_tracks_structure() {
+        // two tight pairs in disjoint subspaces → n_c ≈ 2
+        let repo = repo_with(&[
+            (0, 0.0, &[(0, 1.0), (1, 1.0)]),
+            (1, 0.0, &[(0, 1.0), (1, 1.0)]),
+            (2, 0.0, &[(7, 1.0), (8, 1.0)]),
+            (3, 0.0, &[(7, 1.0), (8, 1.0)]),
+        ]);
+        let n_c = estimate_num_clusters(&repo);
+        assert!((n_c - 2.0).abs() < 1e-9, "n_c = {n_c}");
+    }
+
+    #[test]
+    fn recent_documents_have_stronger_seed_power() {
+        // same content, different ages, in a mixed collection
+        let repo = repo_with(&[
+            (0, 0.0, &[(0, 1.0), (1, 1.0)]),
+            (1, 20.0, &[(0, 1.0), (1, 1.0)]),
+            (2, 20.0, &[(1, 1.0), (2, 1.0)]),
+        ]);
+        let stats = decoupling(&repo);
+        assert!(
+            stats[&DocId(1)].seed_power > stats[&DocId(0)].seed_power,
+            "newer doc must out-power its older twin: {:?} vs {:?}",
+            stats[&DocId(1)],
+            stats[&DocId(0)]
+        );
+    }
+
+    #[test]
+    fn delta_bounds_and_nc_bounds() {
+        let repo = repo_with(&[
+            (0, 0.0, &[(0, 3.0), (1, 1.0)]),
+            (1, 1.0, &[(0, 1.0), (2, 2.0)]),
+            (2, 2.0, &[(1, 1.0), (2, 1.0), (3, 4.0)]),
+        ]);
+        let stats = decoupling(&repo);
+        let mut sum = 0.0;
+        for s in stats.values() {
+            assert!((0.0..=1.0).contains(&s.decoupling));
+            assert!((s.decoupling + s.coupling - 1.0).abs() < 1e-12);
+            sum += s.decoupling;
+        }
+        let n_c = estimate_num_clusters(&repo);
+        assert!((n_c - sum).abs() < 1e-12);
+        assert!(n_c >= 1.0 - 1e-9 && n_c <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_repository_yields_no_stats() {
+        let repo = Repository::new(DecayParams::from_spans(7.0, 14.0).unwrap());
+        assert!(decoupling(&repo).is_empty());
+        assert_eq!(estimate_num_clusters(&repo), 0.0);
+    }
+}

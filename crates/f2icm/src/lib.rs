@@ -1,0 +1,76 @@
+//! F²ICM — the *Forgetting-Factor-based Incremental Clustering Method*
+//! (Ishikawa, Chen & Kitagawa, ECDL 2001), the predecessor of the ICDE 2006
+//! extended-K-means method reproduced in `nidc-core` (the 2006 paper: "the
+//! difference between this paper and F²ICM is … mainly in the clustering
+//! criteria and algorithm"; both share the similarity formulas and the
+//! incremental statistics update, which live in `nidc-forgetting` /
+//! `nidc-similarity`).
+//!
+//! F²ICM derives its clustering skeleton from Can's **C²ICM**
+//! (cover-coefficient-based incremental clustering, ACM TOIS 1993):
+//!
+//! 1. From the (here: forgetting-weighted) document–term matrix compute each
+//!    document's **decoupling coefficient** `δ_i` — the share of its cover
+//!    that falls on itself — and coupling `ψ_i = 1 − δ_i`
+//!    ([`cover::decoupling`]).
+//! 2. The **number of clusters** is estimated as `n_c = Σ_i δ_i`
+//!    ([`cover::estimate_num_clusters`]) — incidentally answering the 2006
+//!    paper's future-work question of how to choose K.
+//! 3. The `n_c` documents with the highest **seed power**
+//!    `p_i = δ_i·ψ_i·w_i` (weighted by the forgetting model, so *recent
+//!    documents make stronger seeds*) become cluster seeds.
+//! 4. Every other document joins the seed with the highest novelty-based
+//!    similarity; documents similar to no seed fall into the *ragbag*.
+//! 5. Incrementally, seeds are re-elected under the updated statistics with
+//!    hysteresis (an incumbent seed keeps its slot unless a challenger
+//!    out-powers it by a margin), and documents are re-assigned against the
+//!    mostly-stable seed set.
+//!
+//! ```
+//! use nidc_f2icm::{F2icm, F2icmConfig};
+//! use nidc_forgetting::{DecayParams, Repository, Timestamp};
+//! use nidc_textproc::{DocId, SparseVector, TermId};
+//!
+//! let mut repo = Repository::new(DecayParams::from_spans(7.0, 30.0).unwrap());
+//! let tf = |p: &[(u32, f64)]| SparseVector::from_entries(
+//!     p.iter().map(|&(i, w)| (TermId(i), w)).collect());
+//! repo.insert(DocId(0), Timestamp(0.0), tf(&[(0, 2.0), (1, 1.0)])).unwrap();
+//! repo.insert(DocId(1), Timestamp(0.1), tf(&[(0, 1.0), (1, 2.0)])).unwrap();
+//! repo.insert(DocId(2), Timestamp(0.2), tf(&[(5, 2.0), (6, 1.0)])).unwrap();
+//! repo.insert(DocId(3), Timestamp(0.3), tf(&[(5, 1.0), (6, 2.0)])).unwrap();
+//!
+//! let mut f2icm = F2icm::new(F2icmConfig::default());
+//! let clustering = f2icm.cluster(&repo).unwrap();
+//! assert!(clustering.clusters().len() >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+mod method;
+
+pub use method::{F2icm, F2icmClustering, F2icmConfig, SeededCluster};
+
+/// Errors raised by F²ICM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The repository holds no documents.
+    EmptyRepository,
+    /// A configuration field was out of range.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::EmptyRepository => write!(f, "repository holds no documents"),
+            Error::InvalidConfig(what) => write!(f, "invalid F2ICM configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,354 @@
+//! The F²ICM clustering method: seed election + similarity-based
+//! classification, with incremental seed hysteresis.
+
+use std::collections::BTreeSet;
+
+use nidc_forgetting::Repository;
+use nidc_similarity::DocVectors;
+use nidc_textproc::DocId;
+
+use crate::cover::{decoupling, CoverStats};
+use crate::{Error, Result};
+
+/// Configuration for [`F2icm`].
+#[derive(Debug, Clone)]
+pub struct F2icmConfig {
+    /// Number of seeds/clusters. `None` uses the cover-coefficient estimate
+    /// `n_c = Σ δ_i` (clamped to `max_clusters`).
+    pub k: Option<usize>,
+    /// Upper bound on the cluster count when `k` is `None`.
+    pub max_clusters: usize,
+    /// Seed hysteresis `h ≥ 1`: an incumbent seed keeps its slot unless a
+    /// challenger's seed power exceeds `h ×` the incumbent's. `1.0` disables
+    /// hysteresis (pure re-election each round).
+    pub hysteresis: f64,
+}
+
+impl Default for F2icmConfig {
+    fn default() -> Self {
+        Self {
+            k: None,
+            max_clusters: 64,
+            hysteresis: 1.25,
+        }
+    }
+}
+
+/// One F²ICM cluster: a seed document and its members (the seed included).
+#[derive(Debug, Clone)]
+pub struct SeededCluster {
+    /// The seed document.
+    pub seed: DocId,
+    /// All members, seed first, others in ascending id order.
+    pub members: Vec<DocId>,
+}
+
+/// The outcome of one F²ICM clustering round.
+#[derive(Debug, Clone)]
+pub struct F2icmClustering {
+    clusters: Vec<SeededCluster>,
+    ragbag: Vec<DocId>,
+    n_c_estimate: f64,
+}
+
+impl F2icmClustering {
+    /// The seeded clusters.
+    pub fn clusters(&self) -> &[SeededCluster] {
+        &self.clusters
+    }
+
+    /// Documents similar to no seed (C²ICM's ragbag).
+    pub fn ragbag(&self) -> &[DocId] {
+        &self.ragbag
+    }
+
+    /// The cover-coefficient estimate `n_c = Σ δ_i` at clustering time.
+    pub fn n_c_estimate(&self) -> f64 {
+        self.n_c_estimate
+    }
+
+    /// Member lists (for the evaluation machinery).
+    pub fn member_lists(&self) -> Vec<Vec<DocId>> {
+        self.clusters.iter().map(|c| c.members.clone()).collect()
+    }
+}
+
+/// The stateful F²ICM clusterer. Keep one instance alive across rounds so
+/// seed hysteresis can stabilise the clustering between updates.
+#[derive(Debug, Clone, Default)]
+pub struct F2icm {
+    config: F2icmConfig,
+    incumbent_seeds: Vec<DocId>,
+}
+
+impl F2icm {
+    /// Creates a clusterer.
+    pub fn new(config: F2icmConfig) -> Self {
+        Self {
+            config,
+            incumbent_seeds: Vec::new(),
+        }
+    }
+
+    /// The current seed set (empty before the first round).
+    pub fn seeds(&self) -> &[DocId] {
+        &self.incumbent_seeds
+    }
+
+    /// Runs one clustering round over the repository's current state.
+    ///
+    /// # Errors
+    /// [`Error::EmptyRepository`] when there is nothing to cluster;
+    /// [`Error::InvalidConfig`] for nonsensical configuration.
+    pub fn cluster(&mut self, repo: &Repository) -> Result<F2icmClustering> {
+        if repo.is_empty() {
+            return Err(Error::EmptyRepository);
+        }
+        if self.config.hysteresis < 1.0 {
+            return Err(Error::InvalidConfig("hysteresis must be ≥ 1.0"));
+        }
+        if self.config.max_clusters == 0 {
+            return Err(Error::InvalidConfig("max_clusters must be ≥ 1"));
+        }
+
+        // 1–2. cover statistics and the cluster-count estimate
+        let stats = decoupling(repo);
+        let n_c_estimate: f64 = stats.values().map(|s| s.decoupling).sum();
+        let k = match self.config.k {
+            Some(0) => return Err(Error::InvalidConfig("k must be ≥ 1")),
+            Some(k) => k,
+            None => (n_c_estimate.round() as usize).clamp(1, self.config.max_clusters),
+        }
+        .min(repo.len());
+
+        // 3. seed election with hysteresis
+        let power = |id: DocId| stats.get(&id).map_or(0.0, |s: &CoverStats| s.seed_power);
+        let mut candidates: Vec<DocId> = stats.keys().copied().collect();
+        candidates.sort_by(|&a, &b| {
+            power(b)
+                .partial_cmp(&power(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut seeds: Vec<DocId> = Vec::with_capacity(k);
+        // incumbents first: an incumbent stays while it is still alive and
+        // no challenger beats it by the hysteresis factor
+        let threshold_rank = candidates.get(k.saturating_sub(1)).copied();
+        let challenger_power = threshold_rank.map_or(0.0, power);
+        for &s in &self.incumbent_seeds {
+            if seeds.len() >= k {
+                break;
+            }
+            if stats.contains_key(&s) && power(s) * self.config.hysteresis >= challenger_power {
+                seeds.push(s);
+            }
+        }
+        for &c in &candidates {
+            if seeds.len() >= k {
+                break;
+            }
+            if !seeds.contains(&c) {
+                seeds.push(c);
+            }
+        }
+        seeds.sort_unstable();
+        self.incumbent_seeds = seeds.clone();
+
+        // 4. classification against the seeds under the novelty similarity
+        let vecs = DocVectors::build(repo);
+        let seed_set: BTreeSet<DocId> = seeds.iter().copied().collect();
+        let mut clusters: Vec<SeededCluster> = seeds
+            .iter()
+            .map(|&seed| SeededCluster {
+                seed,
+                members: vec![seed],
+            })
+            .collect();
+        let mut ragbag = Vec::new();
+        for id in vecs.ids() {
+            if seed_set.contains(&id) {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (ci, &seed) in seeds.iter().enumerate() {
+                let s = vecs.sim(id, seed).unwrap_or(0.0);
+                if best.is_none_or(|(_, bs)| s > bs) {
+                    best = Some((ci, s));
+                }
+            }
+            match best {
+                Some((ci, s)) if s > 0.0 => clusters[ci].members.push(id),
+                _ => ragbag.push(id),
+            }
+        }
+        Ok(F2icmClustering {
+            clusters,
+            ragbag,
+            n_c_estimate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nidc_forgetting::{DecayParams, Timestamp};
+    use nidc_textproc::{SparseVector, TermId};
+
+    fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    fn two_topic_repo() -> Repository {
+        let mut repo = Repository::new(DecayParams::from_spans(7.0, 300.0).unwrap());
+        for i in 0..4u64 {
+            repo.insert(
+                DocId(i),
+                Timestamp(0.01 * i as f64),
+                tf(&[(0, 3.0), (1, 2.0), (10 + i as u32, 1.0)]),
+            )
+            .unwrap();
+        }
+        for i in 4..8u64 {
+            repo.insert(
+                DocId(i),
+                Timestamp(0.01 * i as f64),
+                tf(&[(5, 3.0), (6, 2.0), (20 + i as u32, 1.0)]),
+            )
+            .unwrap();
+        }
+        repo
+    }
+
+    #[test]
+    fn clusters_two_topics_with_estimated_k() {
+        let repo = two_topic_repo();
+        let mut f = F2icm::new(F2icmConfig::default());
+        let c = f.cluster(&repo).unwrap();
+        assert!(c.n_c_estimate() > 1.0 && c.n_c_estimate() < 5.0);
+        // every cluster must be topic-pure
+        for cl in c.clusters() {
+            let a_side = cl.members.iter().filter(|d| d.0 < 4).count();
+            assert!(
+                a_side == 0 || a_side == cl.members.len(),
+                "mixed cluster {:?}",
+                cl.members
+            );
+        }
+        // all docs accounted for
+        let total: usize = c
+            .clusters()
+            .iter()
+            .map(|cl| cl.members.len())
+            .sum::<usize>()
+            + c.ragbag().len();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn explicit_k_is_respected() {
+        let repo = two_topic_repo();
+        let mut f = F2icm::new(F2icmConfig {
+            k: Some(2),
+            ..F2icmConfig::default()
+        });
+        let c = f.cluster(&repo).unwrap();
+        assert_eq!(c.clusters().len(), 2);
+        let sides: Vec<usize> = c
+            .clusters()
+            .iter()
+            .map(|cl| cl.members.iter().filter(|d| d.0 < 4).count())
+            .collect();
+        // one cluster all topic A, the other all topic B
+        assert!(sides.contains(&0) || sides.contains(&4));
+    }
+
+    #[test]
+    fn seeds_are_stable_under_hysteresis() {
+        let mut repo = two_topic_repo();
+        let mut f = F2icm::new(F2icmConfig {
+            k: Some(2),
+            hysteresis: 2.0,
+            ..F2icmConfig::default()
+        });
+        f.cluster(&repo).unwrap();
+        let seeds_before = f.seeds().to_vec();
+        // a small perturbation: one more doc per topic, slightly later
+        repo.insert(DocId(100), Timestamp(1.0), tf(&[(0, 2.0), (1, 2.0)]))
+            .unwrap();
+        repo.insert(DocId(101), Timestamp(1.0), tf(&[(5, 2.0), (6, 2.0)]))
+            .unwrap();
+        f.cluster(&repo).unwrap();
+        let kept = f
+            .seeds()
+            .iter()
+            .filter(|s| seeds_before.contains(s))
+            .count();
+        assert!(
+            kept >= 1,
+            "hysteresis should keep incumbent seeds: before {seeds_before:?}, after {:?}",
+            f.seeds()
+        );
+    }
+
+    #[test]
+    fn unrelated_document_lands_in_ragbag() {
+        let mut repo = two_topic_repo();
+        repo.insert(DocId(99), Timestamp(1.0), tf(&[(50, 1.0)]))
+            .unwrap();
+        let mut f = F2icm::new(F2icmConfig {
+            k: Some(2),
+            ..F2icmConfig::default()
+        });
+        let c = f.cluster(&repo).unwrap();
+        assert!(
+            c.ragbag().contains(&DocId(99)) || c.clusters().iter().any(|cl| cl.seed == DocId(99)),
+            "stray doc must be ragbag (or a seed): ragbag {:?}",
+            c.ragbag()
+        );
+    }
+
+    #[test]
+    fn error_paths() {
+        let repo = Repository::new(DecayParams::from_spans(7.0, 14.0).unwrap());
+        let mut f = F2icm::new(F2icmConfig::default());
+        assert!(matches!(f.cluster(&repo), Err(Error::EmptyRepository)));
+
+        let repo = two_topic_repo();
+        let mut f = F2icm::new(F2icmConfig {
+            hysteresis: 0.5,
+            ..F2icmConfig::default()
+        });
+        assert!(matches!(f.cluster(&repo), Err(Error::InvalidConfig(_))));
+        let mut f = F2icm::new(F2icmConfig {
+            k: Some(0),
+            ..F2icmConfig::default()
+        });
+        assert!(matches!(f.cluster(&repo), Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn recent_seed_preference() {
+        // two identical-content groups, one old, one new: seeds should come
+        // from the new group when k = 1 forces a choice
+        let mut repo = Repository::new(DecayParams::from_spans(7.0, 300.0).unwrap());
+        for i in 0..3u64 {
+            repo.insert(DocId(i), Timestamp(0.0), tf(&[(0, 2.0), (1, 1.0)]))
+                .unwrap();
+        }
+        for i in 3..6u64 {
+            repo.insert(DocId(i), Timestamp(20.0), tf(&[(0, 2.0), (1, 1.0)]))
+                .unwrap();
+        }
+        let mut f = F2icm::new(F2icmConfig {
+            k: Some(1),
+            ..F2icmConfig::default()
+        });
+        let c = f.cluster(&repo).unwrap();
+        assert!(
+            c.clusters()[0].seed.0 >= 3,
+            "seed should be a recent doc, got {}",
+            c.clusters()[0].seed
+        );
+    }
+}

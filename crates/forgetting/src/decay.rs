@@ -1,0 +1,184 @@
+//! Decay parameters: half-life span β → forgetting factor λ (eq. 2) and
+//! life span γ → expiration threshold ε = λ^γ (§5.2).
+
+use crate::{Error, Result};
+
+/// The forgetting-model parameters.
+///
+/// * `β` (*half-life span*, days): the period over which a document loses half
+///   its weight. Determines the forgetting factor `λ = exp(−ln 2 / β)`
+///   (paper eq. 2), so `λ^β = 1/2`.
+/// * `γ` (*life span*, days): the period a document stays active; documents
+///   whose weight falls below `ε = λ^γ` are expired.
+///
+/// The paper's settings:
+/// * Experiment 1: β = 7, γ = 14 → λ ≈ 0.906 ("0.9"), ε = 0.25.
+/// * Experiment 2: β ∈ {7, 30}, γ = 30.
+///
+/// ```
+/// use nidc_forgetting::DecayParams;
+///
+/// let p = DecayParams::from_spans(7.0, 14.0).unwrap();
+/// assert!((p.lambda().powf(7.0) - 0.5).abs() < 1e-12);   // λ^β = 1/2
+/// assert!((p.epsilon() - 0.25).abs() < 1e-12);           // ε = λ^γ = (1/2)^(γ/β)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayParams {
+    half_life: f64,
+    life_span: f64,
+    lambda: f64,
+    epsilon: f64,
+}
+
+impl DecayParams {
+    /// Builds parameters from a half-life span `beta` and life span `gamma`
+    /// (both in days).
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidParameter`] unless `beta > 0`, `gamma > 0`,
+    /// and both are finite.
+    pub fn from_spans(beta: f64, gamma: f64) -> Result<Self> {
+        if !(beta.is_finite() && beta > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "half_life (beta)",
+                value: beta,
+            });
+        }
+        if !(gamma.is_finite() && gamma > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "life_span (gamma)",
+                value: gamma,
+            });
+        }
+        let lambda = (-(std::f64::consts::LN_2) / beta).exp();
+        let epsilon = lambda.powf(gamma);
+        Ok(Self {
+            half_life: beta,
+            life_span: gamma,
+            lambda,
+            epsilon,
+        })
+    }
+
+    /// The forgetting factor `λ ∈ (0, 1)` (per day).
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The half-life span β in days.
+    #[inline]
+    pub fn half_life(&self) -> f64 {
+        self.half_life
+    }
+
+    /// The life span γ in days.
+    #[inline]
+    pub fn life_span(&self) -> f64 {
+        self.life_span
+    }
+
+    /// The expiration threshold `ε = λ^γ`.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The decay factor `λ^Δτ` for an elapsed period of `delta_days`.
+    ///
+    /// `Δτ` must be ≥ 0: the model never travels backwards.
+    #[inline]
+    pub fn decay_over(&self, delta_days: f64) -> f64 {
+        debug_assert!(delta_days >= 0.0, "decay_over requires Δτ ≥ 0");
+        // λ^Δτ = exp(Δτ · ln λ); ln λ = −ln2/β exactly.
+        (delta_days * self.lambda.ln()).exp()
+    }
+
+    /// The weight of a document `age_days` after acquisition (eq. 1).
+    #[inline]
+    pub fn weight_at_age(&self, age_days: f64) -> f64 {
+        self.decay_over(age_days)
+    }
+
+    /// Whether a document of the given age is expired (weight < ε).
+    #[inline]
+    pub fn is_expired_at_age(&self, age_days: f64) -> bool {
+        self.weight_at_age(age_days) < self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment1_parameters() {
+        // K=32, β=7d, γ=14d "correspond to λ = 0.9 and ε = 0.25" (§6.1).
+        let p = DecayParams::from_spans(7.0, 14.0).unwrap();
+        assert!((p.lambda() - 0.9057).abs() < 5e-4); // exp(-ln2/7) ≈ 0.9057, paper rounds to 0.9
+        assert!((p.epsilon() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn experiment2_parameters() {
+        // β=7 → λ≈0.9; β=30 → λ≈0.98 (§6.2.2).
+        let p7 = DecayParams::from_spans(7.0, 30.0).unwrap();
+        let p30 = DecayParams::from_spans(30.0, 30.0).unwrap();
+        assert!((p7.lambda() - 0.9).abs() < 0.01);
+        assert!((p30.lambda() - 0.977).abs() < 0.005);
+        // β = γ = 30 → ε = 1/2: anything older than a half-life dies.
+        assert!((p30.epsilon() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_life_property() {
+        for beta in [0.5, 1.0, 7.0, 30.0, 365.0] {
+            let p = DecayParams::from_spans(beta, beta).unwrap();
+            assert!(
+                (p.weight_at_age(beta) - 0.5).abs() < 1e-12,
+                "weight after one half-life must be 1/2 (beta={beta})"
+            );
+        }
+    }
+
+    #[test]
+    fn decay_composes_multiplicatively() {
+        let p = DecayParams::from_spans(7.0, 14.0).unwrap();
+        let d1 = p.decay_over(3.0);
+        let d2 = p.decay_over(4.0);
+        assert!((d1 * d2 - p.decay_over(7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elapsed_is_identity() {
+        let p = DecayParams::from_spans(7.0, 14.0).unwrap();
+        assert_eq!(p.decay_over(0.0), 1.0);
+        assert_eq!(p.weight_at_age(0.0), 1.0);
+    }
+
+    #[test]
+    fn expiry_boundary() {
+        let p = DecayParams::from_spans(7.0, 14.0).unwrap();
+        assert!(!p.is_expired_at_age(13.99));
+        // at exactly γ the weight equals ε, and the paper expires dw < ε (strict)
+        assert!(!p.is_expired_at_age(14.0));
+        assert!(p.is_expired_at_age(14.01));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(DecayParams::from_spans(0.0, 14.0).is_err());
+        assert!(DecayParams::from_spans(-1.0, 14.0).is_err());
+        assert!(DecayParams::from_spans(7.0, 0.0).is_err());
+        assert!(DecayParams::from_spans(f64::NAN, 14.0).is_err());
+        assert!(DecayParams::from_spans(7.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn lambda_strictly_between_zero_and_one() {
+        for beta in [0.1, 1.0, 10.0, 1000.0] {
+            let p = DecayParams::from_spans(beta, 1.0).unwrap();
+            assert!(p.lambda() > 0.0 && p.lambda() < 1.0);
+        }
+    }
+}

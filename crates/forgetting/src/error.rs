@@ -1,0 +1,73 @@
+//! Error type for the forgetting model.
+
+use nidc_textproc::DocId;
+
+use crate::Timestamp;
+
+/// Errors raised by the forgetting-model repository.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A decay parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An operation would move the repository clock backwards.
+    TimeWentBackwards {
+        /// The repository's current clock.
+        current: Timestamp,
+        /// The earlier time that was requested.
+        requested: Timestamp,
+    },
+    /// A document with this id is already stored.
+    DuplicateDocument(DocId),
+    /// The document id is not present in the repository.
+    UnknownDocument(DocId),
+    /// A document with no terms (zero length) cannot define `Pr(t_k|d_i)`.
+    EmptyDocument(DocId),
+    /// A timestamp was NaN or infinite.
+    NonFiniteTimestamp(Timestamp),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidParameter { name, value } => {
+                write!(f, "invalid forgetting parameter {name}: {value}")
+            }
+            Error::TimeWentBackwards { current, requested } => write!(
+                f,
+                "time went backwards: repository is at {current}, requested {requested}"
+            ),
+            Error::DuplicateDocument(id) => write!(f, "document {id} already in repository"),
+            Error::UnknownDocument(id) => write!(f, "document {id} not in repository"),
+            Error::EmptyDocument(id) => write!(f, "document {id} has no terms"),
+            Error::NonFiniteTimestamp(t) => write!(f, "non-finite timestamp {t}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::DuplicateDocument(DocId(3));
+        assert!(e.to_string().contains("d3"));
+        let e = Error::TimeWentBackwards {
+            current: Timestamp(5.0),
+            requested: Timestamp(1.0),
+        };
+        assert!(e.to_string().contains("backwards"));
+        let e = Error::InvalidParameter {
+            name: "half_life (beta)",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("beta"));
+    }
+}

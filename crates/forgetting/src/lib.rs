@@ -1,0 +1,73 @@
+//! The *document forgetting model* of Khy, Ishikawa & Kitagawa (ICDE 2006)
+//! and its incremental statistics maintenance.
+//!
+//! Every document enters the repository with weight 1 and decays
+//! exponentially (paper eq. 1):
+//!
+//! ```text
+//! dw_i = λ^(τ − T_i),      λ = exp(−ln 2 / β)   (eq. 2)
+//! ```
+//!
+//! where `β` is the user-facing *half-life span* and `T_i` the acquisition
+//! time of document `d_i`. From the weights the model derives
+//!
+//! * the total weight `tdw = Σ_l dw_l` (eq. 3),
+//! * the selection probability `Pr(d_i) = dw_i / tdw` (eq. 4),
+//! * the term occurrence probability
+//!   `Pr(t_k) = Σ_i Pr(t_k|d_i)·Pr(d_i)` (eq. 10) with
+//!   `Pr(t_k|d_i) = f_ik / Σ_l f_il` (eq. 8).
+//!
+//! [`Repository`] maintains all of these. Two update paths exist:
+//!
+//! * [`Repository::advance_to`] + [`Repository::insert`] — the paper's
+//!   **incremental** path (§5.1, eqs. 27–29): old weights are scaled by
+//!   `λ^Δτ`, `tdw` becomes `λ^Δτ·tdw + m'`, and the per-term numerators
+//!   `S_k = Σ_i dw_i·Pr(t_k|d_i)` are scaled by the same factor before the
+//!   new documents' contributions are added. Cost: O(#docs + #vocab + new
+//!   tokens).
+//! * [`Repository::recompute_from_scratch`] — the **non-incremental** path
+//!   used as the baseline in the paper's Experiment 1: every statistic is
+//!   rebuilt by a full pass over every stored posting. Cost: O(total tokens).
+//!
+//! Expiration (§5.2 step 2): documents whose weight has fallen below
+//! `ε = λ^γ` (γ = *life span*) are dropped by [`Repository::expire`].
+//!
+//! # Example
+//!
+//! ```
+//! use nidc_forgetting::{DecayParams, Repository, Timestamp};
+//! use nidc_textproc::{DocId, SparseVector, TermId};
+//!
+//! // 7-day half-life, 14-day life span — the paper's Experiment 1 setting.
+//! let params = DecayParams::from_spans(7.0, 14.0).unwrap();
+//! assert!((params.lambda() - 0.9057).abs() < 1e-3);
+//!
+//! let mut repo = Repository::new(params);
+//! let tf = SparseVector::from_entries(vec![(TermId(0), 2.0), (TermId(1), 1.0)]);
+//! repo.insert(DocId(0), Timestamp(0.0), tf).unwrap();
+//!
+//! repo.advance_to(Timestamp(7.0)).unwrap(); // one half-life later
+//! assert!((repo.doc_weight(DocId(0)).unwrap() - 0.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decay;
+mod error;
+pub mod linear;
+mod persist;
+mod repository;
+mod snapshot;
+mod time;
+
+pub use decay::DecayParams;
+pub use error::Error;
+pub use linear::LinearRepository;
+pub use persist::{DocState, RepositoryState};
+pub use repository::{DocEntry, Repository, RepositoryStats};
+pub use snapshot::StatsSnapshot;
+pub use time::Timestamp;
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

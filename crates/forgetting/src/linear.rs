@@ -1,0 +1,264 @@
+//! A linear-decay repository — the counterfactual to the paper's design
+//! choice.
+//!
+//! The paper contrasts its exponential forgetting factor with INCR's
+//! *linear* decaying weight (§2.2) and notes that the O(1)-per-document
+//! incremental statistics update (eq. 27, `dw|τ+Δτ = λ^Δτ·dw|τ`) "is due to
+//! the selection of the exponential forgetting factor" (§5.1). This module
+//! makes that argument measurable: [`LinearRepository`] implements the same
+//! statistics under the linear window weight
+//!
+//! ```text
+//! dw_i = max(0, 1 − (τ − T_i)/W)
+//! ```
+//!
+//! for which no multiplicative shortcut exists — advancing the clock forces
+//! a full recomputation of every weight-dependent statistic (`tdw`, every
+//! `S_k`), i.e. an O(total tokens) pass per update. The `ablations` binary
+//! compares the update costs head to head.
+
+use std::collections::BTreeMap;
+
+use nidc_textproc::{DocId, SparseVector, TermId};
+
+use crate::{Error, Result, Timestamp};
+
+/// One stored document under linear decay.
+#[derive(Debug, Clone)]
+struct LinearEntry {
+    tf: SparseVector,
+    len: f64,
+    acquired: Timestamp,
+}
+
+/// A document repository under the **linear** window weight
+/// `dw = max(0, 1 − age/window)`.
+///
+/// API mirrors the exponential [`crate::Repository`] where meaningful, but
+/// every statistic is recomputed on demand because linear decay admits no
+/// incremental shortcut — which is precisely the point (see module docs).
+#[derive(Debug, Clone)]
+pub struct LinearRepository {
+    window: f64,
+    now: Timestamp,
+    docs: BTreeMap<DocId, LinearEntry>,
+    /// Cached statistics, recomputed by `refresh` after every clock change.
+    tdw: f64,
+    term_num: Vec<f64>,
+}
+
+impl LinearRepository {
+    /// Creates an empty repository with the given window length in days.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] unless `window > 0` and finite.
+    pub fn new(window: f64) -> Result<Self> {
+        if !(window.is_finite() && window > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "window",
+                value: window,
+            });
+        }
+        Ok(Self {
+            window,
+            now: Timestamp::EPOCH,
+            docs: BTreeMap::new(),
+            tdw: 0.0,
+            term_num: Vec::new(),
+        })
+    }
+
+    /// The linear weight of a document of the given age.
+    pub fn weight_at_age(&self, age_days: f64) -> f64 {
+        (1.0 - age_days / self.window).max(0.0)
+    }
+
+    /// Current weight of document `id`.
+    pub fn doc_weight(&self, id: DocId) -> Result<f64> {
+        let e = self.docs.get(&id).ok_or(Error::UnknownDocument(id))?;
+        Ok(self.weight_at_age(self.now - e.acquired))
+    }
+
+    /// Number of live (positive-weight) documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the repository holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total weight `tdw` at the current clock.
+    pub fn tdw(&self) -> f64 {
+        self.tdw
+    }
+
+    /// `Pr(t_k)` at the current clock.
+    pub fn pr_term(&self, term: TermId) -> f64 {
+        if self.tdw <= 0.0 {
+            return 0.0;
+        }
+        match self.term_num.get(term.index()) {
+            Some(&s) if s > 0.0 => s / self.tdw,
+            _ => 0.0,
+        }
+    }
+
+    /// The full recomputation every clock change forces under linear decay:
+    /// a pass over all postings. This is the cost the paper's exponential
+    /// choice avoids.
+    fn refresh(&mut self) {
+        // drop fully-expired documents first
+        let window = self.window;
+        let now = self.now;
+        self.docs.retain(|_, e| (now - e.acquired) < window);
+        let mut tdw = 0.0;
+        for s in &mut self.term_num {
+            *s = 0.0;
+        }
+        for e in self.docs.values() {
+            let w = (1.0 - (now - e.acquired) / window).max(0.0);
+            tdw += w;
+            let scale = w / e.len;
+            for (t, f) in e.tf.iter() {
+                let idx = t.index();
+                if idx >= self.term_num.len() {
+                    self.term_num.resize(idx + 1, 0.0);
+                }
+                self.term_num[idx] += scale * f;
+            }
+        }
+        self.tdw = tdw;
+    }
+
+    /// Advances the clock to `t` — O(total tokens), unavoidably.
+    pub fn advance_to(&mut self, t: Timestamp) -> Result<()> {
+        if !t.is_finite() {
+            return Err(Error::NonFiniteTimestamp(t));
+        }
+        if t < self.now {
+            return Err(Error::TimeWentBackwards {
+                current: self.now,
+                requested: t,
+            });
+        }
+        if t - self.now > 0.0 {
+            self.now = t;
+            self.refresh();
+        }
+        Ok(())
+    }
+
+    /// Inserts a document acquired at `t` (advancing the clock to `t`).
+    pub fn insert(&mut self, id: DocId, t: Timestamp, tf: SparseVector) -> Result<()> {
+        if self.docs.contains_key(&id) {
+            return Err(Error::DuplicateDocument(id));
+        }
+        let len = tf.sum();
+        if len <= 0.0 || len.is_nan() {
+            return Err(Error::EmptyDocument(id));
+        }
+        self.advance_to(t)?;
+        // a fresh document enters at weight exactly 1, so its contribution
+        // is exact without a recomputation — insertion is O(doc) under both
+        // decay families; only the *clock advance* differs (see module docs)
+        self.tdw += 1.0;
+        for (term, f) in tf.iter() {
+            let idx = term.index();
+            if idx >= self.term_num.len() {
+                self.term_num.resize(idx + 1, 0.0);
+            }
+            self.term_num[idx] += f / len;
+        }
+        self.docs.insert(
+            id,
+            LinearEntry {
+                tf,
+                len,
+                acquired: t,
+            },
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    #[test]
+    fn linear_weight_profile() {
+        let r = LinearRepository::new(10.0).unwrap();
+        assert_eq!(r.weight_at_age(0.0), 1.0);
+        assert_eq!(r.weight_at_age(5.0), 0.5);
+        assert_eq!(r.weight_at_age(10.0), 0.0);
+        assert_eq!(r.weight_at_age(15.0), 0.0);
+    }
+
+    #[test]
+    fn statistics_match_definitions() {
+        let mut r = LinearRepository::new(10.0).unwrap();
+        r.insert(DocId(0), Timestamp(0.0), tf(&[(0, 2.0)])).unwrap();
+        r.insert(DocId(1), Timestamp(0.0), tf(&[(0, 1.0), (1, 1.0)]))
+            .unwrap();
+        assert!((r.tdw() - 2.0).abs() < 1e-12);
+        assert!((r.pr_term(TermId(0)) - 0.75).abs() < 1e-12);
+        r.advance_to(Timestamp(5.0)).unwrap();
+        // both docs at weight 0.5 → Pr(t) unchanged, tdw halved
+        assert!((r.tdw() - 1.0).abs() < 1e-12);
+        assert!((r.pr_term(TermId(0)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn documents_vanish_at_window_edge() {
+        let mut r = LinearRepository::new(10.0).unwrap();
+        r.insert(DocId(0), Timestamp(0.0), tf(&[(0, 1.0)])).unwrap();
+        r.insert(DocId(1), Timestamp(8.0), tf(&[(1, 1.0)])).unwrap();
+        r.advance_to(Timestamp(12.0)).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.doc_weight(DocId(0)).is_err());
+        assert!((r.doc_weight(DocId(1)).unwrap() - 0.6).abs() < 1e-12);
+        assert_eq!(r.pr_term(TermId(0)), 0.0);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(LinearRepository::new(0.0).is_err());
+        assert!(LinearRepository::new(f64::NAN).is_err());
+        let mut r = LinearRepository::new(10.0).unwrap();
+        r.insert(DocId(0), Timestamp(1.0), tf(&[(0, 1.0)])).unwrap();
+        assert!(matches!(
+            r.insert(DocId(0), Timestamp(2.0), tf(&[(0, 1.0)])),
+            Err(Error::DuplicateDocument(_))
+        ));
+        assert!(matches!(
+            r.advance_to(Timestamp(0.5)),
+            Err(Error::TimeWentBackwards { .. })
+        ));
+        assert!(matches!(
+            r.insert(DocId(1), Timestamp(2.0), tf(&[])),
+            Err(Error::EmptyDocument(_))
+        ));
+    }
+
+    #[test]
+    fn exponential_and_linear_agree_at_time_zero() {
+        // both models give fresh documents weight 1 and identical Pr(t)
+        let mut lin = LinearRepository::new(14.0).unwrap();
+        let mut exp =
+            crate::Repository::new(crate::DecayParams::from_spans(7.0, 14.0).unwrap());
+        for (id, pairs) in [(0u64, vec![(0u32, 2.0)]), (1, vec![(0, 1.0), (1, 3.0)])] {
+            lin.insert(DocId(id), Timestamp(0.0), tf(&pairs)).unwrap();
+            exp.insert(DocId(id), Timestamp(0.0), tf(&pairs)).unwrap();
+        }
+        for k in 0..2 {
+            assert!((lin.pr_term(TermId(k)) - exp.pr_term(TermId(k))).abs() < 1e-12);
+        }
+        assert!((lin.tdw() - exp.tdw()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,180 @@
+//! Repository persistence: snapshot the full state of a repository to a
+//! serialisable plain-data form and restore it exactly.
+//!
+//! An on-line clustering service needs to survive restarts without
+//! replaying its entire ingestion history. [`RepositoryState`] captures
+//! everything a [`Repository`] is a function of — the decay parameters, the
+//! clock, and each document's `(id, acquisition time, raw term
+//! frequencies)` — and [`Repository::from_state`] rebuilds the derived
+//! statistics exactly (weights, `tdw`, per-term numerators).
+
+use serde::{Deserialize, Serialize};
+
+use nidc_textproc::{DocId, SparseVector, TermId};
+
+use crate::{DecayParams, Repository, Result, Timestamp};
+
+/// One persisted document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DocState {
+    /// Document id.
+    pub id: u64,
+    /// Acquisition time `T_i`, in days.
+    pub acquired: f64,
+    /// Raw term frequencies as `(term_id, count)` pairs, sorted by term.
+    pub tf: Vec<(u32, f64)>,
+}
+
+/// The complete serialisable state of a [`Repository`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepositoryState {
+    /// Half-life span β (days).
+    pub half_life: f64,
+    /// Life span γ (days).
+    pub life_span: f64,
+    /// The repository clock `τ` (days).
+    pub now: f64,
+    /// The live documents.
+    pub docs: Vec<DocState>,
+}
+
+impl Repository {
+    /// Captures the repository's full state.
+    pub fn to_state(&self) -> RepositoryState {
+        RepositoryState {
+            half_life: self.params().half_life(),
+            life_span: self.params().life_span(),
+            now: self.now().days(),
+            docs: self
+                .iter()
+                .map(|(id, entry)| DocState {
+                    id: id.0,
+                    acquired: entry.acquired().days(),
+                    tf: entry.tf().iter().map(|(t, f)| (t.0, f)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a repository from a captured state. The derived statistics
+    /// are recomputed exactly from the acquisition times, so a
+    /// save/load round trip is lossless up to floating-point recomputation
+    /// (bounded by the same guarantees as
+    /// [`Repository::recompute_from_scratch`]).
+    ///
+    /// # Errors
+    /// Propagates the errors of [`DecayParams::from_spans`] and
+    /// [`Repository::insert`] (e.g. duplicate ids, non-chronological or
+    /// non-finite timestamps).
+    pub fn from_state(state: &RepositoryState) -> Result<Repository> {
+        let params = DecayParams::from_spans(state.half_life, state.life_span)?;
+        let mut repo = Repository::new(params);
+        let mut docs: Vec<&DocState> = state.docs.iter().collect();
+        docs.sort_by(|a, b| {
+            a.acquired
+                .partial_cmp(&b.acquired)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for d in docs {
+            let tf =
+                SparseVector::from_entries(d.tf.iter().map(|&(t, f)| (TermId(t), f)).collect());
+            repo.insert(DocId(d.id), Timestamp(d.acquired), tf)?;
+        }
+        repo.advance_to(Timestamp(state.now))?;
+        Ok(repo)
+    }
+
+    /// Serialises the repository state as JSON.
+    pub fn save_json<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        serde_json::to_writer(writer, &self.to_state()).map_err(std::io::Error::from)
+    }
+
+    /// Restores a repository from JSON written by [`Repository::save_json`].
+    pub fn load_json<R: std::io::Read>(reader: R) -> std::io::Result<Repository> {
+        let state: RepositoryState = serde_json::from_reader(reader)?;
+        Repository::from_state(&state)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    fn sample_repo() -> Repository {
+        let mut repo = Repository::new(DecayParams::from_spans(7.0, 21.0).unwrap());
+        repo.insert(DocId(3), Timestamp(0.5), tf(&[(0, 2.0), (4, 1.0)]))
+            .unwrap();
+        repo.insert(DocId(1), Timestamp(1.0), tf(&[(0, 1.0), (2, 3.0)]))
+            .unwrap();
+        repo.insert(DocId(7), Timestamp(4.25), tf(&[(2, 1.0), (9, 1.0)]))
+            .unwrap();
+        repo.advance_to(Timestamp(6.0)).unwrap();
+        repo
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_everything() {
+        let repo = sample_repo();
+        let restored = Repository::from_state(&repo.to_state()).unwrap();
+        assert_eq!(restored.len(), repo.len());
+        assert_eq!(restored.now(), repo.now());
+        assert!((restored.tdw() - repo.tdw()).abs() < 1e-12);
+        for (id, entry) in repo.iter() {
+            let r = restored.doc(id).expect("doc survives");
+            assert_eq!(r.acquired(), entry.acquired());
+            assert!((r.weight() - entry.weight()).abs() < 1e-12);
+            assert_eq!(r.tf(), entry.tf());
+        }
+        for k in 0..repo.vocab_dim() {
+            let t = TermId(k as u32);
+            assert!((restored.pr_term(t) - repo.pr_term(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let repo = sample_repo();
+        let mut buf = Vec::new();
+        repo.save_json(&mut buf).unwrap();
+        let restored = Repository::load_json(buf.as_slice()).unwrap();
+        assert_eq!(restored.len(), repo.len());
+        assert!((restored.tdw() - repo.tdw()).abs() < 1e-12);
+        // restored repository keeps working: ingest and decay
+        let mut restored = restored;
+        restored
+            .insert(DocId(100), Timestamp(7.0), tf(&[(0, 1.0)]))
+            .unwrap();
+        assert_eq!(restored.len(), repo.len() + 1);
+    }
+
+    #[test]
+    fn state_documents_sorted_on_restore() {
+        // out-of-order docs in the state must still restore
+        let repo = sample_repo();
+        let mut state = repo.to_state();
+        state.docs.reverse();
+        let restored = Repository::from_state(&state).unwrap();
+        assert_eq!(restored.len(), repo.len());
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        assert!(Repository::load_json(&b"{not json"[..]).is_err());
+        // valid JSON, invalid parameters
+        let bad = r#"{"half_life":-1.0,"life_span":14.0,"now":0.0,"docs":[]}"#;
+        assert!(Repository::load_json(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_repository_roundtrips() {
+        let repo = Repository::new(DecayParams::from_spans(7.0, 14.0).unwrap());
+        let restored = Repository::from_state(&repo.to_state()).unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(restored.params().half_life(), 7.0);
+    }
+}

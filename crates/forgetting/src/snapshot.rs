@@ -1,0 +1,93 @@
+//! Frozen probability snapshots consumed by the similarity layer.
+
+use std::collections::BTreeMap;
+
+use nidc_textproc::{DocId, TermId};
+
+use crate::Timestamp;
+
+/// An immutable snapshot of the repository's probabilities at one instant:
+/// the idf table `idf_k = 1/√Pr(t_k)` (eq. 14) and the per-document selection
+/// probabilities `Pr(d_i)` (eq. 4).
+///
+/// The novelty-based similarity (eq. 16) and the cluster representatives
+/// (eq. 20) are pure functions of this snapshot plus the raw term
+/// frequencies, so a clustering session takes one snapshot and works from it.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    now: Timestamp,
+    tdw: f64,
+    idf: Vec<f64>,
+    pr_doc: BTreeMap<DocId, f64>,
+}
+
+impl StatsSnapshot {
+    /// Builds a snapshot (normally via `Repository::snapshot`).
+    pub fn new(now: Timestamp, tdw: f64, idf: Vec<f64>, pr_doc: BTreeMap<DocId, f64>) -> Self {
+        Self {
+            now,
+            tdw,
+            idf,
+            pr_doc,
+        }
+    }
+
+    /// The instant the snapshot was taken.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Total document weight at snapshot time.
+    pub fn tdw(&self) -> f64 {
+        self.tdw
+    }
+
+    /// `idf_k = 1/√Pr(t_k)`; 0.0 for terms absent from all live documents.
+    pub fn idf(&self, term: TermId) -> f64 {
+        self.idf.get(term.index()).copied().unwrap_or(0.0)
+    }
+
+    /// The idf table, indexed by term id.
+    pub fn idf_table(&self) -> &[f64] {
+        &self.idf
+    }
+
+    /// `Pr(d_i)` for a live document; `None` if the document is unknown.
+    pub fn pr_doc(&self, id: DocId) -> Option<f64> {
+        self.pr_doc.get(&id).copied()
+    }
+
+    /// Number of documents covered by the snapshot.
+    pub fn num_docs(&self) -> usize {
+        self.pr_doc.len()
+    }
+
+    /// Iterates `(DocId, Pr(d))` in id order.
+    pub fn iter_docs(&self) -> impl Iterator<Item = (DocId, f64)> + '_ {
+        self.pr_doc.iter().map(|(&id, &p)| (id, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let snap = StatsSnapshot::new(
+            Timestamp(2.0),
+            1.5,
+            vec![2.0, 0.0, 1.0],
+            [(DocId(1), 0.6), (DocId(2), 0.4)].into_iter().collect(),
+        );
+        assert_eq!(snap.now(), Timestamp(2.0));
+        assert_eq!(snap.tdw(), 1.5);
+        assert_eq!(snap.idf(TermId(0)), 2.0);
+        assert_eq!(snap.idf(TermId(5)), 0.0);
+        assert_eq!(snap.pr_doc(DocId(1)), Some(0.6));
+        assert_eq!(snap.pr_doc(DocId(9)), None);
+        assert_eq!(snap.num_docs(), 2);
+        let docs: Vec<_> = snap.iter_docs().collect();
+        assert_eq!(docs, vec![(DocId(1), 0.6), (DocId(2), 0.4)]);
+    }
+}

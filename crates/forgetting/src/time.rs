@@ -1,0 +1,92 @@
+//! The time model.
+//!
+//! The paper measures time in days (half-life spans of 7 or 30 days, 30-day
+//! time windows). We represent instants as `f64` days since an arbitrary
+//! epoch; fractional days express intra-day arrival order.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// An instant, in days since the corpus epoch.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Timestamp(pub f64);
+
+impl Timestamp {
+    /// The epoch (day 0).
+    pub const EPOCH: Timestamp = Timestamp(0.0);
+
+    /// Days since the epoch.
+    #[inline]
+    pub fn days(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the value is a finite number (required of all repository
+    /// timestamps).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// The later of two timestamps.
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<f64> for Timestamp {
+    type Output = Timestamp;
+    /// Shifts the instant forward by `rhs` days.
+    fn add(self, rhs: f64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = f64;
+    /// Elapsed days from `rhs` to `self`.
+    fn sub(self, rhs: Timestamp) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "day {:.3}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp(3.0) + 4.5;
+        assert_eq!(t, Timestamp(7.5));
+        assert_eq!(t - Timestamp(2.5), 5.0);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(Timestamp(1.0) < Timestamp(2.0));
+        assert_eq!(Timestamp(1.0).max(Timestamp(2.0)), Timestamp(2.0));
+        assert_eq!(Timestamp(3.0).max(Timestamp(2.0)), Timestamp(3.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Timestamp(1.5).to_string(), "day 1.500");
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Timestamp(0.0).is_finite());
+        assert!(!Timestamp(f64::NAN).is_finite());
+        assert!(!Timestamp(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests: the incremental statistics path must agree with the
+//! non-incremental (from-scratch) path for arbitrary chronological operation
+//! sequences — this is the correctness claim behind the paper's §5.1.
+
+use nidc_forgetting::{DecayParams, Repository, Timestamp};
+use nidc_textproc::{DocId, SparseVector, TermId};
+use proptest::prelude::*;
+
+/// One repository operation in a generated scenario.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert a doc with the given small tf pattern after `dt` days.
+    Insert { dt: f64, terms: Vec<(u8, u8)> },
+    /// Advance the clock by `dt` days.
+    Advance { dt: f64 },
+    /// Expire old docs.
+    Expire,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0f64..3.0, prop::collection::vec((0u8..20, 1u8..5), 1..6))
+            .prop_map(|(dt, terms)| Op::Insert { dt, terms }),
+        (0.0f64..5.0).prop_map(|dt| Op::Advance { dt }),
+        Just(Op::Expire),
+    ]
+}
+
+fn run_ops(beta: f64, gamma: f64, ops: &[Op]) -> Repository {
+    let params = DecayParams::from_spans(beta, gamma).unwrap();
+    let mut repo = Repository::new(params);
+    let mut next_id = 0u64;
+    let mut now = Timestamp(0.0);
+    for op in ops {
+        match op {
+            Op::Insert { dt, terms } => {
+                now = now + *dt;
+                let tf = SparseVector::from_entries(
+                    terms
+                        .iter()
+                        .map(|&(t, f)| (TermId(u32::from(t)), f64::from(f)))
+                        .collect(),
+                );
+                repo.insert(DocId(next_id), now, tf).unwrap();
+                next_id += 1;
+            }
+            Op::Advance { dt } => {
+                now = now + *dt;
+                repo.advance_to(now).unwrap();
+            }
+            Op::Expire => {
+                repo.expire();
+            }
+        }
+    }
+    repo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Incremental statistics never drift more than 1e-9 from exact values.
+    #[test]
+    fn incremental_matches_scratch(
+        beta in 1.0f64..40.0,
+        gamma_mult in 1.0f64..4.0,
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let repo = run_ops(beta, beta * gamma_mult, &ops);
+        prop_assert!(repo.drift() < 1e-9, "drift = {}", repo.drift());
+    }
+
+    /// Selection probabilities always form a (sub-)distribution: every
+    /// Pr(d) ∈ [0, 1] and they sum to 1 when the repository is non-empty.
+    #[test]
+    fn selection_probabilities_form_distribution(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let repo = run_ops(7.0, 14.0, &ops);
+        let mut total = 0.0;
+        for id in repo.doc_ids() {
+            let p = repo.pr_doc(id).unwrap();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+            total += p;
+        }
+        if !repo.is_empty() {
+            prop_assert!((total - 1.0).abs() < 1e-9, "ΣPr(d) = {total}");
+        }
+    }
+
+    /// Term probabilities form a distribution over the live vocabulary.
+    #[test]
+    fn term_probabilities_form_distribution(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let repo = run_ops(7.0, 14.0, &ops);
+        if repo.is_empty() {
+            return Ok(());
+        }
+        let mut total = 0.0;
+        for k in 0..repo.vocab_dim() {
+            let p = repo.pr_term(TermId(k as u32));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9, "ΣPr(t) = {total}");
+    }
+
+    /// After expire(), every remaining document has weight ≥ ε and the
+    /// expired set is exactly the set of documents older than γ.
+    #[test]
+    fn expire_removes_exactly_the_old(
+        ops in prop::collection::vec(op_strategy(), 1..50),
+    ) {
+        let mut repo = run_ops(7.0, 14.0, &ops);
+        let eps = repo.params().epsilon();
+        repo.expire();
+        for (_, entry) in repo.iter() {
+            prop_assert!(entry.weight() >= eps - 1e-12);
+            prop_assert!(repo.now() - entry.acquired() <= 14.0 + 1e-9);
+        }
+    }
+
+    /// Weights are monotonically non-increasing in age.
+    #[test]
+    fn older_documents_weigh_less(
+        ops in prop::collection::vec(op_strategy(), 2..60),
+    ) {
+        let repo = run_ops(7.0, 140.0, &ops); // long life span: nothing expires
+        let mut entries: Vec<_> = repo.iter().map(|(_, e)| (e.acquired(), e.weight())).collect();
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in entries.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-12,
+                "older doc (t={:?}) outweighs newer (t={:?})", w[0].0, w[1].0);
+        }
+    }
+}

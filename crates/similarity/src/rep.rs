@@ -1,0 +1,461 @@
+//! Cluster representatives with O(|φ|) membership updates (paper §4.4).
+
+use nidc_textproc::{SparseVector, TermId};
+
+/// A cluster representative `c⃗_p = Σ_{d∈C_p} φ_d` (eq. 19–20) together with
+/// the cached quantities of §4.4:
+///
+/// * `cr_self = cr_sim(C_p, C_p) = |c⃗_p|²` (eq. 21 with p = q),
+/// * `ss = ss(C_p) = Σ_{d∈C_p} sim(d, d)` (eq. 23),
+/// * `size = |C_p|`.
+///
+/// These make `avg_sim(C_p)` an O(1) read (eq. 24), and both the
+/// "what if d is appended" (eq. 26) and "what if d is removed" queries
+/// O(|φ_d|) — the efficiency trick that makes the extended K-means viable.
+///
+/// The representative is stored densely (`Vec<f64>` over the term space) so
+/// that a document-representative dot product costs O(nnz(φ_d)).
+#[derive(Debug, Clone)]
+pub struct ClusterRep {
+    rep: Vec<f64>,
+    size: usize,
+    cr_self: f64,
+    ss: f64,
+}
+
+impl ClusterRep {
+    /// An empty cluster over a term space of dimension `vocab_dim`.
+    pub fn new(vocab_dim: usize) -> Self {
+        Self {
+            rep: vec![0.0; vocab_dim],
+            size: 0,
+            cr_self: 0.0,
+            ss: 0.0,
+        }
+    }
+
+    /// Builds a representative from a set of member φ vectors.
+    pub fn from_members<'a, I>(vocab_dim: usize, members: I) -> Self
+    where
+        I: IntoIterator<Item = &'a SparseVector>,
+    {
+        let mut rep = Self::new(vocab_dim);
+        for phi in members {
+            rep.add(phi);
+        }
+        rep
+    }
+
+    /// Number of member documents `|C_p|`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// `cr_sim(C_p, C_p)` (eq. 21/22).
+    pub fn cr_self(&self) -> f64 {
+        self.cr_self
+    }
+
+    /// `ss(C_p)` (eq. 23).
+    pub fn ss(&self) -> f64 {
+        self.ss
+    }
+
+    /// The dense representative vector `c⃗_p`.
+    pub fn vector(&self) -> &[f64] {
+        &self.rep
+    }
+
+    /// `cr_sim(C_p, {d}) = c⃗_p · φ_d` — the only quantity that must be
+    /// computed fresh per (cluster, document) pair (see the discussion
+    /// following eq. 26).
+    pub fn dot_doc(&self, phi: &SparseVector) -> f64 {
+        let mut acc = 0.0;
+        for (t, w) in phi.iter() {
+            if let Some(&r) = self.rep.get(t.index()) {
+                acc += r * w;
+            }
+        }
+        acc
+    }
+
+    /// `cr_sim(C_p, C_q)` between two representatives (eq. 21).
+    pub fn dot_rep(&self, other: &ClusterRep) -> f64 {
+        self.rep
+            .iter()
+            .zip(other.rep.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Adds document `φ` to the cluster, maintaining all cached quantities in
+    /// O(nnz(φ)).
+    pub fn add(&mut self, phi: &SparseVector) {
+        let dot = self.dot_doc(phi);
+        let norm_sq = phi.norm_sq();
+        // |c + φ|² = |c|² + 2 c·φ + |φ|²
+        self.cr_self += 2.0 * dot + norm_sq;
+        self.ss += norm_sq;
+        self.size += 1;
+        for (t, w) in phi.iter() {
+            let idx = t.index();
+            if idx >= self.rep.len() {
+                self.rep.resize(idx + 1, 0.0);
+            }
+            self.rep[idx] += w;
+        }
+    }
+
+    /// Removes document `φ` from the cluster (the deletion analogue the paper
+    /// omits "for simplicity"), in O(nnz(φ)):
+    ///
+    /// ```text
+    /// |c − φ|² = |c|² − 2 c·φ + |φ|²
+    /// ```
+    ///
+    /// The caller must ensure `φ` is a current member; removing a non-member
+    /// corrupts the cached statistics (debug builds assert `size > 0`).
+    pub fn remove(&mut self, phi: &SparseVector) {
+        debug_assert!(self.size > 0, "remove from empty cluster");
+        let dot = self.dot_doc(phi);
+        let norm_sq = phi.norm_sq();
+        self.cr_self += -2.0 * dot + norm_sq;
+        if self.cr_self < 0.0 {
+            self.cr_self = 0.0; // clamp fp drift
+        }
+        self.ss -= norm_sq;
+        if self.ss < 0.0 {
+            self.ss = 0.0;
+        }
+        self.size -= 1;
+        for (t, w) in phi.iter() {
+            if let Some(r) = self.rep.get_mut(t.index()) {
+                *r -= w;
+            }
+        }
+        if self.size == 0 {
+            // restore exact emptiness so drift cannot accumulate across reuse
+            self.rep.iter_mut().for_each(|r| *r = 0.0);
+            self.cr_self = 0.0;
+            self.ss = 0.0;
+        }
+    }
+
+    /// `avg_sim(C_p)` — the intra-cluster similarity, via eq. 24:
+    ///
+    /// ```text
+    /// avg_sim = (cr_sim(C,C) − ss(C)) / (|C|(|C|−1))
+    /// ```
+    ///
+    /// Defined as 0 for clusters with fewer than two members.
+    pub fn avg_sim(&self) -> f64 {
+        if self.size < 2 {
+            return 0.0;
+        }
+        let n = self.size as f64;
+        ((self.cr_self - self.ss) / (n * (n - 1.0))).max(0.0)
+    }
+
+    /// The cluster's contribution to the clustering index `G`:
+    /// `|C_p| · avg_sim(C_p)` (eq. 17).
+    pub fn g_term(&self) -> f64 {
+        self.size as f64 * self.avg_sim()
+    }
+
+    /// `avg_sim(C_p ∪ {d})` without mutating the cluster (eq. 26):
+    ///
+    /// ```text
+    /// (cr_sim(C,C) + 2·cr_sim(C,{d}) − ss(C)) / (|C|(|C|+1))
+    /// ```
+    ///
+    /// Returns 0 for an empty cluster (a singleton has no pairs).
+    pub fn avg_sim_if_added(&self, phi: &SparseVector) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        let n = self.size as f64;
+        let num = self.cr_self + 2.0 * self.dot_doc(phi) - self.ss;
+        (num / (n * (n + 1.0))).max(0.0)
+    }
+
+    /// `|C_p ∪ {d}|·avg_sim(C_p ∪ {d})` without mutating the cluster — the
+    /// cluster's contribution to the clustering index `G` (eq. 17) if `d`
+    /// joined:
+    ///
+    /// ```text
+    /// (cr_sim(C,C) + 2·cr_sim(C,{d}) − ss(C)) / |C|      (|C| ≥ 1)
+    /// ```
+    ///
+    /// Returns 0 for an empty cluster. Assigning each document to the
+    /// cluster whose *G-term* increases the most greedily maximises the
+    /// paper's clustering index; see the discussion of the two assignment
+    /// criteria in `nidc-core`.
+    pub fn g_term_if_added(&self, phi: &SparseVector) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        let n = self.size as f64;
+        ((self.cr_self + 2.0 * self.dot_doc(phi) - self.ss) / n).max(0.0)
+    }
+
+    /// `avg_sim(C_p \ {d})` without mutating the cluster — the deletion
+    /// analogue of eq. 26. `φ` must be a current member.
+    pub fn avg_sim_if_removed(&self, phi: &SparseVector) -> f64 {
+        if self.size <= 2 {
+            return 0.0;
+        }
+        let n = self.size as f64;
+        let norm_sq = phi.norm_sq();
+        let cr_new = self.cr_self - 2.0 * self.dot_doc(phi) + norm_sq;
+        let ss_new = self.ss - norm_sq;
+        ((cr_new - ss_new) / ((n - 1.0) * (n - 2.0))).max(0.0)
+    }
+
+    /// Rebuilds every cached quantity exactly from the member φ vectors
+    /// (removes floating-point drift after long add/remove chains).
+    pub fn recompute_exact<'a, I>(&mut self, members: I)
+    where
+        I: IntoIterator<Item = &'a SparseVector>,
+    {
+        self.rep.iter_mut().for_each(|r| *r = 0.0);
+        self.size = 0;
+        self.ss = 0.0;
+        for phi in members {
+            for (t, w) in phi.iter() {
+                let idx = t.index();
+                if idx >= self.rep.len() {
+                    self.rep.resize(idx + 1, 0.0);
+                }
+                self.rep[idx] += w;
+            }
+            self.ss += phi.norm_sq();
+            self.size += 1;
+        }
+        self.cr_self = self.rep.iter().map(|r| r * r).sum();
+    }
+
+    /// The `n` heaviest terms of the representative, descending — a cheap
+    /// cluster label for display ("hot topic" keywords).
+    pub fn top_terms(&self, n: usize) -> Vec<(TermId, f64)> {
+        let mut terms: Vec<(TermId, f64)> = self
+            .rep
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > 0.0)
+            .map(|(i, &w)| (TermId(i as u32), w))
+            .collect();
+        terms.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        terms.truncate(n);
+        terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phi(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    /// Brute-force pairwise avg_sim (eq. 18) for validation.
+    fn brute_avg_sim(members: &[SparseVector]) -> f64 {
+        let n = members.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    acc += members[i].dot(&members[j]);
+                }
+            }
+        }
+        acc / (n as f64 * (n as f64 - 1.0))
+    }
+
+    fn sample_members() -> Vec<SparseVector> {
+        vec![
+            phi(&[(0, 0.5), (1, 0.2)]),
+            phi(&[(0, 0.3), (2, 0.4)]),
+            phi(&[(1, 0.6), (2, 0.1), (3, 0.2)]),
+            phi(&[(0, 0.1), (3, 0.7)]),
+        ]
+    }
+
+    #[test]
+    fn eq22_identity_cr_self_decomposition() {
+        let members = sample_members();
+        let rep = ClusterRep::from_members(4, members.iter());
+        let n = members.len() as f64;
+        // eq. 22: cr_sim(C,C) = n(n−1)·avg_sim + ss
+        let lhs = rep.cr_self();
+        let rhs = n * (n - 1.0) * brute_avg_sim(&members) + rep.ss();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq24_avg_sim_matches_brute_force() {
+        let members = sample_members();
+        let rep = ClusterRep::from_members(4, members.iter());
+        assert!((rep.avg_sim() - brute_avg_sim(&members)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq26_append_preview_matches_actual_append() {
+        let members = sample_members();
+        let newcomer = phi(&[(1, 0.3), (2, 0.3)]);
+        let mut rep = ClusterRep::from_members(4, members.iter());
+        let predicted = rep.avg_sim_if_added(&newcomer);
+        rep.add(&newcomer);
+        assert!((predicted - rep.avg_sim()).abs() < 1e-12);
+        // and against brute force
+        let mut all = members;
+        all.push(newcomer);
+        assert!((rep.avg_sim() - brute_avg_sim(&all)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removal_preview_matches_actual_removal() {
+        let members = sample_members();
+        let mut rep = ClusterRep::from_members(4, members.iter());
+        let predicted = rep.avg_sim_if_removed(&members[1]);
+        rep.remove(&members[1]);
+        assert!((predicted - rep.avg_sim()).abs() < 1e-12);
+        let remaining: Vec<_> = members
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 1)
+            .map(|(_, m)| m.clone())
+            .collect();
+        assert!((rep.avg_sim() - brute_avg_sim(&remaining)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_then_remove_is_identity() {
+        let members = sample_members();
+        let mut rep = ClusterRep::from_members(4, members.iter());
+        let before = (rep.size(), rep.cr_self(), rep.ss(), rep.avg_sim());
+        let d = phi(&[(0, 0.9), (3, 0.1)]);
+        rep.add(&d);
+        rep.remove(&d);
+        assert_eq!(rep.size(), before.0);
+        assert!((rep.cr_self() - before.1).abs() < 1e-12);
+        assert!((rep.ss() - before.2).abs() < 1e-12);
+        assert!((rep.avg_sim() - before.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_formula_eq25() {
+        // avg_sim(C_p ∪ C_q) from representative quantities, two disjoint sets.
+        let p_members = vec![phi(&[(0, 0.4)]), phi(&[(0, 0.2), (1, 0.5)])];
+        let q_members = vec![phi(&[(1, 0.3), (2, 0.2)]), phi(&[(2, 0.6)])];
+        let p = ClusterRep::from_members(3, p_members.iter());
+        let q = ClusterRep::from_members(3, q_members.iter());
+        let np = p.size() as f64;
+        let nq = q.size() as f64;
+        let merged_avg = (p.cr_self() + 2.0 * p.dot_rep(&q) + q.cr_self() - p.ss() - q.ss())
+            / ((np + nq) * (np + nq - 1.0));
+        let mut all = p_members;
+        all.extend(q_members);
+        assert!((merged_avg - brute_avg_sim(&all)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_clusters() {
+        let mut rep = ClusterRep::new(3);
+        assert_eq!(rep.avg_sim(), 0.0);
+        assert_eq!(rep.g_term(), 0.0);
+        assert_eq!(rep.avg_sim_if_added(&phi(&[(0, 1.0)])), 0.0);
+        rep.add(&phi(&[(0, 1.0)]));
+        assert_eq!(rep.size(), 1);
+        assert_eq!(rep.avg_sim(), 0.0); // singleton: no pairs
+    }
+
+    #[test]
+    fn removing_last_member_restores_exact_emptiness() {
+        let d = phi(&[(0, 0.3), (2, 0.7)]);
+        let mut rep = ClusterRep::new(3);
+        rep.add(&d);
+        rep.remove(&d);
+        assert!(rep.is_empty());
+        assert_eq!(rep.cr_self(), 0.0);
+        assert_eq!(rep.ss(), 0.0);
+        assert!(rep.vector().iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn dot_doc_handles_terms_beyond_vocab_dim() {
+        let rep = ClusterRep::from_members(2, [phi(&[(0, 1.0)])].iter());
+        // φ mentions term 5, beyond the rep's dimension: contributes 0.
+        assert_eq!(rep.dot_doc(&phi(&[(0, 2.0), (5, 3.0)])), 2.0);
+    }
+
+    #[test]
+    fn add_grows_vocab_dim_on_demand() {
+        let mut rep = ClusterRep::new(1);
+        rep.add(&phi(&[(4, 1.5)]));
+        assert_eq!(rep.vector().len(), 5);
+        assert_eq!(rep.vector()[4], 1.5);
+    }
+
+    #[test]
+    fn recompute_exact_matches_incremental() {
+        let members = sample_members();
+        let mut rep = ClusterRep::new(4);
+        for m in &members {
+            rep.add(m);
+        }
+        let mut exact = rep.clone();
+        exact.recompute_exact(members.iter());
+        assert!((rep.cr_self() - exact.cr_self()).abs() < 1e-12);
+        assert!((rep.ss() - exact.ss()).abs() < 1e-12);
+        assert_eq!(rep.size(), exact.size());
+    }
+
+    #[test]
+    fn top_terms_are_sorted_descending() {
+        let rep = ClusterRep::from_members(4, [phi(&[(0, 0.1), (1, 0.9), (2, 0.5)])].iter());
+        let top = rep.top_terms(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, TermId(1));
+        assert_eq!(top[1].0, TermId(2));
+    }
+
+    #[test]
+    fn g_term_if_added_preview_matches_actual() {
+        let members = sample_members();
+        let newcomer = phi(&[(0, 0.2), (2, 0.4)]);
+        let mut rep = ClusterRep::from_members(4, members.iter());
+        let preview = rep.g_term_if_added(&newcomer);
+        rep.add(&newcomer);
+        assert!((preview - rep.g_term()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn g_term_if_added_to_empty_is_zero() {
+        let rep = ClusterRep::new(3);
+        assert_eq!(rep.g_term_if_added(&phi(&[(0, 1.0)])), 0.0);
+    }
+
+    #[test]
+    fn g_term_if_added_to_singleton_is_twice_sim() {
+        let seed = phi(&[(0, 0.6), (1, 0.2)]);
+        let rep = ClusterRep::from_members(2, [seed.clone()].iter());
+        let d = phi(&[(0, 0.5), (1, 0.5)]);
+        assert!((rep.g_term_if_added(&d) - 2.0 * seed.dot(&d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn g_term_is_size_times_avg_sim() {
+        let members = sample_members();
+        let rep = ClusterRep::from_members(4, members.iter());
+        assert!((rep.g_term() - 4.0 * rep.avg_sim()).abs() < 1e-12);
+    }
+}

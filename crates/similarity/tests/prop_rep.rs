@@ -1,0 +1,118 @@
+//! Property tests for the cluster-representative algebra (§4.4): the O(|φ|)
+//! incremental formulas must agree with brute-force pairwise computation for
+//! arbitrary clusters and arbitrary add/remove sequences.
+
+use nidc_similarity::ClusterRep;
+use nidc_textproc::{SparseVector, TermId};
+use proptest::prelude::*;
+
+const DIM: u32 = 12;
+
+fn phi_strategy() -> impl Strategy<Value = SparseVector> {
+    prop::collection::vec((0u32..DIM, 0.01f64..1.0), 1..6).prop_map(|pairs| {
+        SparseVector::from_entries(pairs.into_iter().map(|(t, w)| (TermId(t), w)).collect())
+    })
+}
+
+fn brute_avg_sim(members: &[SparseVector]) -> f64 {
+    let n = members.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                acc += members[i].dot(&members[j]);
+            }
+        }
+    }
+    acc / (n as f64 * (n as f64 - 1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// eq. 24: representative-based avg_sim equals pairwise avg_sim.
+    #[test]
+    fn avg_sim_matches_brute_force(members in prop::collection::vec(phi_strategy(), 0..12)) {
+        let rep = ClusterRep::from_members(DIM as usize, members.iter());
+        let brute = brute_avg_sim(&members);
+        prop_assert!((rep.avg_sim() - brute).abs() < 1e-9,
+            "rep={} brute={brute}", rep.avg_sim());
+    }
+
+    /// eq. 26: the append preview equals the post-append value.
+    #[test]
+    fn append_preview_is_exact(
+        members in prop::collection::vec(phi_strategy(), 1..10),
+        newcomer in phi_strategy(),
+    ) {
+        let mut rep = ClusterRep::from_members(DIM as usize, members.iter());
+        let preview = rep.avg_sim_if_added(&newcomer);
+        rep.add(&newcomer);
+        prop_assert!((preview - rep.avg_sim()).abs() < 1e-9);
+    }
+
+    /// Deletion analogue of eq. 26: the removal preview equals the
+    /// post-removal value.
+    #[test]
+    fn removal_preview_is_exact(
+        members in prop::collection::vec(phi_strategy(), 3..10),
+        idx in 0usize..3,
+    ) {
+        let mut rep = ClusterRep::from_members(DIM as usize, members.iter());
+        let preview = rep.avg_sim_if_removed(&members[idx]);
+        rep.remove(&members[idx]);
+        prop_assert!((preview - rep.avg_sim()).abs() < 1e-9);
+    }
+
+    /// Long interleaved add/remove chains do not drift from exact recompute.
+    #[test]
+    fn incremental_chain_has_bounded_drift(
+        initial in prop::collection::vec(phi_strategy(), 1..8),
+        churn in prop::collection::vec(phi_strategy(), 0..20),
+    ) {
+        let mut rep = ClusterRep::from_members(DIM as usize, initial.iter());
+        // add every churn doc then remove them again, in reverse
+        for d in &churn {
+            rep.add(d);
+        }
+        for d in churn.iter().rev() {
+            rep.remove(d);
+        }
+        let mut exact = rep.clone();
+        exact.recompute_exact(initial.iter());
+        prop_assert!((rep.cr_self() - exact.cr_self()).abs() < 1e-8);
+        prop_assert!((rep.ss() - exact.ss()).abs() < 1e-8);
+        prop_assert_eq!(rep.size(), exact.size());
+    }
+
+    /// cr_sim between disjoint clusters obeys the merge identity (eq. 25).
+    #[test]
+    fn merge_identity(
+        p_members in prop::collection::vec(phi_strategy(), 1..6),
+        q_members in prop::collection::vec(phi_strategy(), 1..6),
+    ) {
+        let p = ClusterRep::from_members(DIM as usize, p_members.iter());
+        let q = ClusterRep::from_members(DIM as usize, q_members.iter());
+        let np = p.size() as f64;
+        let nq = q.size() as f64;
+        if np + nq < 2.0 {
+            return Ok(());
+        }
+        let merged = (p.cr_self() + 2.0 * p.dot_rep(&q) + q.cr_self() - p.ss() - q.ss())
+            / ((np + nq) * (np + nq - 1.0));
+        let mut all = p_members.clone();
+        all.extend(q_members.iter().cloned());
+        prop_assert!((merged - brute_avg_sim(&all)).abs() < 1e-9);
+    }
+
+    /// avg_sim is never negative and g_term is consistent.
+    #[test]
+    fn invariants(members in prop::collection::vec(phi_strategy(), 0..10)) {
+        let rep = ClusterRep::from_members(DIM as usize, members.iter());
+        prop_assert!(rep.avg_sim() >= 0.0);
+        prop_assert!((rep.g_term() - rep.size() as f64 * rep.avg_sim()).abs() < 1e-12);
+    }
+}

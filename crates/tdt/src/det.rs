@@ -1,0 +1,201 @@
+//! DET analysis and the TDT detection cost — the official evaluation
+//! methodology of the TDT programme the paper situates itself in (§2.1).
+//!
+//! A detector that emits a *score* per trial (here: the first-story novelty
+//! score, where **lower** means "more likely a first story") is evaluated by
+//! sweeping the decision threshold and plotting the *miss rate* against the
+//! *false-alarm rate* — the DET curve — and by the minimum of the TDT
+//! detection cost
+//!
+//! ```text
+//! C_det = C_miss·P_miss·P_target + C_fa·P_fa·(1 − P_target)
+//! ```
+//!
+//! normalised by `min(C_miss·P_target, C_fa·(1 − P_target))` so that 1.0 is
+//! the cost of the trivial detector. TDT used C_miss = 1, C_fa = 0.1,
+//! P_target = 0.02; those are the defaults here.
+
+/// One evaluated trial: ground truth plus the detector's score
+/// (lower score = detector leans "target").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trial {
+    /// Whether the trial really is a target (e.g. a true first story).
+    pub target: bool,
+    /// The detector's score; the decision rule is `score < threshold`.
+    pub score: f64,
+}
+
+/// One point of a DET curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f64,
+    /// Miss rate `P_miss` = missed targets / targets.
+    pub p_miss: f64,
+    /// False-alarm rate `P_fa` = false alarms / non-targets.
+    pub p_fa: f64,
+}
+
+/// TDT cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Cost of a miss (TDT: 1.0).
+    pub c_miss: f64,
+    /// Cost of a false alarm (TDT: 0.1).
+    pub c_fa: f64,
+    /// Prior probability of a target (TDT: 0.02).
+    pub p_target: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self {
+            c_miss: 1.0,
+            c_fa: 0.1,
+            p_target: 0.02,
+        }
+    }
+}
+
+impl CostParams {
+    /// The normalised detection cost at one DET point.
+    pub fn normalized_cost(&self, point: &DetPoint) -> f64 {
+        let raw = self.c_miss * point.p_miss * self.p_target
+            + self.c_fa * point.p_fa * (1.0 - self.p_target);
+        let norm = (self.c_miss * self.p_target).min(self.c_fa * (1.0 - self.p_target));
+        raw / norm
+    }
+}
+
+/// Sweeps every distinct score as a threshold and returns the DET curve
+/// (sorted by threshold, including the two trivial endpoints).
+///
+/// Returns an empty curve when the trials contain no targets or no
+/// non-targets (both rates would be degenerate).
+pub fn det_curve(trials: &[Trial]) -> Vec<DetPoint> {
+    let n_target = trials.iter().filter(|t| t.target).count();
+    let n_other = trials.len() - n_target;
+    if n_target == 0 || n_other == 0 {
+        return Vec::new();
+    }
+    let mut thresholds: Vec<f64> = trials.iter().map(|t| t.score).collect();
+    thresholds.push(f64::INFINITY); // declare-everything endpoint
+    thresholds.push(0.0); // declare-nothing endpoint (scores are ≥ 0)
+    thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    thresholds.dedup();
+    thresholds
+        .into_iter()
+        .map(|threshold| {
+            let mut misses = 0usize;
+            let mut fas = 0usize;
+            for t in trials {
+                let declared = t.score < threshold;
+                if t.target && !declared {
+                    misses += 1;
+                }
+                if !t.target && declared {
+                    fas += 1;
+                }
+            }
+            DetPoint {
+                threshold,
+                p_miss: misses as f64 / n_target as f64,
+                p_fa: fas as f64 / n_other as f64,
+            }
+        })
+        .collect()
+}
+
+/// The DET point minimising the normalised TDT detection cost, with the
+/// cost value. `None` for degenerate trial sets.
+pub fn min_cost(trials: &[Trial], params: &CostParams) -> Option<(DetPoint, f64)> {
+    det_curve(trials)
+        .into_iter()
+        .map(|p| (p, params.normalized_cost(&p)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trials() -> Vec<Trial> {
+        // targets score low, non-targets high — a good detector
+        vec![
+            Trial { target: true, score: 0.05 },
+            Trial { target: true, score: 0.10 },
+            Trial { target: true, score: 0.30 },
+            Trial { target: false, score: 0.40 },
+            Trial { target: false, score: 0.60 },
+            Trial { target: false, score: 0.80 },
+        ]
+    }
+
+    #[test]
+    fn curve_endpoints_are_trivial_detectors() {
+        let curve = det_curve(&trials());
+        let first = curve.first().unwrap(); // threshold 0: declare nothing
+        assert_eq!(first.p_miss, 1.0);
+        assert_eq!(first.p_fa, 0.0);
+        let last = curve.last().unwrap(); // threshold ∞: declare everything
+        assert_eq!(last.p_miss, 0.0);
+        assert_eq!(last.p_fa, 1.0);
+    }
+
+    #[test]
+    fn perfectly_separable_scores_reach_zero_cost() {
+        let (point, cost) = min_cost(&trials(), &CostParams::default()).unwrap();
+        assert_eq!(point.p_miss, 0.0);
+        assert_eq!(point.p_fa, 0.0);
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn overlapping_scores_have_positive_cost() {
+        let mixed = vec![
+            Trial { target: true, score: 0.5 },
+            Trial { target: false, score: 0.4 },
+            Trial { target: true, score: 0.3 },
+            Trial { target: false, score: 0.6 },
+        ];
+        let (_, cost) = min_cost(&mixed, &CostParams::default()).unwrap();
+        assert!(cost > 0.0);
+        // and never worse than the trivial detector
+        assert!(cost <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_decreases_with_threshold() {
+        let curve = det_curve(&trials());
+        for w in curve.windows(2) {
+            assert!(w[0].p_miss >= w[1].p_miss);
+            assert!(w[0].p_fa <= w[1].p_fa);
+        }
+    }
+
+    #[test]
+    fn degenerate_trials_yield_empty_curve() {
+        assert!(det_curve(&[]).is_empty());
+        let only_targets = vec![Trial { target: true, score: 0.1 }];
+        assert!(det_curve(&only_targets).is_empty());
+        assert!(min_cost(&only_targets, &CostParams::default()).is_none());
+    }
+
+    #[test]
+    fn cost_normalisation_bounds() {
+        // the all-or-nothing detectors both cost ≥ 1 under TDT weights
+        let p = CostParams::default();
+        let declare_nothing = DetPoint {
+            threshold: 0.0,
+            p_miss: 1.0,
+            p_fa: 0.0,
+        };
+        let declare_all = DetPoint {
+            threshold: f64::INFINITY,
+            p_miss: 0.0,
+            p_fa: 1.0,
+        };
+        assert!((p.normalized_cost(&declare_nothing) - 1.0).abs() < 1e-12);
+        assert!(p.normalized_cost(&declare_all) >= 1.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! First-story detection under the document forgetting model.
+
+use std::collections::BTreeMap;
+
+use nidc_forgetting::{DecayParams, Repository, StatsSnapshot, Timestamp};
+use nidc_textproc::{DocId, SparseVector};
+
+use crate::SimIndex;
+
+/// Configuration for [`FirstStoryDetector`].
+#[derive(Debug, Clone)]
+pub struct FsdConfig {
+    /// Novelty threshold θ ∈ (0, 1): a document is a *first story* iff its
+    /// novelty score — the mean similarity of its `top_k` most similar live
+    /// documents, normalised by the document's *shareable* self-similarity —
+    /// falls below θ.
+    ///
+    /// A fresh duplicate scores ≈ 1; a duplicate of a half-forgotten story
+    /// scores ≈ its decayed weight — so θ also controls how forgotten a
+    /// topic must be before its re-emergence counts as news again.
+    pub threshold: f64,
+    /// How many nearest stories the score averages over. Averaging (rather
+    /// than taking the single maximum) suppresses one-off vocabulary
+    /// flukes; 3 is a good default.
+    pub top_k: usize,
+    /// Days between full φ/index rebuilds (statistics drift between
+    /// rebuilds is second-order; 1 day matches the paper's update cadence).
+    pub rebuild_every: f64,
+}
+
+impl Default for FsdConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.2,
+            top_k: 3,
+            rebuild_every: 1.0,
+        }
+    }
+}
+
+/// The verdict for one processed document.
+#[derive(Debug, Clone)]
+pub struct FsdDecision {
+    /// The document assessed.
+    pub id: DocId,
+    /// Whether it was flagged as the first story of a new topic.
+    pub is_first_story: bool,
+    /// The most similar live document at assessment time, if any.
+    pub nearest: Option<(DocId, f64)>,
+    /// The normalised novelty score `max sim(q,d)/sim(q,q)` (0 = nothing
+    /// similar is remembered).
+    pub score: f64,
+}
+
+/// Streaming first-story detector (TDT's FSD task, under the forgetting
+/// model: "new" means new *relative to what the stream still remembers*).
+///
+/// ```
+/// use nidc_forgetting::{DecayParams, Timestamp};
+/// use nidc_tdt::{FirstStoryDetector, FsdConfig};
+/// use nidc_textproc::{DocId, SparseVector, TermId};
+///
+/// let tf = |p: &[(u32, f64)]| SparseVector::from_entries(
+///     p.iter().map(|&(i, w)| (TermId(i), w)).collect());
+/// let mut fsd = FirstStoryDetector::new(
+///     DecayParams::from_spans(7.0, 21.0).unwrap(), FsdConfig::default());
+///
+/// let d0 = fsd.process(DocId(0), Timestamp(0.0), tf(&[(0, 3.0), (1, 1.0)])).unwrap();
+/// assert!(d0.is_first_story); // nothing seen before
+/// let d1 = fsd.process(DocId(1), Timestamp(0.1), tf(&[(0, 2.0), (1, 2.0)])).unwrap();
+/// assert!(!d1.is_first_story); // same story
+/// let d2 = fsd.process(DocId(2), Timestamp(0.2), tf(&[(9, 3.0)])).unwrap();
+/// assert!(d2.is_first_story); // a genuinely new topic
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirstStoryDetector {
+    repo: Repository,
+    config: FsdConfig,
+    index: SimIndex,
+    phis: BTreeMap<DocId, SparseVector>,
+    snapshot: Option<StatsSnapshot>,
+    last_rebuild: f64,
+}
+
+impl FirstStoryDetector {
+    /// Creates a detector.
+    pub fn new(decay: DecayParams, config: FsdConfig) -> Self {
+        Self {
+            repo: Repository::new(decay),
+            config,
+            index: SimIndex::new(),
+            phis: BTreeMap::new(),
+            snapshot: None,
+            last_rebuild: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The underlying repository.
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// Rebuilds φ vectors and the index from the current statistics.
+    fn rebuild(&mut self) {
+        let snapshot = self.repo.snapshot();
+        self.phis.clear();
+        let mut index = SimIndex::new();
+        for (id, entry) in self.repo.iter() {
+            let Some(pr) = snapshot.pr_doc(id) else {
+                continue;
+            };
+            let scale = pr / entry.len();
+            let phi = SparseVector::from_sorted(
+                entry
+                    .tf()
+                    .iter()
+                    .filter_map(|(t, f)| {
+                        let idf = snapshot.idf(t);
+                        (idf > 0.0).then_some((t, scale * f * idf))
+                    })
+                    .collect(),
+            );
+            index.insert(id, &phi);
+            self.phis.insert(id, phi);
+        }
+        self.index = index;
+        self.snapshot = Some(snapshot);
+        self.last_rebuild = self.repo.now().days();
+    }
+
+    /// φ for one document under the cached snapshot's idf, but the current
+    /// `Pr(d)` (fresh documents are not in the cached snapshot).
+    fn phi_for(&self, id: DocId) -> SparseVector {
+        let entry = self.repo.doc(id).expect("caller inserted the doc");
+        let snapshot = self.snapshot.as_ref().expect("rebuild ran at least once");
+        let pr = self.repo.pr_doc(id).expect("live doc");
+        let scale = pr / entry.len();
+        SparseVector::from_sorted(
+            entry
+                .tf()
+                .iter()
+                .filter_map(|(t, f)| {
+                    let idf = snapshot.idf(t);
+                    (idf > 0.0).then_some((t, scale * f * idf))
+                })
+                .collect(),
+        )
+    }
+
+    /// Ingests one document (chronological order) and decides whether it is
+    /// a first story.
+    ///
+    /// # Errors
+    /// Propagates repository errors (duplicates, time going backwards, …).
+    pub fn process(
+        &mut self,
+        id: DocId,
+        t: Timestamp,
+        tf: SparseVector,
+    ) -> nidc_forgetting::Result<FsdDecision> {
+        self.repo.insert(id, t, tf)?;
+        // drop expired stories from the searchable memory
+        for dead in self.repo.expire() {
+            if let Some(phi) = self.phis.remove(&dead) {
+                self.index.remove(dead, &phi);
+            }
+        }
+        if self.repo.now().days() - self.last_rebuild >= self.config.rebuild_every {
+            self.rebuild();
+        }
+        let phi = self.phi_for(id);
+        // Normalise by the *shareable* self-similarity: terms no previous
+        // live document contains (names, one-off words) inflate ‖φ‖² under
+        // idf = 1/√Pr but can never contribute to a similarity, so they are
+        // excluded from the denominator. The score is then "how much of the
+        // vocabulary the stream could recognise does the closest remembered
+        // story actually match" — 1 for a fresh duplicate, ~dw for a
+        // half-forgotten one, 0 for an all-new story.
+        let self_sim = self.index.shareable_norm_sq(&phi);
+        let top = if self_sim > 0.0 {
+            self.index.top_n(&phi, self.config.top_k.max(1), Some(id))
+        } else {
+            Vec::new()
+        };
+        let nearest = top.first().copied();
+        let score = if top.is_empty() || self_sim <= 0.0 {
+            0.0
+        } else {
+            (top.iter().map(|&(_, s)| s).sum::<f64>() / (self_sim * top.len() as f64)).max(0.0)
+        };
+        // make the newcomer part of the searchable memory
+        self.index.insert(id, &phi);
+        self.phis.insert(id, phi);
+        Ok(FsdDecision {
+            id,
+            is_first_story: score < self.config.threshold,
+            nearest,
+            score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nidc_textproc::TermId;
+
+    fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    fn detector() -> FirstStoryDetector {
+        FirstStoryDetector::new(
+            DecayParams::from_spans(7.0, 21.0).unwrap(),
+            FsdConfig::default(),
+        )
+    }
+
+    #[test]
+    fn very_first_document_is_a_first_story() {
+        let mut fsd = detector();
+        let d = fsd
+            .process(DocId(0), Timestamp(0.0), tf(&[(0, 1.0)]))
+            .unwrap();
+        assert!(d.is_first_story);
+        assert!(d.nearest.is_none());
+        assert_eq!(d.score, 0.0);
+    }
+
+    #[test]
+    fn followups_are_not_first_stories() {
+        let mut fsd = detector();
+        fsd.process(DocId(0), Timestamp(0.0), tf(&[(0, 3.0), (1, 1.0)]))
+            .unwrap();
+        let d = fsd
+            .process(DocId(1), Timestamp(0.1), tf(&[(0, 3.0), (1, 1.0)]))
+            .unwrap();
+        assert!(!d.is_first_story, "duplicate flagged as first story: {d:?}");
+        assert_eq!(d.nearest.unwrap().0, DocId(0));
+        assert!(d.score > 0.5);
+    }
+
+    #[test]
+    fn new_topic_is_detected_among_old_ones() {
+        let mut fsd = detector();
+        for i in 0..5u64 {
+            fsd.process(
+                DocId(i),
+                Timestamp(0.05 * i as f64),
+                tf(&[(0, 3.0), (1, 2.0), (2 + (i % 2) as u32, 1.0)]),
+            )
+            .unwrap();
+        }
+        let d = fsd
+            .process(DocId(10), Timestamp(0.5), tf(&[(20, 3.0), (21, 2.0)]))
+            .unwrap();
+        assert!(d.is_first_story, "{d:?}");
+    }
+
+    #[test]
+    fn forgotten_topics_become_news_again() {
+        let mut fsd = detector();
+        fsd.process(DocId(0), Timestamp(0.0), tf(&[(0, 3.0), (1, 2.0)]))
+            .unwrap();
+        // immediate repeat: old story
+        let fresh = fsd
+            .process(DocId(1), Timestamp(0.2), tf(&[(0, 3.0), (1, 2.0)]))
+            .unwrap();
+        assert!(!fresh.is_first_story);
+        // the same story again after everything expired (γ = 21 days)
+        let after_expiry = fsd
+            .process(DocId(2), Timestamp(30.0), tf(&[(0, 3.0), (1, 2.0)]))
+            .unwrap();
+        assert!(
+            after_expiry.is_first_story,
+            "expired topic should be news again: {after_expiry:?}"
+        );
+    }
+
+    #[test]
+    fn decayed_near_duplicates_score_lower_than_fresh_ones() {
+        let mut fsd = detector();
+        fsd.process(DocId(0), Timestamp(0.0), tf(&[(0, 3.0), (1, 2.0)]))
+            .unwrap();
+        let early = fsd
+            .process(DocId(1), Timestamp(0.1), tf(&[(0, 3.0), (1, 2.0)]))
+            .unwrap();
+        // the same comparison 6 days later: doc 0 and 1 have decayed
+        let mut fsd2 = detector();
+        fsd2.process(DocId(0), Timestamp(0.0), tf(&[(0, 3.0), (1, 2.0)]))
+            .unwrap();
+        fsd2.process(DocId(1), Timestamp(0.1), tf(&[(0, 3.0), (1, 2.0)]))
+            .unwrap();
+        let late = fsd2
+            .process(DocId(2), Timestamp(6.0), tf(&[(0, 3.0), (1, 2.0)]))
+            .unwrap();
+        assert!(
+            late.score < early.score,
+            "decay must lower the novelty score: late {} vs early {}",
+            late.score,
+            early.score
+        );
+    }
+
+    #[test]
+    fn chronology_is_enforced() {
+        let mut fsd = detector();
+        fsd.process(DocId(0), Timestamp(5.0), tf(&[(0, 1.0)]))
+            .unwrap();
+        assert!(fsd
+            .process(DocId(1), Timestamp(1.0), tf(&[(0, 1.0)]))
+            .is_err());
+    }
+}

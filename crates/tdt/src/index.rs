@@ -1,0 +1,215 @@
+//! An inverted index over φ vectors for fast maximum-similarity search.
+
+use std::collections::BTreeMap;
+
+use nidc_textproc::{DocId, SparseVector, TermId};
+
+/// Inverted index `term → [(doc, φ weight)]` over contribution vectors.
+///
+/// `sim(q, d) = φ_q · φ_d` only receives contributions from terms the two
+/// documents share, so scoring a query against *all* indexed documents costs
+/// `Σ_{t ∈ q} |postings(t)|` — independent of corpus size for rare terms.
+///
+/// The index holds plain copies of the φ weights; it is rebuilt (or edited
+/// with [`SimIndex::insert`]/[`SimIndex::remove`]) whenever the caller's φ
+/// vectors are refreshed.
+#[derive(Debug, Clone, Default)]
+pub struct SimIndex {
+    postings: BTreeMap<TermId, Vec<(DocId, f64)>>,
+    docs: BTreeMap<DocId, f64>, // id → |φ|² (self similarity)
+}
+
+impl SimIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index over `(id, φ)` pairs.
+    pub fn build<'a, I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (DocId, &'a SparseVector)>,
+    {
+        let mut index = Self::new();
+        for (id, phi) in entries {
+            index.insert(id, phi);
+        }
+        index
+    }
+
+    /// Adds one document's φ vector.
+    pub fn insert(&mut self, id: DocId, phi: &SparseVector) {
+        for (t, w) in phi.iter() {
+            self.postings.entry(t).or_default().push((id, w));
+        }
+        self.docs.insert(id, phi.norm_sq());
+    }
+
+    /// Removes a document (postings are pruned lazily but completely).
+    pub fn remove(&mut self, id: DocId, phi: &SparseVector) {
+        for (t, _) in phi.iter() {
+            if let Some(list) = self.postings.get_mut(&t) {
+                list.retain(|&(d, _)| d != id);
+                if list.is_empty() {
+                    self.postings.remove(&t);
+                }
+            }
+        }
+        self.docs.remove(&id);
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Whether `id` is indexed.
+    pub fn contains(&self, id: DocId) -> bool {
+        self.docs.contains_key(&id)
+    }
+
+    /// Document frequency of `term` among the indexed documents.
+    pub fn df(&self, term: TermId) -> usize {
+        self.postings.get(&term).map_or(0, Vec::len)
+    }
+
+    /// The portion of `‖query‖²` carried by terms at least one indexed
+    /// document shares — the maximum similarity mass the indexed collection
+    /// could possibly "see" of `query`. Terms unknown to the index cannot
+    /// contribute to any similarity and are excluded.
+    pub fn shareable_norm_sq(&self, query: &SparseVector) -> f64 {
+        query
+            .iter()
+            .filter(|&(t, _)| self.postings.contains_key(&t))
+            .map(|(_, w)| w * w)
+            .sum()
+    }
+
+    /// Scores `query` against every indexed document it shares a term with,
+    /// returning the accumulated `φ_q·φ_d` per document.
+    pub fn scores(&self, query: &SparseVector) -> BTreeMap<DocId, f64> {
+        let mut acc: BTreeMap<DocId, f64> = BTreeMap::new();
+        for (t, qw) in query.iter() {
+            if let Some(list) = self.postings.get(&t) {
+                for &(d, w) in list {
+                    *acc.entry(d).or_insert(0.0) += qw * w;
+                }
+            }
+        }
+        acc
+    }
+
+    /// The most similar indexed document to `query` (excluding `exclude`,
+    /// typically the query document itself), with its similarity.
+    /// `None` when nothing shares a term.
+    pub fn nearest(&self, query: &SparseVector, exclude: Option<DocId>) -> Option<(DocId, f64)> {
+        self.scores(query)
+            .into_iter()
+            .filter(|&(d, _)| Some(d) != exclude)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// The `n` most similar documents, descending.
+    pub fn top_n(
+        &self,
+        query: &SparseVector,
+        n: usize,
+        exclude: Option<DocId>,
+    ) -> Vec<(DocId, f64)> {
+        let mut hits: Vec<(DocId, f64)> = self
+            .scores(query)
+            .into_iter()
+            .filter(|&(d, _)| Some(d) != exclude)
+            .collect();
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        hits.truncate(n);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phi(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    fn sample() -> (SimIndex, Vec<SparseVector>) {
+        let vecs = vec![
+            phi(&[(0, 0.5), (1, 0.3)]),
+            phi(&[(0, 0.4), (2, 0.2)]),
+            phi(&[(5, 0.9)]),
+        ];
+        let index = SimIndex::build(vecs.iter().enumerate().map(|(i, v)| (DocId(i as u64), v)));
+        (index, vecs)
+    }
+
+    #[test]
+    fn scores_match_brute_force_dots() {
+        let (index, vecs) = sample();
+        let q = phi(&[(0, 1.0), (2, 1.0)]);
+        let scores = index.scores(&q);
+        for (i, v) in vecs.iter().enumerate() {
+            let expected = q.dot(v);
+            let got = scores.get(&DocId(i as u64)).copied().unwrap_or(0.0);
+            assert!((got - expected).abs() < 1e-12, "doc {i}");
+        }
+    }
+
+    #[test]
+    fn nearest_excludes_self() {
+        let (index, vecs) = sample();
+        let (d, s) = index.nearest(&vecs[0], Some(DocId(0))).unwrap();
+        assert_eq!(d, DocId(1)); // shares term 0
+        assert!((s - vecs[0].dot(&vecs[1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_none_when_disjoint() {
+        let (index, _) = sample();
+        assert!(index.nearest(&phi(&[(9, 1.0)]), None).is_none());
+    }
+
+    #[test]
+    fn top_n_is_sorted_and_truncated() {
+        let (index, _) = sample();
+        let q = phi(&[(0, 1.0), (5, 1.0)]);
+        let top = index.top_n(&q, 2, None);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn remove_erases_document_completely() {
+        let (mut index, vecs) = sample();
+        index.remove(DocId(0), &vecs[0]);
+        assert!(!index.contains(DocId(0)));
+        assert_eq!(index.len(), 2);
+        let q = phi(&[(1, 1.0)]); // term 1 only appeared in doc 0
+        assert!(index.scores(&q).is_empty());
+    }
+
+    #[test]
+    fn insert_after_remove_works() {
+        let (mut index, vecs) = sample();
+        index.remove(DocId(2), &vecs[2]);
+        index.insert(DocId(2), &vecs[2]);
+        assert!(index.contains(DocId(2)));
+        let (d, _) = index.nearest(&phi(&[(5, 1.0)]), None).unwrap();
+        assert_eq!(d, DocId(2));
+    }
+
+    #[test]
+    fn empty_index_behaviour() {
+        let index = SimIndex::new();
+        assert!(index.is_empty());
+        assert!(index.nearest(&phi(&[(0, 1.0)]), None).is_none());
+        assert!(index.top_n(&phi(&[(0, 1.0)]), 3, None).is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! TDT tasks on top of the novelty-based similarity.
+//!
+//! The paper situates itself in the Topic Detection and Tracking programme
+//! (§2.1) and lists its canonical tasks; two of them fall out naturally once
+//! the forgetting-weighted similarity exists, and this crate implements
+//! them as applications of the library:
+//!
+//! * **First-story detection** ([`FirstStoryDetector`]) — an incoming
+//!   document is the first story of a new topic iff its maximum similarity
+//!   to every story still alive in the repository falls below a threshold.
+//!   The document forgetting model gives this a natural twist: stories
+//!   older than the life span have expired, and near-expired stories have
+//!   lost most of their weight, so "new" means *new relative to what the
+//!   stream still remembers* — exactly the semantics an on-line monitor
+//!   wants.
+//! * **Topic tracking** ([`TopicTracker`]) — given a handful of example
+//!   stories, follow the stream and flag documents whose similarity to the
+//!   (decaying) topic profile clears a threshold.
+//!
+//! Both are driven by [`SimIndex`], an inverted index over the φ
+//! (contribution) vectors that answers "which live document is most similar
+//! to this one?" in time proportional to the postings of the query's terms
+//! rather than to the corpus size. Results are scored with TDT's official
+//! methodology — DET curves and the normalised detection cost — in [`det`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod det;
+mod fsd;
+mod index;
+mod tracker;
+
+pub use det::{det_curve, min_cost, CostParams, DetPoint, Trial};
+pub use fsd::{FirstStoryDetector, FsdConfig, FsdDecision};
+pub use index::SimIndex;
+pub use tracker::{TopicTracker, TrackerConfig};

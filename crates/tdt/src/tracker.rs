@@ -1,0 +1,171 @@
+//! Topic tracking: follow a stream for stories similar to a set of example
+//! stories (TDT's tracking task, §2.1 of the paper).
+
+use nidc_textproc::SparseVector;
+
+/// Configuration for [`TopicTracker`].
+#[derive(Debug, Clone)]
+pub struct TrackerConfig {
+    /// Cosine threshold against the topic profile for a document to count
+    /// as on-topic.
+    pub threshold: f64,
+    /// Adaptive tracking: absorb every on-topic document into the profile
+    /// (classic TDT "adaptive tracking"; off = fixed profile from the
+    /// seed stories only).
+    pub adaptive: bool,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.35,
+            adaptive: true,
+        }
+    }
+}
+
+/// A tracker for one topic, seeded with example story vectors.
+///
+/// Works on any vector representation; for the novelty semantics pass the φ
+/// (contribution) vectors of `nidc_similarity::DocVectors`, so that decayed
+/// old stories pull the profile less than fresh ones. Scores are cosines,
+/// so the threshold is scale-free.
+///
+/// ```
+/// use nidc_tdt::{TopicTracker, TrackerConfig};
+/// use nidc_textproc::{SparseVector, TermId};
+///
+/// let v = |p: &[(u32, f64)]| SparseVector::from_entries(
+///     p.iter().map(|&(i, w)| (TermId(i), w)).collect());
+/// let mut tracker = TopicTracker::new(
+///     [v(&[(0, 1.0), (1, 0.5)])], TrackerConfig::default()).unwrap();
+/// assert!(tracker.assess(&v(&[(0, 0.8), (1, 0.6)])).1); // on topic
+/// assert!(!tracker.assess(&v(&[(9, 1.0)])).1);          // unrelated
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopicTracker {
+    profile: SparseVector,
+    config: TrackerConfig,
+    tracked: usize,
+}
+
+impl TopicTracker {
+    /// Builds a tracker from at least one non-zero seed vector. Returns
+    /// `None` if every seed is the zero vector.
+    pub fn new<I>(seeds: I, config: TrackerConfig) -> Option<Self>
+    where
+        I: IntoIterator<Item = SparseVector>,
+    {
+        let mut profile = SparseVector::new();
+        for s in seeds {
+            profile = profile.add_scaled(&s, 1.0);
+        }
+        if profile.norm() == 0.0 {
+            return None;
+        }
+        Some(Self {
+            profile,
+            config,
+            tracked: 0,
+        })
+    }
+
+    /// The current (unnormalised) topic profile.
+    pub fn profile(&self) -> &SparseVector {
+        &self.profile
+    }
+
+    /// Number of documents absorbed so far (adaptive mode only).
+    pub fn tracked(&self) -> usize {
+        self.tracked
+    }
+
+    /// The cosine of `doc` against the profile.
+    pub fn score(&self, doc: &SparseVector) -> f64 {
+        self.profile.cosine(doc)
+    }
+
+    /// Scores `doc` and, in adaptive mode, absorbs it when on-topic.
+    /// Returns `(score, on_topic)`.
+    pub fn assess(&mut self, doc: &SparseVector) -> (f64, bool) {
+        let score = self.score(doc);
+        let on_topic = score >= self.config.threshold;
+        if on_topic && self.config.adaptive {
+            self.profile = self.profile.add_scaled(doc, 1.0);
+            self.tracked += 1;
+        }
+        (score, on_topic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nidc_textproc::TermId;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    #[test]
+    fn tracks_related_rejects_unrelated() {
+        let mut t =
+            TopicTracker::new([v(&[(0, 1.0), (1, 1.0)])], TrackerConfig::default()).unwrap();
+        let (s, on) = t.assess(&v(&[(0, 1.0), (1, 0.8)]));
+        assert!(on && s > 0.9);
+        let (s, on) = t.assess(&v(&[(7, 1.0)]));
+        assert!(!on && s == 0.0);
+    }
+
+    #[test]
+    fn adaptive_profile_drifts_with_the_story() {
+        let mut t = TopicTracker::new(
+            [v(&[(0, 1.0)])],
+            TrackerConfig {
+                threshold: 0.3,
+                adaptive: true,
+            },
+        )
+        .unwrap();
+        // a follow-up introduces term 1; after absorption, term-1-only
+        // documents become trackable
+        assert!(t.assess(&v(&[(0, 1.0), (1, 1.0)])).1);
+        assert_eq!(t.tracked(), 1);
+        let (s, on) = t.assess(&v(&[(1, 1.0)]));
+        assert!(on, "drifted profile should track the new wording (s={s})");
+    }
+
+    #[test]
+    fn non_adaptive_profile_is_fixed() {
+        let mut t = TopicTracker::new(
+            [v(&[(0, 1.0)])],
+            TrackerConfig {
+                threshold: 0.3,
+                adaptive: false,
+            },
+        )
+        .unwrap();
+        assert!(t.assess(&v(&[(0, 1.0), (1, 1.0)])).1);
+        assert_eq!(t.tracked(), 0);
+        assert!(!t.assess(&v(&[(1, 1.0)])).1, "fixed profile must not drift");
+    }
+
+    #[test]
+    fn zero_seeds_are_rejected() {
+        assert!(TopicTracker::new([SparseVector::new()], TrackerConfig::default()).is_none());
+        assert!(
+            TopicTracker::new(std::iter::empty::<SparseVector>(), TrackerConfig::default())
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn multiple_seeds_average_the_topic() {
+        let t =
+            TopicTracker::new([v(&[(0, 1.0)]), v(&[(1, 1.0)])], TrackerConfig::default()).unwrap();
+        // equidistant from both seeds scores higher than either alone would
+        let s_mid = t.score(&v(&[(0, 1.0), (1, 1.0)]));
+        let s_one = t.score(&v(&[(0, 1.0)]));
+        assert!(s_mid > s_one);
+    }
+}

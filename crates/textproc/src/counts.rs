@@ -1,0 +1,147 @@
+//! Term-frequency bags (`f_ik` in the paper's eq. 8).
+
+use std::collections::BTreeMap;
+
+use crate::{SparseVector, TermId};
+
+/// A bag of term counts for one document: `term → frequency`.
+///
+/// Backed by a `BTreeMap` so iteration is already in term-id order, which
+/// lets [`TermCounts::to_sparse`] build a valid [`SparseVector`] without
+/// re-sorting.
+///
+/// ```
+/// use nidc_textproc::{TermCounts, TermId};
+///
+/// let mut c = TermCounts::new();
+/// c.add(TermId(3));
+/// c.add(TermId(1));
+/// c.add(TermId(3));
+/// assert_eq!(c.get(TermId(3)), 2);
+/// assert_eq!(c.total(), 3);
+/// assert_eq!(c.distinct(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TermCounts {
+    counts: BTreeMap<TermId, u32>,
+    total: u64,
+}
+
+impl TermCounts {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the count of `term` by one.
+    pub fn add(&mut self, term: TermId) {
+        self.add_n(term, 1);
+    }
+
+    /// Increments the count of `term` by `n`.
+    pub fn add_n(&mut self, term: TermId, n: u32) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(term).or_insert(0) += n;
+        self.total += u64::from(n);
+    }
+
+    /// The count of `term` (0 if absent).
+    pub fn get(&self, term: TermId) -> u32 {
+        self.counts.get(&term).copied().unwrap_or(0)
+    }
+
+    /// Total number of token occurrences, `len_i = Σ_l f_il` (eq. 15).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct terms.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `(term, count)` in term-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, u32)> + '_ {
+        self.counts.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// Converts the raw counts into a [`SparseVector`] of `f64` frequencies.
+    pub fn to_sparse(&self) -> SparseVector {
+        SparseVector::from_sorted(
+            self.counts
+                .iter()
+                .map(|(&t, &c)| (t, f64::from(c)))
+                .collect(),
+        )
+    }
+}
+
+impl FromIterator<TermId> for TermCounts {
+    fn from_iter<I: IntoIterator<Item = TermId>>(iter: I) -> Self {
+        let mut c = TermCounts::new();
+        for t in iter {
+            c.add(t);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = TermCounts::new();
+        c.add(TermId(5));
+        c.add(TermId(5));
+        c.add(TermId(1));
+        assert_eq!(c.get(TermId(5)), 2);
+        assert_eq!(c.get(TermId(1)), 1);
+        assert_eq!(c.get(TermId(0)), 0);
+    }
+
+    #[test]
+    fn totals_track_occurrences() {
+        let mut c = TermCounts::new();
+        c.add_n(TermId(0), 10);
+        c.add_n(TermId(1), 5);
+        c.add_n(TermId(1), 0); // no-op
+        assert_eq!(c.total(), 15);
+        assert_eq!(c.distinct(), 2);
+    }
+
+    #[test]
+    fn to_sparse_preserves_order_and_values() {
+        let c: TermCounts = [TermId(9), TermId(2), TermId(9), TermId(2), TermId(2)]
+            .into_iter()
+            .collect();
+        let s = c.to_sparse();
+        assert_eq!(s.entries(), &[(TermId(2), 3.0), (TermId(9), 2.0)]);
+        assert_eq!(s.sum(), c.total() as f64);
+    }
+
+    #[test]
+    fn iter_in_term_order() {
+        let mut c = TermCounts::new();
+        c.add(TermId(7));
+        c.add(TermId(0));
+        let got: Vec<_> = c.iter().collect();
+        assert_eq!(got, vec![(TermId(0), 1), (TermId(7), 1)]);
+    }
+
+    #[test]
+    fn empty_bag() {
+        let c = TermCounts::new();
+        assert!(c.is_empty());
+        assert_eq!(c.total(), 0);
+        assert!(c.to_sparse().is_empty());
+    }
+}

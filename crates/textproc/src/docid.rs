@@ -1,0 +1,48 @@
+//! Document identifiers shared across the workspace.
+
+use std::fmt;
+
+/// Identifier of a document in the repository.
+///
+/// `DocId`s are assigned by whoever produces documents (the corpus generator,
+/// a feed reader, …) and are treated as opaque by the clustering machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u64);
+
+impl DocId {
+    /// The id as a `usize` (for indexing into dense side tables).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl From<u64> for DocId {
+    fn from(v: u64) -> Self {
+        DocId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let d: DocId = 42u64.into();
+        assert_eq!(d, DocId(42));
+        assert_eq!(d.to_string(), "d42");
+        assert_eq!(d.index(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(DocId(1) < DocId(2));
+    }
+}

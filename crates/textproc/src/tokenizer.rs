@@ -1,0 +1,157 @@
+//! Word tokenisation.
+//!
+//! News text (the paper's input) is tokenised into lower-case word tokens.
+//! The tokenizer is configurable so tests and the synthetic corpus (which
+//! already produces clean tokens) can bypass filtering steps.
+
+/// Configuration for [`Tokenizer`].
+#[derive(Debug, Clone)]
+pub struct TokenizerConfig {
+    /// Lower-case every token (default: true).
+    pub lowercase: bool,
+    /// Minimum token length in characters (default: 2).
+    pub min_len: usize,
+    /// Maximum token length in characters; longer tokens are dropped
+    /// (default: 40 — catches URLs and junk).
+    pub max_len: usize,
+    /// Drop tokens containing any digit (default: false; years like "1998"
+    /// are meaningful in news).
+    pub drop_numeric: bool,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        Self {
+            lowercase: true,
+            min_len: 2,
+            max_len: 40,
+            drop_numeric: false,
+        }
+    }
+}
+
+/// Splits raw text into word tokens.
+///
+/// A token is a maximal run of alphanumeric characters; apostrophes and
+/// hyphens *inside* a word are kept (so "don't" and "co-operate" survive as
+/// single tokens), while all other punctuation separates tokens.
+///
+/// ```
+/// use nidc_textproc::Tokenizer;
+///
+/// let t = Tokenizer::default();
+/// let toks: Vec<_> = t.tokenize("U.S. stocks — they don't fall!").collect();
+/// assert_eq!(toks, vec!["u.s", "stocks", "they", "don't", "fall"]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with the given configuration.
+    pub fn new(config: TokenizerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    /// Tokenises `text`, yielding owned tokens.
+    pub fn tokenize<'a>(&'a self, text: &'a str) -> impl Iterator<Item = String> + 'a {
+        let cfg = &self.config;
+        text.split(|c: char| !(c.is_alphanumeric() || c == '\'' || c == '-' || c == '.'))
+            .flat_map(|chunk| {
+                // trim joining punctuation from the edges
+                let trimmed = chunk.trim_matches(|c: char| c == '\'' || c == '-' || c == '.');
+                if trimmed.is_empty() {
+                    None
+                } else {
+                    Some(trimmed)
+                }
+            })
+            .filter_map(move |tok| {
+                let n_chars = tok.chars().count();
+                if n_chars < cfg.min_len || n_chars > cfg.max_len {
+                    return None;
+                }
+                if cfg.drop_numeric && tok.chars().any(|c| c.is_ascii_digit()) {
+                    return None;
+                }
+                Some(if cfg.lowercase {
+                    tok.to_lowercase()
+                } else {
+                    tok.to_owned()
+                })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> Vec<String> {
+        Tokenizer::default().tokenize(text).collect()
+    }
+
+    #[test]
+    fn splits_on_whitespace_and_punctuation() {
+        assert_eq!(toks("hello, world"), vec!["hello", "world"]);
+        assert_eq!(toks("a;b|c"), Vec::<String>::new()); // all length-1
+        assert_eq!(toks("one;two|three"), vec!["one", "two", "three"]);
+    }
+
+    #[test]
+    fn lowercases_by_default() {
+        assert_eq!(toks("Asian CRISIS"), vec!["asian", "crisis"]);
+    }
+
+    #[test]
+    fn keeps_internal_apostrophes_and_hyphens() {
+        assert_eq!(toks("don't co-operate"), vec!["don't", "co-operate"]);
+    }
+
+    #[test]
+    fn trims_edge_punctuation() {
+        assert_eq!(
+            toks("'quoted' -dashed- end."),
+            vec!["quoted", "dashed", "end"]
+        );
+    }
+
+    #[test]
+    fn min_length_filter() {
+        assert_eq!(toks("I a to be or"), vec!["to", "be", "or"]);
+    }
+
+    #[test]
+    fn max_length_filter_drops_junk() {
+        let long = "x".repeat(50);
+        assert_eq!(toks(&format!("ok {long} fine")), vec!["ok", "fine"]);
+    }
+
+    #[test]
+    fn numeric_tokens_kept_by_default_dropped_on_request() {
+        assert_eq!(toks("in 1998 olympics"), vec!["in", "1998", "olympics"]);
+        let t = Tokenizer::new(TokenizerConfig {
+            drop_numeric: true,
+            ..TokenizerConfig::default()
+        });
+        let got: Vec<_> = t.tokenize("in 1998 olympics").collect();
+        assert_eq!(got, vec!["in", "olympics"]);
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(toks("café naïve"), vec!["café", "naïve"]);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(toks("").is_empty());
+        assert!(toks("   \t\n").is_empty());
+    }
+}

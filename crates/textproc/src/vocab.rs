@@ -1,0 +1,173 @@
+//! Bidirectional term interning.
+//!
+//! Every distinct term string in the document repository is assigned a dense
+//! [`TermId`]. Dense ids keep sparse vectors small (`u32` instead of `String`)
+//! and make the per-term statistics of the forgetting model (`Pr(t_k)`,
+//! eq. 10 of the paper) indexable by plain `Vec`s.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned term.
+///
+/// Ids are dense: the first interned term receives id 0, the next id 1, …
+/// A `TermId` is only meaningful relative to the [`Vocabulary`] that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A bidirectional mapping between term strings and dense [`TermId`]s.
+///
+/// ```
+/// use nidc_textproc::Vocabulary;
+///
+/// let mut vocab = Vocabulary::new();
+/// let a = vocab.intern("crisis");
+/// let b = vocab.intern("strike");
+/// assert_ne!(a, b);
+/// assert_eq!(vocab.intern("crisis"), a); // idempotent
+/// assert_eq!(vocab.term(a), Some("crisis"));
+/// assert_eq!(vocab.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: HashMap<String, TermId>,
+    by_id: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty vocabulary with room for `cap` terms.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            by_term: HashMap::with_capacity(cap),
+            by_id: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Interns `term`, returning its id. Existing terms keep their id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id =
+            TermId(u32::try_from(self.by_id.len()).expect("vocabulary exceeded u32::MAX terms"));
+        self.by_id.push(term.to_owned());
+        self.by_term.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Looks up the id of `term` without interning it.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Returns the string for `id`, if `id` was issued by this vocabulary.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.by_id.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether no terms have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(TermId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TermId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a"), TermId(0));
+        assert_eq!(v.intern("b"), TermId(1));
+        assert_eq!(v.intern("c"), TermId(2));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("news");
+        let a2 = v.intern("news");
+        assert_eq!(a, a2);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.get("ghost"), None);
+        assert_eq!(v.len(), 0);
+        v.intern("ghost");
+        assert_eq!(v.get("ghost"), Some(TermId(0)));
+    }
+
+    #[test]
+    fn roundtrip_term_lookup() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("tsukuba");
+        assert_eq!(v.term(id), Some("tsukuba"));
+        assert_eq!(v.term(TermId(99)), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut v = Vocabulary::new();
+        for t in ["x", "y", "z"] {
+            v.intern(t);
+        }
+        let collected: Vec<_> = v.iter().map(|(id, s)| (id.0, s.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![
+                (0, "x".to_owned()),
+                (1, "y".to_owned()),
+                (2, "z".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_vocab_reports_empty() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn display_term_id() {
+        assert_eq!(TermId(7).to_string(), "t7");
+    }
+}

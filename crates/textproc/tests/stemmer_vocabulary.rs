@@ -1,0 +1,213 @@
+//! Extended Porter-stemmer vocabulary test: a curated table of canonical
+//! (word, stem) pairs drawn from Porter's published examples and the
+//! standard reference vocabulary, covering every rule of every step.
+
+use nidc_textproc::PorterStemmer;
+
+/// (input, expected stem)
+const VOCABULARY: &[(&str, &str)] = &[
+    // step 1a
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    // step 1b
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    // step 1c
+    ("happy", "happi"),
+    ("sky", "sky"),
+    // step 2
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    // step 3
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    // step 4
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    // step 5
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+    // common English, end-to-end through all steps
+    ("abatements", "abat"),
+    ("absorptions", "absorpt"),
+    ("accompaniment", "accompani"),
+    ("agreements", "agreement"),
+    ("announcements", "announc"),
+    ("capabilities", "capabl"),
+    ("communications", "commun"),
+    ("considerations", "consider"),
+    ("continuations", "continu"),
+    ("disagreements", "disagr"),
+    ("electricity", "electr"),
+    ("engineering", "engin"),
+    ("generalizations", "gener"),
+    ("governments", "govern"),
+    ("independently", "independ"),
+    ("investigations", "investig"),
+    ("negotiations", "negoti"),
+    ("observations", "observ"),
+    ("organizations", "organ"),
+    ("possibilities", "possibl"),
+    ("presidencies", "presid"),
+    ("probabilities", "probabl"),
+    ("representatives", "repres"),
+    ("responsibilities", "respons"),
+    ("settlements", "settlement"),
+    ("television", "televis"),
+    ("universities", "univers"),
+];
+
+#[test]
+fn canonical_vocabulary_stems() {
+    let stemmer = PorterStemmer::new();
+    let mut failures = Vec::new();
+    for &(word, expected) in VOCABULARY {
+        let got = stemmer.stem(word);
+        if got != expected {
+            failures.push(format!("{word}: expected {expected}, got {got}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} vocabulary mismatches:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn inflection_families_collapse() {
+    // every family must stem to a single shared form
+    let families: &[&[&str]] = &[
+        &[
+            "negotiate",
+            "negotiated",
+            "negotiating",
+            "negotiation",
+            "negotiations",
+        ],
+        &[
+            "organize",
+            "organized",
+            "organizing",
+            "organization",
+            "organizations",
+        ],
+        &[
+            "investigate",
+            "investigated",
+            "investigation",
+            "investigations",
+        ],
+        &["settle", "settled", "settling"],
+        &["elect", "elected", "electing", "election", "elections"],
+    ];
+    let stemmer = PorterStemmer::new();
+    for family in families {
+        let stems: std::collections::HashSet<String> =
+            family.iter().map(|w| stemmer.stem(w)).collect();
+        assert_eq!(
+            stems.len(),
+            1,
+            "family {family:?} produced multiple stems: {stems:?}"
+        );
+    }
+}
+
+#[test]
+fn distinct_roots_stay_distinct() {
+    // stemming must not conflate these unrelated roots (guards against
+    // over-stripping regressions)
+    let pairs = [
+        ("police", "policy"),
+        ("arm", "army"),
+        ("probe", "probability"),
+        ("iraq", "iran"),
+    ];
+    let stemmer = PorterStemmer::new();
+    for (a, b) in pairs {
+        let (sa, sb) = (stemmer.stem(a), stemmer.stem(b));
+        assert_ne!(sa, sb, "{a} and {b} conflated to {sa}");
+    }
+}
+
+#[test]
+fn famous_porter_conflations_are_reproduced() {
+    // Porter deliberately over-stems these pairs; reproducing them pins our
+    // implementation to the canonical algorithm rather than a softened one.
+    let pairs = [
+        ("university", "universe"),
+        ("organ", "organic"),
+        ("general", "generous"),
+        ("new", "news"),
+    ];
+    let stemmer = PorterStemmer::new();
+    for (a, b) in pairs {
+        assert_eq!(
+            stemmer.stem(a),
+            stemmer.stem(b),
+            "canonical Porter conflates {a}/{b}"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Service-restart survival: run the on-line pipeline for half the stream,
+//! checkpoint it to JSON, "crash", restore from the checkpoint, and finish —
+//! then verify the restored run ends in exactly the same clustering state a
+//! never-interrupted run reaches.
+//!
+//! Run with: `cargo run --release --example checkpoint_restart`
+
+use khy2006::prelude::*;
+
+fn ingest_range(
+    pipeline: &mut NoveltyPipeline,
+    corpus: &Corpus,
+    tfs: &[SparseVector],
+    days: std::ops::Range<f64>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    for (a, tf) in corpus.articles().iter().zip(tfs) {
+        if days.contains(&a.day) {
+            pipeline.ingest(DocId(a.id), Timestamp(a.day), tf.clone())?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Generator::new(GeneratorConfig {
+        scale: 0.1,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let analyzer = Pipeline::raw();
+    let mut vocab = Vocabulary::new();
+    let tfs: Vec<SparseVector> = corpus
+        .articles()
+        .iter()
+        .map(|a| analyzer.analyze(&a.text, &mut vocab).to_sparse())
+        .collect();
+
+    let decay = DecayParams::from_spans(7.0, 21.0)?;
+    let config = ClusteringConfig {
+        k: 12,
+        seed: 5,
+        ..ClusteringConfig::default()
+    };
+
+    // --- the interrupted service -----------------------------------------
+    let mut service = NoveltyPipeline::new(decay, config.clone());
+    ingest_range(&mut service, &corpus, &tfs, 0.0..30.0)?;
+    service.recluster_incremental()?;
+    ingest_range(&mut service, &corpus, &tfs, 30.0..60.0)?;
+    service.recluster_incremental()?;
+
+    // checkpoint to disk, then "crash"
+    let path = std::env::temp_dir().join("nidc_checkpoint.json");
+    service.save_json(std::fs::File::create(&path)?)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "checkpointed {} live docs at {} ({bytes} bytes) to {}",
+        service.repository().len(),
+        service.repository().now(),
+        path.display()
+    );
+    drop(service);
+
+    // --- restore and finish the stream ------------------------------------
+    let mut restored = NoveltyPipeline::load_json(std::fs::File::open(&path)?)?;
+    println!(
+        "restored: {} live docs at {}",
+        restored.repository().len(),
+        restored.repository().now()
+    );
+    ingest_range(&mut restored, &corpus, &tfs, 60.0..90.0)?;
+    let after_restart = restored.recluster_incremental()?;
+
+    // --- the reference service that never crashed -------------------------
+    let mut reference = NoveltyPipeline::new(decay, config);
+    ingest_range(&mut reference, &corpus, &tfs, 0.0..30.0)?;
+    reference.recluster_incremental()?;
+    ingest_range(&mut reference, &corpus, &tfs, 30.0..60.0)?;
+    reference.recluster_incremental()?;
+    ingest_range(&mut reference, &corpus, &tfs, 60.0..90.0)?;
+    let uninterrupted = reference.recluster_incremental()?;
+
+    assert_eq!(
+        after_restart.member_lists(),
+        uninterrupted.member_lists(),
+        "restart changed the clustering!"
+    );
+    assert_eq!(after_restart.outliers(), uninterrupted.outliers());
+    println!(
+        "restart-transparent: {} clusters, {} outliers, G = {:.3e} — identical to the uninterrupted run",
+        after_restart.non_empty_clusters(),
+        after_restart.outliers().len(),
+        after_restart.g()
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

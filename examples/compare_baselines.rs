@@ -1,0 +1,114 @@
+//! Compare the novelty-based method against the baselines the paper
+//! positions itself against (§2.2): cosine K-means, single-pass INCR, and
+//! bucketed group-average GAC — all on the same tf vectors of one time
+//! window, evaluated against ground-truth topics.
+//!
+//! Run with: `cargo run --release --example compare_baselines`
+
+use khy2006::baselines::{gac, incr, kmeans, GacConfig, IncrConfig, KMeansConfig};
+use khy2006::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Generator::new(GeneratorConfig {
+        scale: 0.5,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let analyzer = Pipeline::raw();
+    let mut vocab = Vocabulary::new();
+    let tfs: Vec<SparseVector> = corpus
+        .articles()
+        .iter()
+        .map(|a| analyzer.analyze(&a.text, &mut vocab).to_sparse())
+        .collect();
+    let windows = corpus.standard_windows();
+    let w = &windows[3]; // Apr4–May3
+    println!("window {} with {} articles, K = 24\n", w.label, w.len());
+
+    let labels: Labeling<u32> = w
+        .article_indices
+        .iter()
+        .map(|&i| {
+            let a = &corpus.articles()[i];
+            (DocId(a.id), a.topic.0)
+        })
+        .collect();
+    let docs: Vec<(DocId, SparseVector)> = w
+        .article_indices
+        .iter()
+        .map(|&i| (DocId(corpus.articles()[i].id), tfs[i].clone()))
+        .collect();
+
+    let report = |name: &str, clusters: &[Vec<DocId>]| {
+        let e = evaluate(clusters, &labels, MARKING_THRESHOLD);
+        println!(
+            "  {name:<22} micro F1 {:.2}   macro F1 {:.2}   purity {:.2}   NMI {:.2}   clusters {}",
+            e.micro_f1,
+            e.macro_f1,
+            purity(clusters, &labels),
+            nmi(clusters, &labels),
+            clusters.iter().filter(|c| !c.is_empty()).count()
+        );
+    };
+
+    // --- novelty-based method (the paper's) ------------------------------
+    let decay = DecayParams::from_spans(7.0, 30.0)?;
+    let mut repo = Repository::new(decay);
+    for &i in &w.article_indices {
+        let a = &corpus.articles()[i];
+        repo.insert(DocId(a.id), Timestamp(a.day), tfs[i].clone())?;
+    }
+    repo.advance_to(Timestamp(w.end))?;
+    let vecs = DocVectors::build(&repo);
+    let config = ClusteringConfig {
+        k: 24,
+        seed: 22,
+        ..ClusteringConfig::default()
+    };
+    let clustering = cluster_batch(&vecs, &config)?;
+    report("novelty (beta=7d)", &clustering.member_lists());
+
+    // --- classic cosine K-means ------------------------------------------
+    let km = kmeans(
+        &docs,
+        &KMeansConfig {
+            k: 24,
+            seed: 22,
+            ..KMeansConfig::default()
+        },
+    );
+    report("cosine K-means", &km.clusters);
+
+    // --- single-pass INCR (Yang et al.) -----------------------------------
+    let docs_t: Vec<(DocId, f64, SparseVector)> = w
+        .article_indices
+        .iter()
+        .map(|&i| {
+            let a = &corpus.articles()[i];
+            (DocId(a.id), a.day, tfs[i].clone())
+        })
+        .collect();
+    let ic = incr(
+        &docs_t,
+        &IncrConfig {
+            threshold: 0.45,
+            window_days: Some(14.0),
+            max_clusters: 0,
+        },
+    );
+    report("INCR (linear decay)", &ic);
+
+    // --- GAC (bucketed group-average) --------------------------------------
+    let gc = gac(
+        &docs,
+        &GacConfig {
+            target_clusters: 24,
+            bucket_size: 64,
+            reduction: 0.5,
+        },
+    );
+    report("GAC", &gc);
+
+    println!("\n(novelty clustering trades a little F1 for recency bias; the baselines have no notion of novelty)");
+    Ok(())
+}

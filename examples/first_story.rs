@@ -1,0 +1,102 @@
+//! First-story detection over the synthetic news stream: every article is
+//! assessed on arrival ("is this the first story of a new topic?") and the
+//! verdicts are scored against ground truth — a TDT-style evaluation the
+//! labelled corpus makes possible.
+//!
+//! Under the forgetting model, ground truth itself is subtle: a topic that
+//! disappears for longer than the life span and then returns *is* news
+//! again (the paper's "Unabomber re-emergence" narrative). We therefore
+//! count a document as a true first story if no document of its topic
+//! appeared within the preceding life span γ.
+//!
+//! Run with: `cargo run --release --example first_story`
+
+use std::collections::BTreeMap;
+
+use khy2006::corpus::TopicId;
+use khy2006::prelude::*;
+use khy2006::tdt::{FirstStoryDetector, FsdConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::var("NIDC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let corpus = Generator::new(GeneratorConfig {
+        scale,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let analyzer = Pipeline::raw();
+    let mut vocab = Vocabulary::new();
+
+    let gamma = 21.0;
+    let decay = DecayParams::from_spans(7.0, gamma)?;
+    let mut fsd = FirstStoryDetector::new(
+        decay,
+        FsdConfig {
+            threshold: 0.10,
+            top_k: 3,
+            rebuild_every: 1.0,
+        },
+    );
+
+    // ground truth: first story = no same-topic article within the last γ days
+    let mut last_seen: BTreeMap<TopicId, f64> = BTreeMap::new();
+    let (mut tp, mut fp, mut fn_, mut tn) = (0u32, 0u32, 0u32, 0u32);
+    let mut examples: Vec<String> = Vec::new();
+
+    for a in corpus.articles() {
+        let truth = last_seen
+            .get(&a.topic)
+            .is_none_or(|&prev| a.day - prev > gamma);
+        last_seen.insert(a.topic, a.day);
+
+        let tf = analyzer.analyze(&a.text, &mut vocab).to_sparse();
+        let decision = fsd.process(DocId(a.id), Timestamp(a.day), tf)?;
+
+        match (truth, decision.is_first_story) {
+            (true, true) => {
+                tp += 1;
+                if examples.len() < 8 {
+                    examples.push(format!(
+                        "day {:>5.1}  NEW  {} (score {:.2})",
+                        a.day,
+                        corpus.topic_name(a.topic).unwrap_or("?"),
+                        decision.score
+                    ));
+                }
+            }
+            (true, false) => fn_ += 1,
+            (false, true) => fp += 1,
+            (false, false) => tn += 1,
+        }
+    }
+
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fn_).max(1) as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    println!(
+        "first-story detection over {} articles ({} true first stories):",
+        corpus.len(),
+        tp + fn_
+    );
+    println!(
+        "  precision {precision:.2}   recall {recall:.2}   F1 {f1:.2}   (tp {tp}, fp {fp}, fn {fn_}, tn {tn})"
+    );
+    println!("\nsample detections:");
+    for e in examples {
+        println!("  {e}");
+    }
+    println!(
+        "\n(random guessing at the true base rate would score F1 ≈ {:.2};",
+        2.0 * (tp + fn_) as f64 / (corpus.len() as f64 + (tp + fn_) as f64)
+    );
+    println!(" first-story detection is the hardest TDT task — state-of-the-art TDT-era");
+    println!(" systems also missed a large share at comparable false-alarm rates)");
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! Quickstart: cluster a handful of raw-text news snippets with the
+//! novelty-based pipeline and print the clusters with their hottest terms.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use khy2006::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Forgetting model: documents halve in weight every 7 days and are
+    // dropped entirely after 21 days.
+    let decay = DecayParams::from_spans(7.0, 21.0)?;
+    let config = ClusteringConfig {
+        k: 3,
+        seed: 7,
+        ..ClusteringConfig::default()
+    };
+    let mut pipeline = NoveltyPipeline::new(decay, config);
+
+    // A miniature news stream: two stories in week 1, one breaking now.
+    let stream: &[(u64, f64, &str)] = &[
+        (
+            0,
+            0.0,
+            "Asian markets fell sharply as the currency crisis deepened across the region",
+        ),
+        (
+            1,
+            0.2,
+            "The currency crisis pushed asian stock markets to new lows in heavy trading",
+        ),
+        (
+            2,
+            0.5,
+            "Olympic organizers unveiled the stadium for the winter games opening ceremony",
+        ),
+        (
+            3,
+            0.9,
+            "Winter games officials said the olympic stadium is ready for the ceremony",
+        ),
+        (
+            4,
+            1.3,
+            "Markets across asia steadied after the central banks intervened in the crisis",
+        ),
+        (
+            5,
+            8.0,
+            "A massive strike by transport workers paralyzed the capital this morning",
+        ),
+        (
+            6,
+            8.2,
+            "Transport workers extended their strike as talks with the government stalled",
+        ),
+        (
+            7,
+            8.5,
+            "Striking transport workers left commuters stranded for a second day",
+        ),
+    ];
+
+    let analyzer = Pipeline::english();
+    let mut vocab = Vocabulary::new();
+    for &(id, day, text) in stream {
+        let tf = analyzer.analyze(text, &mut vocab).to_sparse();
+        pipeline.ingest(DocId(id), Timestamp(day), tf)?;
+    }
+
+    // Cluster "today" (day 8.5). The week-old stories have lost ~55% of
+    // their weight; the strike is the hot topic.
+    let clustering = pipeline.recluster_incremental()?;
+
+    println!(
+        "clustering index G = {:.3e}, {} iterations\n",
+        clustering.g(),
+        clustering.iterations()
+    );
+    let mut ranked: Vec<_> = clustering
+        .clusters()
+        .iter()
+        .filter(|c| !c.is_empty())
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.rep()
+            .g_term()
+            .partial_cmp(&a.rep().g_term())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for (rank, cluster) in ranked.iter().enumerate() {
+        let terms: Vec<String> = cluster
+            .rep()
+            .top_terms(4)
+            .into_iter()
+            .filter_map(|(t, _)| vocab.term(t).map(str::to_owned))
+            .collect();
+        println!(
+            "#{rank} hot cluster: docs {:?}\n    keywords: {}",
+            cluster.members().iter().map(|d| d.0).collect::<Vec<_>>(),
+            terms.join(", ")
+        );
+    }
+    if !clustering.outliers().is_empty() {
+        println!("\noutliers: {:?}", clustering.outliers());
+    }
+    Ok(())
+}

@@ -1,0 +1,178 @@
+//! End-to-end integration: synthetic corpus → text processing → forgetting
+//! statistics → extended K-means → evaluation, across crate boundaries.
+
+use khy2006::corpus::TopicId;
+use khy2006::prelude::*;
+
+/// Builds a prepared (tokenised) corpus at the given scale.
+fn prepared(scale: f64) -> (Corpus, Vec<SparseVector>) {
+    let corpus = Generator::new(GeneratorConfig {
+        scale,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let analyzer = Pipeline::raw();
+    let mut vocab = Vocabulary::new();
+    let tfs = corpus
+        .articles()
+        .iter()
+        .map(|a| analyzer.analyze(&a.text, &mut vocab).to_sparse())
+        .collect();
+    (corpus, tfs)
+}
+
+fn window_clustering(
+    corpus: &Corpus,
+    tfs: &[SparseVector],
+    window_idx: usize,
+    beta: f64,
+    seed: u64,
+) -> (Clustering, Labeling<u32>, usize) {
+    let windows = corpus.standard_windows();
+    let w = &windows[window_idx];
+    let decay = DecayParams::from_spans(beta, 30.0).unwrap();
+    let mut repo = Repository::new(decay);
+    for &i in &w.article_indices {
+        let a = &corpus.articles()[i];
+        repo.insert(DocId(a.id), Timestamp(a.day), tfs[i].clone())
+            .unwrap();
+    }
+    repo.advance_to(Timestamp(w.end)).unwrap();
+    let vecs = DocVectors::build(&repo);
+    let config = ClusteringConfig {
+        k: 16,
+        seed,
+        ..ClusteringConfig::default()
+    };
+    let clustering = cluster_batch(&vecs, &config).unwrap();
+    let labels: Labeling<u32> = w
+        .article_indices
+        .iter()
+        .map(|&i| {
+            let a = &corpus.articles()[i];
+            (DocId(a.id), a.topic.0)
+        })
+        .collect();
+    (clustering, labels, w.len())
+}
+
+#[test]
+fn clustering_covers_every_window_document_exactly_once() {
+    let (corpus, tfs) = prepared(0.1);
+    let (clustering, _, window_len) = window_clustering(&corpus, &tfs, 0, 7.0, 3);
+    assert_eq!(
+        clustering.assigned_docs() + clustering.outliers().len(),
+        window_len
+    );
+    let mut seen = std::collections::HashSet::new();
+    for c in clustering.clusters() {
+        for d in c.members() {
+            assert!(seen.insert(*d));
+        }
+    }
+    for d in clustering.outliers() {
+        assert!(seen.insert(*d));
+    }
+}
+
+#[test]
+fn clustering_quality_beats_random_assignment() {
+    let (corpus, tfs) = prepared(0.15);
+    let (clustering, labels, _) = window_clustering(&corpus, &tfs, 0, 30.0, 5);
+    let eval = evaluate(&clustering.member_lists(), &labels, MARKING_THRESHOLD);
+    assert!(
+        eval.micro_f1 > 0.25,
+        "micro F1 unreasonably low: {}",
+        eval.micro_f1
+    );
+    assert!(
+        purity(&clustering.member_lists(), &labels) > 0.5,
+        "purity too low"
+    );
+    assert!(
+        nmi(&clustering.member_lists(), &labels) > 0.4,
+        "NMI too low"
+    );
+}
+
+#[test]
+fn big_topics_get_marked_clusters() {
+    let (corpus, tfs) = prepared(0.2);
+    let (clustering, labels, _) = window_clustering(&corpus, &tfs, 0, 30.0, 5);
+    let eval = evaluate(&clustering.member_lists(), &labels, MARKING_THRESHOLD);
+    // Asian Economic Crisis (20001) is the biggest window-1 topic; any sane
+    // clustering of window 1 detects it.
+    assert!(
+        eval.detects(20001),
+        "Asian Economic Crisis not detected; detected = {:?}",
+        eval.detected_topics
+    );
+}
+
+#[test]
+fn novelty_bias_produces_more_outliers_for_short_half_life() {
+    let (corpus, tfs) = prepared(0.15);
+    let (c7, _, _) = window_clustering(&corpus, &tfs, 0, 7.0, 5);
+    let (c30, _, _) = window_clustering(&corpus, &tfs, 0, 30.0, 5);
+    assert!(
+        c7.outliers().len() > c30.outliers().len(),
+        "short half-life should discard more (old) documents: {} vs {}",
+        c7.outliers().len(),
+        c30.outliers().len()
+    );
+}
+
+#[test]
+fn full_text_pipeline_handles_real_english() {
+    // exercise the English pipeline (stop words + Porter) end to end
+    let decay = DecayParams::from_spans(7.0, 14.0).unwrap();
+    let config = ClusteringConfig {
+        k: 2,
+        seed: 1,
+        ..ClusteringConfig::default()
+    };
+    let mut pipeline = NoveltyPipeline::new(decay, config);
+    let analyzer = Pipeline::english();
+    let mut vocab = Vocabulary::new();
+    let docs = [
+        "The economy contracted as markets tumbled across Asia.",
+        "Asian markets tumble again; economic contraction deepens.",
+        "The striker scored twice and the champions won the final.",
+        "Champions win the final after the striker's late goals.",
+    ];
+    for (i, text) in docs.iter().enumerate() {
+        let tf = analyzer.analyze(text, &mut vocab).to_sparse();
+        pipeline
+            .ingest(DocId(i as u64), Timestamp(0.1 * i as f64), tf)
+            .unwrap();
+    }
+    let clustering = pipeline.recluster_incremental().unwrap();
+    // both topic pairs should end up together (or one as outliers, never mixed)
+    for c in clustering.clusters() {
+        let econ = c.members().iter().filter(|d| d.0 < 2).count();
+        assert!(
+            econ == 0 || econ == c.len(),
+            "mixed cluster: {:?}",
+            c.members()
+        );
+    }
+}
+
+#[test]
+fn corpus_roundtrips_through_jsonl_file() {
+    let (corpus, _) = prepared(0.05);
+    let dir = std::env::temp_dir().join("nidc_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.jsonl");
+    corpus
+        .save_jsonl(std::fs::File::create(&path).unwrap())
+        .unwrap();
+    let back = Corpus::load_jsonl(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(back.len(), corpus.len());
+    assert_eq!(back.topics().len(), corpus.topics().len());
+    assert_eq!(
+        back.topic_name(TopicId(20001)),
+        corpus.topic_name(TopicId(20001))
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,168 @@
+//! Integration tests of the incremental machinery across crates: streaming
+//! ingestion must keep statistics exact, expiration must respect the life
+//! span, and incremental re-clustering must stay comparable to batch
+//! clustering — the paper's §5 claims.
+
+use khy2006::prelude::*;
+
+fn analyzer_corpus(scale: f64) -> (Corpus, Vec<SparseVector>) {
+    let corpus = Generator::new(GeneratorConfig {
+        scale,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let analyzer = Pipeline::raw();
+    let mut vocab = Vocabulary::new();
+    let tfs = corpus
+        .articles()
+        .iter()
+        .map(|a| analyzer.analyze(&a.text, &mut vocab).to_sparse())
+        .collect();
+    (corpus, tfs)
+}
+
+#[test]
+fn streamed_statistics_match_batch_statistics() {
+    let (corpus, tfs) = analyzer_corpus(0.05);
+    let decay = DecayParams::from_spans(7.0, 1000.0).unwrap(); // no expiry
+                                                               // streamed: insert in arrival order with the clock following along
+    let mut streamed = Repository::new(decay);
+    for (a, tf) in corpus.articles().iter().zip(&tfs) {
+        streamed
+            .insert(DocId(a.id), Timestamp(a.day), tf.clone())
+            .unwrap();
+    }
+    streamed.advance_to(Timestamp(178.0)).unwrap();
+    // batch: same inserts, then exact recomputation
+    let mut batch = streamed.clone();
+    batch.recompute_from_scratch();
+    assert!(
+        streamed.drift() < 1e-9,
+        "incremental statistics drifted {}",
+        streamed.drift()
+    );
+    assert!((streamed.tdw() - batch.tdw()).abs() < 1e-9);
+}
+
+#[test]
+fn expiration_keeps_only_documents_within_life_span() {
+    let (corpus, tfs) = analyzer_corpus(0.05);
+    let gamma = 21.0;
+    let decay = DecayParams::from_spans(7.0, gamma).unwrap();
+    let mut repo = Repository::new(decay);
+    for (a, tf) in corpus.articles().iter().zip(&tfs) {
+        repo.insert(DocId(a.id), Timestamp(a.day), tf.clone())
+            .unwrap();
+        repo.expire();
+    }
+    let now = repo.now();
+    for (id, entry) in repo.iter() {
+        assert!(
+            now - entry.acquired() <= gamma + 1e-9,
+            "{id} outlived the life span: age {}",
+            now - entry.acquired()
+        );
+    }
+    // and the repository is non-trivial (the last 21 days of the stream)
+    assert!(repo.len() > 10);
+}
+
+#[test]
+fn incremental_reclustering_tracks_batch_quality() {
+    let (corpus, tfs) = analyzer_corpus(0.1);
+    let windows = corpus.standard_windows();
+    let w = &windows[1];
+    let labels: Labeling<u32> = w
+        .article_indices
+        .iter()
+        .map(|&i| {
+            let a = &corpus.articles()[i];
+            (DocId(a.id), a.topic.0)
+        })
+        .collect();
+    let decay = DecayParams::from_spans(7.0, 30.0).unwrap();
+    let config = ClusteringConfig {
+        k: 16,
+        seed: 22,
+        ..ClusteringConfig::default()
+    };
+
+    // incremental: recluster every ~10 days during the window
+    let mut pipe = NoveltyPipeline::new(decay, config.clone());
+    let mut next_recluster = w.start + 10.0;
+    for &i in &w.article_indices {
+        let a = &corpus.articles()[i];
+        if a.day >= next_recluster {
+            pipe.advance_to(Timestamp(next_recluster)).unwrap();
+            pipe.recluster_incremental().unwrap();
+            next_recluster += 10.0;
+        }
+        pipe.ingest(DocId(a.id), Timestamp(a.day), tfs[i].clone())
+            .unwrap();
+    }
+    pipe.advance_to(Timestamp(w.end)).unwrap();
+    let inc = pipe.recluster_incremental().unwrap();
+
+    // batch on the full window
+    let mut repo = Repository::new(decay);
+    for &i in &w.article_indices {
+        let a = &corpus.articles()[i];
+        repo.insert(DocId(a.id), Timestamp(a.day), tfs[i].clone())
+            .unwrap();
+    }
+    repo.advance_to(Timestamp(w.end)).unwrap();
+    let vecs = DocVectors::build(&repo);
+    let batch = cluster_batch(&vecs, &config).unwrap();
+
+    let f_inc = evaluate(&inc.member_lists(), &labels, MARKING_THRESHOLD).macro_f1;
+    let f_bat = evaluate(&batch.member_lists(), &labels, MARKING_THRESHOLD).macro_f1;
+    // The paper's open question: incremental results should be comparable.
+    assert!(
+        f_inc > 0.55 * f_bat,
+        "incremental quality collapsed: {f_inc:.3} vs batch {f_bat:.3}"
+    );
+}
+
+#[test]
+fn warm_start_is_never_slower_in_iterations_on_static_data() {
+    let (corpus, tfs) = analyzer_corpus(0.08);
+    let windows = corpus.standard_windows();
+    let w = &windows[0];
+    let decay = DecayParams::from_spans(7.0, 30.0).unwrap();
+    let mut repo = Repository::new(decay);
+    for &i in &w.article_indices {
+        let a = &corpus.articles()[i];
+        repo.insert(DocId(a.id), Timestamp(a.day), tfs[i].clone())
+            .unwrap();
+    }
+    repo.advance_to(Timestamp(w.end)).unwrap();
+    let vecs = DocVectors::build(&repo);
+    let config = ClusteringConfig {
+        k: 12,
+        seed: 4,
+        ..ClusteringConfig::default()
+    };
+    let cold = cluster_batch(&vecs, &config).unwrap();
+    let warm =
+        cluster_with_initial(&vecs, &config, InitialState::Assignment(cold.assignment())).unwrap();
+    assert!(warm.iterations() <= cold.iterations());
+    // δ-convergence is not a strict fixed point, so the warm run may refine
+    // the assignment further — but the clustering index G never regresses
+    // (every greedy move is G-non-decreasing).
+    assert!(
+        warm.g() >= cold.g() - 1e-9,
+        "warm start lowered G: {} < {}",
+        warm.g(),
+        cold.g()
+    );
+}
+
+#[test]
+fn pipeline_rejects_documents_from_the_past() {
+    let decay = DecayParams::from_spans(7.0, 14.0).unwrap();
+    let mut pipe = NoveltyPipeline::new(decay, ClusteringConfig::default());
+    let tf = SparseVector::from_entries(vec![(TermId(0), 1.0)]);
+    pipe.ingest(DocId(0), Timestamp(5.0), tf.clone()).unwrap();
+    let err = pipe.ingest(DocId(1), Timestamp(3.0), tf);
+    assert!(err.is_err(), "out-of-order ingestion must fail");
+}
