@@ -28,6 +28,10 @@ pub struct GacConfig {
     /// Reduction factor ρ ∈ (0,1): each bucket is agglomerated until
     /// `⌈ρ·bucket⌉` clusters remain.
     pub reduction: f64,
+    /// Worker threads for the pairwise-similarity scans (`0` = all hardware
+    /// threads, `1` = sequential). The clustering is bit-identical for any
+    /// value — see `nidc-parallel`.
+    pub threads: usize,
 }
 
 impl Default for GacConfig {
@@ -36,6 +40,7 @@ impl Default for GacConfig {
             target_clusters: 8,
             bucket_size: 64,
             reduction: 0.5,
+            threads: 0,
         }
     }
 }
@@ -63,12 +68,16 @@ impl GacCluster {
     }
 }
 
-/// Agglomerates `bucket` down to `target` clusters by repeatedly merging the
-/// globally most-similar pair (O(n²) per pass; buckets are small).
-fn agglomerate(mut bucket: Vec<GacCluster>, target: usize) -> Vec<GacCluster> {
-    while bucket.len() > target.max(1) {
+/// The globally most-similar pair of `bucket`, scanned row-parallel over
+/// `threads` workers. Each worker keeps the best pair of its contiguous row
+/// range under strict `>`, and the per-chunk winners are combined in chunk
+/// order, again under strict `>` — so the winner is the first strict maximum
+/// in `(i, j)` scan order, exactly as in the sequential double loop, for any
+/// thread count.
+fn best_pair(bucket: &[GacCluster], threads: usize) -> (usize, usize, f64) {
+    let scan_rows = |rows: std::ops::Range<usize>| {
         let mut best = (0usize, 1usize, f64::NEG_INFINITY);
-        for i in 0..bucket.len() {
+        for i in rows {
             for j in (i + 1)..bucket.len() {
                 let s = bucket[i].ga_sim(&bucket[j]);
                 if s > best.2 {
@@ -76,7 +85,22 @@ fn agglomerate(mut bucket: Vec<GacCluster>, target: usize) -> Vec<GacCluster> {
                 }
             }
         }
-        let (i, j, _) = best;
+        best
+    };
+    if !nidc_parallel::should_fan_out(bucket.len(), threads) {
+        return scan_rows(0..bucket.len());
+    }
+    nidc_parallel::par_chunks(bucket.len(), threads, scan_rows)
+        .into_iter()
+        .reduce(|a, b| if b.2 > a.2 { b } else { a })
+        .expect("non-empty bucket")
+}
+
+/// Agglomerates `bucket` down to `target` clusters by repeatedly merging the
+/// most similar pair (O(n²) per pass; buckets are small).
+fn agglomerate(mut bucket: Vec<GacCluster>, target: usize, threads: usize) -> Vec<GacCluster> {
+    while bucket.len() > target.max(1) {
+        let (i, j, _) = best_pair(&bucket, threads);
         let b = bucket.swap_remove(j);
         let a = std::mem::replace(
             &mut bucket[i],
@@ -106,30 +130,47 @@ pub fn gac(docs: &[(DocId, SparseVector)], config: &GacConfig) -> Vec<Vec<DocId>
         return Vec::new();
     }
     let bucket_size = config.bucket_size.max(2);
+    let threads = nidc_parallel::resolve_threads(config.threads);
     loop {
         if clusters.len() <= config.target_clusters {
             break;
         }
-        // one pass: bucket consecutive clusters and shrink each bucket
-        let mut next: Vec<GacCluster> = Vec::new();
+        // One pass: bucket consecutive clusters and shrink each bucket.
+        // Buckets are independent, so they agglomerate in parallel (one
+        // worker per contiguous run of buckets) and are re-concatenated in
+        // bucket order — the same output the sequential bucket loop
+        // produces. Each bucket's own pair scan stays sequential here; the
+        // row-parallel scan kicks in for the big global agglomerations.
+        let num_buckets = clusters.len().div_ceil(bucket_size);
+        let buckets: Vec<&[GacCluster]> = clusters.chunks(bucket_size).collect();
+        let reduced_buckets: Vec<Vec<GacCluster>> =
+            nidc_parallel::par_chunks(num_buckets, threads, |range| {
+                range
+                    .flat_map(|b| {
+                        let chunk = buckets[b];
+                        let target =
+                            ((chunk.len() as f64 * config.reduction).ceil() as usize).max(1);
+                        agglomerate(chunk.to_vec(), target, 1)
+                    })
+                    .collect()
+            });
         let mut progressed = false;
-        for chunk in clusters.chunks(bucket_size) {
-            let target = ((chunk.len() as f64 * config.reduction).ceil() as usize).max(1);
-            let reduced = agglomerate(chunk.to_vec(), target);
-            if reduced.len() < chunk.len() {
-                progressed = true;
-            }
+        let mut next: Vec<GacCluster> = Vec::new();
+        for reduced in reduced_buckets {
             next.extend(reduced);
+        }
+        if next.len() < clusters.len() {
+            progressed = true;
         }
         clusters = next;
         if !progressed {
             // single bucket that cannot shrink further: finish globally
-            clusters = agglomerate(clusters, config.target_clusters);
+            clusters = agglomerate(clusters, config.target_clusters, threads);
             break;
         }
         if clusters.len() <= bucket_size {
             // final global agglomeration
-            clusters = agglomerate(clusters, config.target_clusters);
+            clusters = agglomerate(clusters, config.target_clusters, threads);
             break;
         }
     }
@@ -165,6 +206,7 @@ mod tests {
                 target_clusters: 3,
                 bucket_size: 6,
                 reduction: 0.5,
+                ..GacConfig::default()
             },
         );
         assert_eq!(clusters.len(), 3);
@@ -206,6 +248,7 @@ mod tests {
                 target_clusters: 1,
                 bucket_size: 4,
                 reduction: 0.5,
+                ..GacConfig::default()
             },
         );
         assert_eq!(clusters.len(), 1);

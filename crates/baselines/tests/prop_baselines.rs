@@ -84,6 +84,7 @@ proptest! {
             target_clusters: target,
             bucket_size: 8,
             reduction: 0.5,
+            ..GacConfig::default()
         });
         prop_assert_eq!(sorted_ids(&clusters), (0..docs.len() as u64).collect::<Vec<_>>());
         prop_assert!(!clusters.is_empty());
@@ -99,6 +100,7 @@ proptest! {
             target_clusters: target,
             bucket_size: 6,
             reduction: 0.5,
+            ..GacConfig::default()
         });
         prop_assert!(clusters.len() <= target.max(1) + 1,
             "{} clusters for target {target}", clusters.len());

@@ -198,6 +198,7 @@ fn main() {
             target_clusters: 24,
             bucket_size: 64,
             reduction: 0.5,
+            ..GacConfig::default()
         },
     );
     let e = evaluate(&gc, &labels, MARKING_THRESHOLD);

@@ -1,0 +1,157 @@
+//! **Parallel hot-path benchmark** — sequential vs threaded wall-clock for
+//! the three batch-heavy paths behind `nidc-parallel`: the GAC baseline's
+//! pairwise-similarity agglomeration, the φ-vector (`DocVectors`) build, and
+//! the from-scratch statistics rebuild. Run on a generated ≈2k-document
+//! window with K-means-scale parameters.
+//!
+//! Every threaded run is checked bit-identical to its sequential twin before
+//! any number is reported — a speedup that changes the answer is a bug, not
+//! a speedup.
+//!
+//! Writes `results/BENCH_parallel.json` by default; override with
+//! `--json <path>`. The JSON's `host.available_parallelism` records how many
+//! hardware threads the numbers were taken on: on a single-core host the
+//! speedup is expectedly ≈1× and must not be read as a regression.
+//!
+//! Env: `NIDC_SCALE` scales the document count (default 1.0 ≈ 2k docs),
+//! `NIDC_THREADS` sets the threaded variant's worker count (default 4).
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use nidc_baselines::{gac, GacConfig};
+use nidc_bench::{json_out_path, scale_from_env, write_bench_json};
+use nidc_corpus::Generator;
+use nidc_forgetting::{DecayParams, Repository, Timestamp};
+use nidc_similarity::DocVectors;
+use nidc_textproc::{DocId, Pipeline, SparseVector, Vocabulary};
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+fn main() {
+    let scale = scale_from_env(1.0);
+    let threads: usize = std::env::var("NIDC_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let days = 14u32;
+    let per_day = (143.0 * scale).round().max(1.0) as u32; // ≈ 2k docs at scale 1
+    println!("parallel hot paths: {days}-day window × {per_day} docs/day, threads 1 vs {threads}");
+    println!(
+        "host hardware threads: {}\n",
+        nidc_parallel::available_threads()
+    );
+
+    let corpus = Generator::dense_stream(2006, days, per_day, 48);
+    let pipeline = Pipeline::raw();
+    let mut vocab = Vocabulary::new();
+    let docs: Vec<(DocId, f64, SparseVector)> = corpus
+        .articles()
+        .iter()
+        .map(|a| {
+            (
+                DocId(a.id),
+                a.day,
+                pipeline.analyze(&a.text, &mut vocab).to_sparse(),
+            )
+        })
+        .collect();
+    println!("{} documents generated", docs.len());
+
+    let decay = DecayParams::from_spans(7.0, 14.0).expect("paper setting");
+    let mut repo = Repository::new(decay);
+    for (id, day, tf) in &docs {
+        repo.insert(*id, Timestamp(*day), tf.clone())
+            .expect("chronological");
+    }
+    repo.advance_to(Timestamp(days as f64)).expect("forward");
+
+    let mut results = Vec::new();
+    let mut record = |name: &str, seq: Duration, par: Duration| {
+        let speedup = seq.as_secs_f64() / par.as_secs_f64().max(1e-9);
+        println!(
+            "{name:<28} sequential {:>9.1} ms   {threads} threads {:>9.1} ms   speedup {speedup:.2}x",
+            seq.as_secs_f64() * 1e3,
+            par.as_secs_f64() * 1e3,
+        );
+        results.push(serde_json::json!({
+            "name": name,
+            "sequential_ms": seq.as_secs_f64() * 1e3,
+            "parallel_ms": par.as_secs_f64() * 1e3,
+            "threads": threads,
+            "speedup": speedup,
+        }));
+    };
+
+    // ---------------- GAC pairwise agglomeration -------------------------
+    let pairs: Vec<(DocId, SparseVector)> =
+        docs.iter().map(|(id, _, tf)| (*id, tf.clone())).collect();
+    let base = GacConfig {
+        target_clusters: 32,
+        ..GacConfig::default()
+    };
+    let (seq_clusters, t_seq) = time(|| {
+        gac(
+            &pairs,
+            &GacConfig {
+                threads: 1,
+                ..base.clone()
+            },
+        )
+    });
+    let (par_clusters, t_par) = time(|| {
+        gac(
+            &pairs,
+            &GacConfig {
+                threads,
+                ..base.clone()
+            },
+        )
+    });
+    assert_eq!(
+        seq_clusters, par_clusters,
+        "GAC result must be bit-identical"
+    );
+    record("gac_2k_window", t_seq, t_par);
+
+    // ---------------- φ-vector build -------------------------------------
+    let (seq_vecs, t_seq) = time(|| DocVectors::build(&repo));
+    let (par_vecs, t_par) = time(|| DocVectors::build_parallel(&repo, threads));
+    for id in seq_vecs.ids() {
+        assert_eq!(
+            seq_vecs.phi(id).unwrap().entries(),
+            par_vecs.phi(id).unwrap().entries(),
+            "phi must be bit-identical"
+        );
+    }
+    record("docvectors_build", t_seq, t_par);
+
+    // ---------------- from-scratch statistics rebuild ---------------------
+    let mut repo_seq = repo.clone();
+    let mut repo_par = repo.clone();
+    let ((), t_seq) = time(|| repo_seq.recompute_from_scratch_with(1));
+    let ((), t_par) = time(|| repo_par.recompute_from_scratch_with(threads));
+    assert!(
+        repo_seq.tdw() == repo_par.tdw(),
+        "rebuilt tdw must be bit-identical"
+    );
+    record("recompute_from_scratch", t_seq, t_par);
+
+    let path = json_out_path().unwrap_or_else(|| PathBuf::from("results/BENCH_parallel.json"));
+    let n_docs = docs.len();
+    write_bench_json(
+        &path,
+        "parallel_hot_paths",
+        serde_json::json!({
+            "scale": scale,
+            "docs": n_docs,
+            "results": results,
+        }),
+    )
+    .expect("write BENCH json");
+    println!("\nBENCH json written to {}", path.display());
+}

@@ -21,10 +21,11 @@
 //! speedup).
 //!
 //! Scale with `NIDC_SCALE` (documents per day multiplier, default 1.0).
+//! With `--json <path>`, also writes the timings as BENCH JSON.
 
 use std::time::{Duration, Instant};
 
-use nidc_bench::{fmt_duration, scale_from_env};
+use nidc_bench::{fmt_duration, json_out_path, scale_from_env, write_bench_json};
 use nidc_core::{cluster_with_initial, ClusteringConfig, InitialState};
 use nidc_corpus::Generator;
 use nidc_forgetting::{DecayParams, Repository, Timestamp};
@@ -142,4 +143,30 @@ fn main() {
         last_day.len(),
         tfs.len()
     );
+
+    if let Some(path) = json_out_path() {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        write_bench_json(
+            &path,
+            "expt1_incremental_time",
+            serde_json::json!({
+                "scale": scale,
+                "docs": { "backlog": backlog.len(), "new_day": last_day.len() },
+                "results": [
+                    { "name": "stats_nonincremental", "wall_ms": ms(stats_noninc) },
+                    { "name": "cluster_nonincremental", "wall_ms": ms(cluster_noninc),
+                      "iterations": cold.iterations() },
+                    { "name": "stats_incremental", "wall_ms": ms(stats_inc) },
+                    { "name": "cluster_incremental", "wall_ms": ms(cluster_inc),
+                      "iterations": inc.iterations() },
+                ],
+                "speedups": {
+                    "statistics": ratio(stats_noninc, stats_inc),
+                    "clustering": ratio(cluster_noninc, cluster_inc),
+                },
+            }),
+        )
+        .expect("write BENCH json");
+        println!("BENCH json written to {}", path.display());
+    }
 }

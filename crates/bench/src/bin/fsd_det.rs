@@ -47,12 +47,18 @@ fn main() {
         prep.corpus.len()
     );
     let params = CostParams::default();
-    for (label, beta, gamma) in [("beta=7d, gamma=21d", 7.0, 21.0), ("beta=60d, gamma=180d", 60.0, 180.0)] {
+    for (label, beta, gamma) in [
+        ("beta=7d, gamma=21d", 7.0, 21.0),
+        ("beta=60d, gamma=180d", 60.0, 180.0),
+    ] {
         let trials = run_detector(&prep, beta, gamma);
         let targets = trials.iter().filter(|t| t.target).count();
         let curve = det_curve(&trials);
         let (best, cost) = min_cost(&trials, &params).expect("non-degenerate");
-        println!("--- {label}: {} trials, {targets} true first stories", trials.len());
+        println!(
+            "--- {label}: {} trials, {targets} true first stories",
+            trials.len()
+        );
         println!(
             "    min normalised detection cost {cost:.3} at threshold {:.2} (P_miss {:.2}, P_fa {:.2})",
             best.threshold, best.p_miss, best.p_fa
@@ -63,7 +69,11 @@ fn main() {
         for p in curve.iter().step_by(step) {
             println!(
                 "      {:>6.3}  {:.2}  {:.2}",
-                if p.threshold.is_finite() { p.threshold } else { 9.999 },
+                if p.threshold.is_finite() {
+                    p.threshold
+                } else {
+                    9.999
+                },
                 p.p_miss,
                 p.p_fa
             );

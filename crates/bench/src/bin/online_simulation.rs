@@ -11,11 +11,12 @@
 //! in one run.
 //!
 //! Env: `NIDC_SCALE` (default 0.5), `NIDC_EVERY` (days between
-//! re-clusterings, default 5).
+//! re-clusterings, default 5). With `--json <path>`, also writes the
+//! aggregate timings as BENCH JSON.
 
 use std::time::Instant;
 
-use nidc_bench::{scale_from_env, PreparedCorpus};
+use nidc_bench::{json_out_path, scale_from_env, write_bench_json, PreparedCorpus};
 use nidc_core::{ClusteringConfig, NoveltyPipeline};
 use nidc_eval::{evaluate, Labeling, MARKING_THRESHOLD};
 use nidc_forgetting::{DecayParams, Timestamp};
@@ -110,4 +111,28 @@ fn main() {
     println!(
         "(the paper's batch alternative would re-ingest the entire live repository each round)"
     );
+
+    if let Some(path) = json_out_path() {
+        // (bound to locals: the vendored json! macro needs single-token values
+        // alongside nested literals)
+        let articles = prep.corpus.len();
+        write_bench_json(
+            &path,
+            "online_simulation",
+            serde_json::json!({
+                "scale": scale,
+                "report_every_days": every,
+                "articles": articles,
+                "rounds": rounds,
+                "results": [
+                    { "name": "stats_update_mean", "wall_ms": total_stats_ms / rounds as f64 },
+                    { "name": "cluster_mean", "wall_ms": total_cluster_ms / rounds as f64 },
+                    { "name": "stats_update_total", "wall_ms": total_stats_ms },
+                    { "name": "cluster_total", "wall_ms": total_cluster_ms },
+                ],
+            }),
+        )
+        .expect("write BENCH json");
+        println!("BENCH json written to {}", path.display());
+    }
 }

@@ -183,6 +183,50 @@ pub fn scale_from_env(full: f64) -> f64 {
         .unwrap_or(full)
 }
 
+/// The `--json <path>` argument of an experiment binary, if given.
+///
+/// Experiment binaries stay human-readable on stdout by default; with
+/// `--json` they additionally write their numbers in the shared BENCH
+/// schema (see [`write_bench_json`]) so the perf trajectory is
+/// machine-trackable across PRs.
+pub fn json_out_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Writes a BENCH JSON file: `{ "bench": name, "host": {...}, ...payload }`.
+///
+/// The host block records the hardware parallelism the numbers were taken
+/// on, so a "no speedup" result on a single-core machine is not mistaken
+/// for a regression.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    name: &str,
+    payload: serde_json::Value,
+) -> std::io::Result<()> {
+    let mut doc = serde_json::json!({
+        "bench": name,
+        "host": {
+            "available_parallelism": nidc_parallel::available_threads(),
+        },
+    });
+    if let (serde_json::Value::Object(doc), serde_json::Value::Object(extra)) = (&mut doc, payload)
+    {
+        doc.extend(extra);
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, serde_json::to_string_pretty(&doc)? + "\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -146,6 +146,7 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     let config = ClusteringConfig {
         k: args.get_usize("k", 24)?,
         seed: args.get_u64("seed", 42)?,
+        threads: args.get_usize("threads", 0)?,
         ..ClusteringConfig::default()
     };
     let top = args.get_usize("top", 10)?;
@@ -166,7 +167,7 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     }
     repo.advance_to(Timestamp(to))
         .map_err(|e| CliError::Other(e.to_string()))?;
-    let vecs = DocVectors::build(&repo);
+    let vecs = DocVectors::build_parallel(&repo, config.threads);
     let clustering = cluster_batch(&vecs, &config).map_err(|e| CliError::Other(e.to_string()))?;
 
     if args.flag("json") {
@@ -227,6 +228,7 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     let config = ClusteringConfig {
         k: args.get_usize("k", 16)?,
         seed: args.get_u64("seed", 42)?,
+        threads: args.get_usize("threads", 0)?,
         ..ClusteringConfig::default()
     };
     // --state FILE: resume from a previous run's checkpoint, if present,
@@ -330,6 +332,7 @@ fn eval<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     let config = ClusteringConfig {
         k: args.get_usize("k", 24)?,
         seed: args.get_u64("seed", 42)?,
+        threads: args.get_usize("threads", 0)?,
         ..ClusteringConfig::default()
     };
     let mut repo = Repository::new(decay);
@@ -340,7 +343,7 @@ fn eval<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     }
     repo.advance_to(Timestamp(w.end))
         .map_err(|e| CliError::Other(e.to_string()))?;
-    let vecs = DocVectors::build(&repo);
+    let vecs = DocVectors::build_parallel(&repo, config.threads);
     let clustering = cluster_batch(&vecs, &config).map_err(|e| CliError::Other(e.to_string()))?;
     let labels: Labeling<u32> = w
         .article_indices

@@ -30,6 +30,32 @@ pub fn cluster_batch(vecs: &DocVectors, config: &ClusteringConfig) -> Result<Clu
     cluster_with_initial(vecs, config, InitialState::Random)
 }
 
+/// The step-1 assignment score of one `(document, cluster)` pair: the change
+/// of the cluster's criterion value if `d` joined (`is_current = false`), or
+/// `d`'s present contribution — `score(C) − score(C \ {d})` (`is_current =
+/// true`). One function so the parallel preview and the sequential apply
+/// compute bit-identical values.
+fn assignment_delta(
+    criterion: crate::Criterion,
+    rep: &ClusterRep,
+    phi: &nidc_textproc::SparseVector,
+    is_current: bool,
+) -> f64 {
+    if is_current {
+        match criterion {
+            crate::Criterion::AvgSim => rep.avg_sim() - rep.avg_sim_if_removed(phi),
+            crate::Criterion::GTerm => {
+                rep.g_term() - (rep.size().saturating_sub(1)) as f64 * rep.avg_sim_if_removed(phi)
+            }
+        }
+    } else {
+        match criterion {
+            crate::Criterion::AvgSim => rep.avg_sim_if_added(phi) - rep.avg_sim(),
+            crate::Criterion::GTerm => rep.g_term_if_added(phi) - rep.g_term(),
+        }
+    }
+}
+
 /// Runs the extended K-means from an explicit [`InitialState`].
 pub fn cluster_with_initial(
     vecs: &DocVectors,
@@ -96,12 +122,39 @@ pub fn cluster_with_initial(
     let mut g_old: f64 = reps.iter().map(ClusterRep::g_term).sum();
 
     // --- Repetition process ----------------------------------------------
+    let threads = nidc_parallel::resolve_threads(config.threads);
     let mut outliers: Vec<DocId> = Vec::new();
     let mut iterations = 0usize;
     loop {
         iterations += 1;
         outliers.clear();
-        for &d in &ids {
+        // Parallel preview of step 1(a): score every (document, cluster)
+        // pair against the representatives as they stand at the top of the
+        // iteration. The sequential apply below uses a previewed score only
+        // while the cluster's representative is untouched this iteration
+        // (`dirty` check) and recomputes it live otherwise, so the sweep is
+        // bit-identical to the fully sequential one for any thread count.
+        // A document's own assignment only changes at its own turn, so the
+        // `current == Some(q)` branch previewed here is the one the apply
+        // loop takes. On converged iterations nothing moves and every score
+        // comes from the preview — the common case for warm restarts (§5.2).
+        let preview: Option<Vec<Vec<f64>>> = nidc_parallel::should_fan_out(ids.len(), threads)
+            .then(|| {
+                let assign = &assign;
+                let reps = &reps;
+                nidc_parallel::par_map(&ids, threads, |&d| {
+                    let phi = vecs.phi(d).expect("id comes from vecs");
+                    let current = assign.get(&d).copied();
+                    reps.iter()
+                        .enumerate()
+                        .map(|(q, rep)| {
+                            assignment_delta(config.criterion, rep, phi, current == Some(q))
+                        })
+                        .collect()
+                })
+            });
+        let mut dirty = vec![false; k];
+        for (di, &d) in ids.iter().enumerate() {
             let phi = vecs.phi(d).expect("id comes from vecs");
             let current = assign.get(&d).copied();
             if let Some(p) = current {
@@ -119,21 +172,9 @@ pub fn cluster_with_initial(
             // is what makes warm restarts (§5.2) fast.
             let mut best: Option<(usize, f64)> = None;
             for (q, rep) in reps.iter().enumerate() {
-                let delta = if current == Some(q) {
-                    // d's current contribution: score(C) − score(C \ {d})
-                    match config.criterion {
-                        crate::Criterion::AvgSim => rep.avg_sim() - rep.avg_sim_if_removed(phi),
-                        crate::Criterion::GTerm => {
-                            rep.g_term()
-                                - (rep.size().saturating_sub(1)) as f64
-                                    * rep.avg_sim_if_removed(phi)
-                        }
-                    }
-                } else {
-                    match config.criterion {
-                        crate::Criterion::AvgSim => rep.avg_sim_if_added(phi) - rep.avg_sim(),
-                        crate::Criterion::GTerm => rep.g_term_if_added(phi) - rep.g_term(),
-                    }
+                let delta = match &preview {
+                    Some(scores) if !dirty[q] => scores[di][q],
+                    _ => assignment_delta(config.criterion, rep, phi, current == Some(q)),
                 };
                 if best.is_none_or(|(_, bd)| delta > bd) {
                     best = Some((q, delta));
@@ -146,9 +187,11 @@ pub fn cluster_with_initial(
                         if let Some(p) = current {
                             reps[p].remove(phi);
                             sizes[p] -= 1;
+                            dirty[p] = true;
                         }
                         reps[q].add(phi);
                         sizes[q] += 1;
+                        dirty[q] = true;
                         assign.insert(d, q);
                     }
                 }
@@ -156,6 +199,7 @@ pub fn cluster_with_initial(
                     if let Some(p) = current {
                         reps[p].remove(phi);
                         sizes[p] -= 1;
+                        dirty[p] = true;
                         assign.remove(&d);
                     }
                     outliers.push(d);

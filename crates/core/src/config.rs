@@ -42,6 +42,11 @@ pub struct ClusteringConfig {
     pub keep_last_member: bool,
     /// The assignment criterion (see [`Criterion`]).
     pub criterion: Criterion,
+    /// Worker threads for the parallel hot paths (φ-vector build and the
+    /// step-1 scoring sweep): `0` = all hardware threads, `1` = sequential.
+    /// The clustering, its statistics, and the iteration count are
+    /// bit-identical for any value — see `nidc-parallel` for the contract.
+    pub threads: usize,
 }
 
 impl Default for ClusteringConfig {
@@ -53,6 +58,7 @@ impl Default for ClusteringConfig {
             seed: 19980104,
             keep_last_member: true,
             criterion: Criterion::GTerm,
+            threads: 0,
         }
     }
 }

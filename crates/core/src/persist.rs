@@ -59,6 +59,10 @@ impl From<&ConfigState> for ClusteringConfig {
             } else {
                 Criterion::GTerm
             },
+            // threads is a property of the host, not of the clustering
+            // (results are thread-count independent), so it is not
+            // persisted; restored pipelines use the default.
+            threads: ClusteringConfig::default().threads,
         }
     }
 }
@@ -188,6 +192,7 @@ mod tests {
                 seed: 77,
                 keep_last_member: false,
                 criterion,
+                threads: 3,
             };
             let back = ClusteringConfig::from(&ConfigState::from(&config));
             assert_eq!(back.k, 5);
@@ -196,6 +201,8 @@ mod tests {
             assert_eq!(back.seed, 77);
             assert!(!back.keep_last_member);
             assert_eq!(back.criterion, criterion);
+            // threads is a host property, deliberately not persisted
+            assert_eq!(back.threads, ClusteringConfig::default().threads);
         }
     }
 

@@ -103,7 +103,7 @@ impl NoveltyPipeline {
     /// back to random seeding the first time.
     pub fn recluster_incremental(&mut self) -> Result<Clustering> {
         self.repo.expire();
-        let vecs = DocVectors::build(&self.repo);
+        let vecs = DocVectors::build_parallel(&self.repo, self.config.threads);
         let initial = match self.previous.take() {
             Some(prev) => InitialState::Assignment(prev),
             None => InitialState::Random,
@@ -119,8 +119,8 @@ impl NoveltyPipeline {
     /// any previous clustering.
     pub fn recluster_from_scratch(&mut self) -> Result<Clustering> {
         self.repo.expire();
-        self.repo.recompute_from_scratch();
-        let vecs = DocVectors::build(&self.repo);
+        self.repo.recompute_from_scratch_with(self.config.threads);
+        let vecs = DocVectors::build_parallel(&self.repo, self.config.threads);
         let clustering = cluster_with_initial(&vecs, &self.config, InitialState::Random)?;
         self.previous = Some(clustering.assignment());
         self.last = Some(clustering.clone());

@@ -128,12 +128,21 @@ impl LanguageModel {
         Self::new(2000, 40, 0.45, 60, 180)
     }
 
-    /// Configures **topic drift**: every `period_days`, a topic's "hot"
-    /// signature terms rotate forward by `step` positions within its term
-    /// pool. Real news topics shift sub-stories over a month (the Lewinsky
-    /// case of late January is worded differently from that of June), which
-    /// is what gives conventional long-half-life clustering its F1 edge in
-    /// the paper's Table 4. `step = 0` disables drift.
+    /// Configures **topic drift**: every `period_days`, a topic's window of
+    /// "hot" signature terms slides forward by `step` ranks. The window
+    /// never wraps back onto old ranks, so vocabulary from sub-stories more
+    /// than `terms_per_topic / step` periods apart is disjoint — real news
+    /// topics shift sub-stories over a month (the Lewinsky case of late
+    /// January is worded differently from that of June) and do not cycle
+    /// back to their January wording. This monotone drift is what gives
+    /// conventional long-half-life clustering its F1 edge in the paper's
+    /// Table 4. `step = 0` disables drift.
+    ///
+    /// (An earlier revision rotated ranks *modulo* the term pool; over a
+    /// 178-day corpus the offset `floor(day/15)·10 mod 40` aliased with the
+    /// facet offsets, making day-170 articles share *more* vocabulary with
+    /// day-0 articles than two contemporaneous facets share with each
+    /// other — the opposite of drift.)
     pub fn with_drift(mut self, period_days: f64, step: usize) -> Self {
         assert!(period_days > 0.0, "drift period must be positive");
         self.drift_period_days = period_days;
@@ -184,8 +193,11 @@ impl LanguageModel {
                     let rank = self.topic_zipf.sample(rng);
                     out.push_str(&format!("fam{family}w{rank:02}"));
                 } else {
-                    let rank = (self.topic_zipf.sample(rng) + offset) % self.terms_per_topic;
-                    // topic-specific token, e.g. "k12w07"
+                    // topic-specific token, e.g. "k12w07": Zipf rank within
+                    // the current hot window, offset by drift + facet. The
+                    // offset is NOT reduced modulo the pool — sub-story
+                    // vocabulary moves forward and never cycles back.
+                    let rank = self.topic_zipf.sample(rng) + offset;
                     out.push_str(&format!("k{topic_idx}w{rank:02}"));
                 }
             } else {

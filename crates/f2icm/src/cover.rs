@@ -101,7 +101,9 @@ mod tests {
         SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
     }
 
-    fn repo_with(docs: &[(u64, f64, &[(u32, f64)])]) -> Repository {
+    type DocSpec<'a> = (u64, f64, &'a [(u32, f64)]);
+
+    fn repo_with(docs: &[DocSpec]) -> Repository {
         let mut repo = Repository::new(DecayParams::from_spans(7.0, 300.0).unwrap());
         for &(id, day, pairs) in docs {
             repo.insert(DocId(id), Timestamp(day), tf(pairs)).unwrap();
@@ -185,7 +187,7 @@ mod tests {
         }
         let n_c = estimate_num_clusters(&repo);
         assert!((n_c - sum).abs() < 1e-12);
-        assert!(n_c >= 1.0 - 1e-9 && n_c <= 3.0 + 1e-9);
+        assert!((1.0 - 1e-9..=3.0 + 1e-9).contains(&n_c));
     }
 
     #[test]

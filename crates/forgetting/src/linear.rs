@@ -250,8 +250,7 @@ mod tests {
     fn exponential_and_linear_agree_at_time_zero() {
         // both models give fresh documents weight 1 and identical Pr(t)
         let mut lin = LinearRepository::new(14.0).unwrap();
-        let mut exp =
-            crate::Repository::new(crate::DecayParams::from_spans(7.0, 14.0).unwrap());
+        let mut exp = crate::Repository::new(crate::DecayParams::from_spans(7.0, 14.0).unwrap());
         for (id, pairs) in [(0u64, vec![(0u32, 2.0)]), (1, vec![(0, 1.0), (1, 3.0)])] {
             lin.insert(DocId(id), Timestamp(0.0), tf(&pairs)).unwrap();
             exp.insert(DocId(id), Timestamp(0.0), tf(&pairs)).unwrap();

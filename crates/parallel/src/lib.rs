@@ -1,0 +1,214 @@
+//! Deterministic chunked thread fan-out shared by every parallel hot path.
+//!
+//! All parallelism in this workspace goes through this crate so that one
+//! invariant is enforced in one place: **results are independent of thread
+//! count and scheduling**. Work is split into contiguous index chunks, one
+//! per worker, each worker produces its chunk's results independently, and
+//! the chunks are concatenated in chunk order. Since every function here
+//! takes pure per-item (or per-chunk) closures, the output is bit-identical
+//! to the sequential loop for any `threads` value.
+//!
+//! The thread count convention across the workspace: `0` means "use
+//! [`available_threads`]", `1` means sequential (no threads spawned), and
+//! `n > 1` spawns at most `n` scoped workers.
+
+use std::ops::Range;
+
+/// The number of hardware threads, falling back to 1 when unknown.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing thread knob: `0` → [`available_threads`],
+/// anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    }
+}
+
+/// Splits `0..len` into at most `chunks` contiguous ranges of near-equal
+/// size, in order. Returns fewer ranges when `len < chunks`; never returns
+/// an empty range.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1).min(len);
+    if chunks == 0 {
+        return Vec::new();
+    }
+    let per = len.div_ceil(chunks);
+    (0..chunks)
+        .map(|c| (c * per)..((c + 1) * per).min(len))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Whether fanning `len` items out over `threads` workers is worthwhile;
+/// the same gate every call site used ad hoc before this crate existed.
+/// `threads` must already be resolved (see [`resolve_threads`]).
+pub fn should_fan_out(len: usize, threads: usize) -> bool {
+    threads > 1 && len >= 2 * threads
+}
+
+/// Maps `f` over each chunk of `0..len`, one worker per chunk, and returns
+/// the per-chunk results in chunk order.
+///
+/// This is the primitive the item-level helpers build on; use it directly
+/// when the natural unit of work is a whole range (e.g. building one map
+/// per chunk and merging them in order).
+pub fn par_chunks<R, F>(len: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let threads = resolve_threads(threads);
+    if !should_fan_out(len, threads) {
+        return chunk_ranges(len, 1).into_iter().map(f).collect();
+    }
+    let ranges = chunk_ranges(len, threads);
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, range) in results.iter_mut().zip(ranges) {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(range));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled its slot"))
+        .collect()
+}
+
+/// Maps `f` over `0..len` in parallel; `results[i] == f(i)` exactly as in
+/// the sequential loop, regardless of thread count.
+pub fn par_map_indices<R, F>(len: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_chunks(len, threads, |range| range.map(&f).collect::<Vec<R>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Maps `f` over a slice in parallel; `results[i] == f(&items[i])`.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indices(items.len(), threads, |i| f(&items[i]))
+}
+
+/// Folds each chunk of `0..len` sequentially with `fold`, then combines
+/// the per-chunk accumulators **in chunk order** with `merge`.
+///
+/// Deterministic for any thread count, but note the caveat shared by every
+/// parallel reduction: the result equals the sequential fold only when
+/// `merge` is exactly associative over the accumulators (true for counts,
+/// maps keyed by disjoint items, max by a total order — not for float
+/// sums). Hot paths that need bit-identical float statistics keep their
+/// accumulation sequential and parallelise only the pure per-item work.
+pub fn par_fold<A, F, M>(
+    len: usize,
+    threads: usize,
+    init: impl Fn() -> A + Sync,
+    fold: F,
+    merge: M,
+) -> A
+where
+    A: Send,
+    F: Fn(A, usize) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    par_chunks(len, threads, |range| range.fold(init(), &fold))
+        .into_iter()
+        .reduce(merge)
+        .unwrap_or_else(init)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for len in [0usize, 1, 2, 3, 7, 16, 100, 101] {
+            for chunks in [1usize, 2, 3, 4, 7, 13] {
+                let ranges = chunk_ranges(len, chunks);
+                let mut covered = Vec::new();
+                for r in &ranges {
+                    assert!(!r.is_empty(), "empty chunk for len={len} chunks={chunks}");
+                    covered.extend(r.clone());
+                }
+                assert_eq!(covered, (0..len).collect::<Vec<_>>());
+                assert!(ranges.len() <= chunks);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [0usize, 1, 2, 4, 7] {
+            assert_eq!(par_map(&items, threads, |x| x * x + 1), expected);
+        }
+    }
+
+    #[test]
+    fn par_map_indices_preserves_order() {
+        for threads in [0usize, 1, 2, 4, 7] {
+            let got = par_map_indices(57, threads, |i| i as u64 * 3);
+            assert_eq!(got, (0..57).map(|i| i as u64 * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_chunks_concatenates_in_chunk_order() {
+        for threads in [0usize, 1, 2, 4, 7] {
+            let per_chunk = par_chunks(40, threads, |r| (r.start, r.end));
+            let mut pos = 0;
+            for (start, end) in per_chunk {
+                assert_eq!(start, pos);
+                pos = end;
+            }
+            assert_eq!(pos, 40);
+        }
+    }
+
+    #[test]
+    fn par_fold_counts_deterministically() {
+        for threads in [0usize, 1, 2, 4, 7] {
+            let count = par_fold(
+                1000,
+                threads,
+                || 0u64,
+                |acc, i| acc + u64::from(i % 3 == 0),
+                |a, b| a + b,
+            );
+            assert_eq!(count, 334);
+        }
+    }
+
+    #[test]
+    fn small_inputs_stay_sequential_but_correct() {
+        // len < 2*threads takes the sequential path
+        assert_eq!(par_map(&[1, 2, 3], 8, |x| x + 1), vec![2, 3, 4]);
+        assert_eq!(par_map::<u32, u32, _>(&[], 4, |x| *x), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn resolve_threads_maps_zero_to_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -64,37 +64,25 @@ impl DocVectors {
         }
     }
 
-    /// Builds φ vectors in parallel over `threads` scoped worker threads.
+    /// Builds φ vectors in parallel over `threads` scoped worker threads
+    /// (`0` = all hardware threads, `1` = sequential; see `nidc-parallel`).
     ///
     /// Semantically identical to [`DocVectors::build`] (same vectors,
     /// deterministic result); worthwhile from a few thousand documents up.
-    /// `threads = 0` or `1` falls back to the sequential build.
     pub fn build_parallel(repo: &Repository, threads: usize) -> Self {
-        if threads <= 1 || repo.len() < 2 * threads {
+        let threads = nidc_parallel::resolve_threads(threads);
+        if !nidc_parallel::should_fan_out(repo.len(), threads) {
             return Self::build(repo);
         }
         let snapshot = repo.snapshot();
         let docs: Vec<(DocId, &SparseVector, f64)> =
             repo.iter().map(|(id, e)| (id, e.tf(), e.len())).collect();
-        let chunk_size = docs.len().div_ceil(threads);
-        let parts: Vec<DocVectors> = std::thread::scope(|scope| {
-            let handles: Vec<_> = docs
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    let snapshot = &snapshot;
-                    scope.spawn(move || {
-                        Self::build_from_snapshot(
-                            snapshot,
-                            chunk.iter().copied(),
-                            0, // placeholder; fixed when merging
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("φ builder panicked"))
-                .collect()
+        let parts = nidc_parallel::par_chunks(docs.len(), threads, |range| {
+            Self::build_from_snapshot(
+                &snapshot,
+                docs[range].iter().copied(),
+                0, // placeholder; fixed when merging
+            )
         });
         let mut phi = BTreeMap::new();
         let mut self_sim = BTreeMap::new();

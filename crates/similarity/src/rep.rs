@@ -125,10 +125,23 @@ impl ClusterRep {
         let dot = self.dot_doc(phi);
         let norm_sq = phi.norm_sq();
         self.cr_self += -2.0 * dot + norm_sq;
+        // Both clamps absorb only floating-point residue (|c−φ|² and ss are
+        // nonnegative by construction); a substantially negative value means
+        // a non-member was removed and must not be silently zeroed.
+        debug_assert!(
+            self.cr_self >= -1e-9 * (1.0 + 2.0 * dot.abs() + norm_sq),
+            "cr_self went negative beyond fp drift: {}",
+            self.cr_self
+        );
         if self.cr_self < 0.0 {
             self.cr_self = 0.0; // clamp fp drift
         }
         self.ss -= norm_sq;
+        debug_assert!(
+            self.ss >= -1e-9 * (1.0 + norm_sq),
+            "ss went negative beyond fp drift: {}",
+            self.ss
+        );
         if self.ss < 0.0 {
             self.ss = 0.0;
         }

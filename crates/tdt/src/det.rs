@@ -122,12 +122,30 @@ mod tests {
     fn trials() -> Vec<Trial> {
         // targets score low, non-targets high — a good detector
         vec![
-            Trial { target: true, score: 0.05 },
-            Trial { target: true, score: 0.10 },
-            Trial { target: true, score: 0.30 },
-            Trial { target: false, score: 0.40 },
-            Trial { target: false, score: 0.60 },
-            Trial { target: false, score: 0.80 },
+            Trial {
+                target: true,
+                score: 0.05,
+            },
+            Trial {
+                target: true,
+                score: 0.10,
+            },
+            Trial {
+                target: true,
+                score: 0.30,
+            },
+            Trial {
+                target: false,
+                score: 0.40,
+            },
+            Trial {
+                target: false,
+                score: 0.60,
+            },
+            Trial {
+                target: false,
+                score: 0.80,
+            },
         ]
     }
 
@@ -153,10 +171,22 @@ mod tests {
     #[test]
     fn overlapping_scores_have_positive_cost() {
         let mixed = vec![
-            Trial { target: true, score: 0.5 },
-            Trial { target: false, score: 0.4 },
-            Trial { target: true, score: 0.3 },
-            Trial { target: false, score: 0.6 },
+            Trial {
+                target: true,
+                score: 0.5,
+            },
+            Trial {
+                target: false,
+                score: 0.4,
+            },
+            Trial {
+                target: true,
+                score: 0.3,
+            },
+            Trial {
+                target: false,
+                score: 0.6,
+            },
         ];
         let (_, cost) = min_cost(&mixed, &CostParams::default()).unwrap();
         assert!(cost > 0.0);
@@ -176,7 +206,10 @@ mod tests {
     #[test]
     fn degenerate_trials_yield_empty_curve() {
         assert!(det_curve(&[]).is_empty());
-        let only_targets = vec![Trial { target: true, score: 0.1 }];
+        let only_targets = vec![Trial {
+            target: true,
+            score: 0.1,
+        }];
         assert!(det_curve(&only_targets).is_empty());
         assert!(min_cost(&only_targets, &CostParams::default()).is_none());
     }

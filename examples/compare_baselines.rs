@@ -105,6 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             target_clusters: 24,
             bucket_size: 64,
             reduction: 0.5,
+            ..GacConfig::default()
         },
     );
     report("GAC", &gc);

@@ -129,21 +129,23 @@ fn denmark_strike_detected_by_short_half_life() {
 
 /// §6.2.3: the w4 re-emergence of "Unabomber" (20077, ~15 late documents)
 /// is caught by β=7 but not by β=30 (whose clusters absorb it into the noise
-/// of the whole window).
+/// of the whole window). The contrast is directional, not absolute — either
+/// side can flip on one K-means initialisation — so it is asserted over ten
+/// seeds (detection base rates are ≈0.7 for β=7 vs ≈0.45 for β=30).
 #[test]
 fn unabomber_reemergence_is_a_short_half_life_exclusive() {
     let p = prep(1.0);
+    let windows = p.corpus.standard_windows();
+    let labels: Labeling<u32> = windows[3]
+        .article_indices
+        .iter()
+        .map(|&i| {
+            let a = &p.corpus.articles()[i];
+            (DocId(a.id), a.topic.0)
+        })
+        .collect();
     let (mut det7, mut det30) = (0, 0);
-    for seed in [11u64, 22, 33] {
-        let windows = p.corpus.standard_windows();
-        let labels: Labeling<u32> = windows[3]
-            .article_indices
-            .iter()
-            .map(|&i| {
-                let a = &p.corpus.articles()[i];
-                (DocId(a.id), a.topic.0)
-            })
-            .collect();
+    for seed in 1u64..=10 {
         let (c7, _, _) = window_eval(&p, 3, 7.0, seed);
         let (c30, _, _) = window_eval(&p, 3, 30.0, seed);
         if evaluate(&c7.member_lists(), &labels, MARKING_THRESHOLD).detects(20077) {

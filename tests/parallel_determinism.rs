@@ -1,0 +1,209 @@
+//! The determinism contract of `nidc-parallel`: every parallel hot path
+//! produces **bit-identical** results for any thread count. These tests pin
+//! the contract for the four ported paths — φ-vector build, GAC, the
+//! extended K-means, and the from-scratch statistics rebuild — plus the
+//! interaction of `expire()` with a threaded pipeline window run.
+
+use khy2006::baselines::{gac, GacConfig};
+use khy2006::prelude::*;
+use khy2006::textproc::{SparseVector, TermId};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 5] = [0, 1, 2, 4, 7];
+
+fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+    SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+}
+
+/// A strategy for small synthetic document streams: `(term, weight)` lists
+/// arriving on a slowly advancing clock.
+fn doc_stream() -> impl Strategy<Value = Vec<Vec<(u32, f64)>>> {
+    proptest::collection::vec(proptest::collection::vec((0u32..40, 1u64..9), 1..6), 3..40).prop_map(
+        |docs| {
+            docs.into_iter()
+                .map(|d| d.into_iter().map(|(t, w)| (t, w as f64)).collect())
+                .collect()
+        },
+    )
+}
+
+fn repo_from(docs: &[Vec<(u32, f64)>]) -> Repository {
+    let mut repo = Repository::new(DecayParams::from_spans(7.0, 30.0).unwrap());
+    for (i, d) in docs.iter().enumerate() {
+        repo.insert(DocId(i as u64), Timestamp(0.25 * i as f64), tf(d))
+            .unwrap();
+    }
+    repo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn docvectors_build_is_thread_count_invariant(docs in doc_stream()) {
+        let repo = repo_from(&docs);
+        let seq = DocVectors::build(&repo);
+        for threads in THREAD_COUNTS {
+            let par = DocVectors::build_parallel(&repo, threads);
+            prop_assert_eq!(par.len(), seq.len());
+            for id in seq.ids() {
+                prop_assert_eq!(
+                    par.phi(id).unwrap().entries(), seq.phi(id).unwrap().entries(),
+                    "phi differs at threads={}", threads
+                );
+                prop_assert!(
+                    par.self_sim(id).unwrap() == seq.self_sim(id).unwrap(),
+                    "self_sim differs at threads={}", threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gac_is_thread_count_invariant(docs in doc_stream()) {
+        let pairs: Vec<(DocId, SparseVector)> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DocId(i as u64), tf(d)))
+            .collect();
+        let base = GacConfig {
+            target_clusters: 3,
+            bucket_size: 8,
+            reduction: 0.5,
+            threads: 1,
+        };
+        let seq = gac(&pairs, &base);
+        for threads in THREAD_COUNTS {
+            let par = gac(&pairs, &GacConfig { threads, ..base.clone() });
+            prop_assert_eq!(&par, &seq, "GAC clustering differs at threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn cluster_batch_is_thread_count_invariant(docs in doc_stream(), seed in 0u64..500) {
+        let repo = repo_from(&docs);
+        let vecs = DocVectors::build(&repo);
+        let base = ClusteringConfig { k: 4, seed, threads: 1, ..ClusteringConfig::default() };
+        let seq = cluster_batch(&vecs, &base).unwrap();
+        for threads in THREAD_COUNTS {
+            let config = ClusteringConfig { threads, ..base.clone() };
+            let par = cluster_batch(&vecs, &config).unwrap();
+            prop_assert_eq!(par.member_lists(), seq.member_lists(),
+                "membership differs at threads={}", threads);
+            prop_assert!(par.g() == seq.g(), "G differs at threads={}: {} vs {}",
+                threads, par.g(), seq.g());
+            prop_assert_eq!(par.iterations(), seq.iterations(),
+                "iteration count differs at threads={}", threads);
+            prop_assert_eq!(par.outliers(), seq.outliers(),
+                "outliers differ at threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn recompute_from_scratch_is_thread_count_invariant(docs in doc_stream()) {
+        let mut seq = repo_from(&docs);
+        seq.advance_to(Timestamp(docs.len() as f64)).unwrap();
+        let mut variants: Vec<Repository> =
+            THREAD_COUNTS.iter().map(|_| seq.clone()).collect();
+        seq.recompute_from_scratch();
+        for (threads, repo) in THREAD_COUNTS.iter().zip(variants.iter_mut()) {
+            repo.recompute_from_scratch_with(*threads);
+            prop_assert!(repo.tdw() == seq.tdw(),
+                "tdw differs at threads={}: {} vs {}", threads, repo.tdw(), seq.tdw());
+            prop_assert_eq!(repo.vocab_dim(), seq.vocab_dim(),
+                "vocab_dim differs at threads={}", threads);
+            for k in 0..seq.vocab_dim() {
+                let t = TermId(k as u32);
+                prop_assert!(repo.pr_term(t) == seq.pr_term(t),
+                    "pr_term({}) differs at threads={}", k, threads);
+            }
+            for id in seq.doc_ids() {
+                prop_assert!(
+                    repo.doc_weight(id).unwrap() == seq.doc_weight(id).unwrap(),
+                    "weight of {} differs at threads={}", id, threads
+                );
+            }
+        }
+    }
+}
+
+/// Regression: expiring documents mid-stream while the pipeline runs its
+/// threaded window re-clusterings must leave the incremental statistics
+/// exact — the clamp in `Repository::remove` may only absorb fp residue,
+/// never a real accounting error.
+#[test]
+fn expire_during_threaded_window_run_keeps_statistics_exact() {
+    for threads in THREAD_COUNTS {
+        let mut pipeline = NoveltyPipeline::new(
+            DecayParams::from_spans(7.0, 14.0).unwrap(),
+            ClusteringConfig {
+                k: 4,
+                seed: 9,
+                threads,
+                ..ClusteringConfig::default()
+            },
+        );
+        let mut id = 0u64;
+        for day in 0..45 {
+            let t = Timestamp(day as f64);
+            for j in 0..4u32 {
+                pipeline
+                    .ingest(
+                        DocId(id),
+                        t,
+                        tf(&[(j * 3 + (day % 3) as u32, 2.0), (30 + (id % 7) as u32, 1.0)]),
+                    )
+                    .unwrap();
+                id += 1;
+            }
+            if day % 5 == 4 {
+                // a full window step: decay, expire, threaded re-clustering
+                pipeline.recluster_incremental().unwrap();
+            }
+        }
+        let drift = pipeline.repository().drift();
+        assert!(
+            drift < 1e-9,
+            "threads={threads}: incremental statistics drifted by {drift}"
+        );
+    }
+}
+
+/// The same clustering through the full pipeline for every thread count —
+/// the end-to-end version of the per-path invariance tests above.
+#[test]
+fn pipeline_window_runs_are_thread_count_invariant() {
+    let mut reference: Option<Vec<Vec<DocId>>> = None;
+    for threads in THREAD_COUNTS {
+        let mut pipeline = NoveltyPipeline::new(
+            DecayParams::from_spans(7.0, 21.0).unwrap(),
+            ClusteringConfig {
+                k: 3,
+                seed: 5,
+                threads,
+                ..ClusteringConfig::default()
+            },
+        );
+        let mut last = None;
+        for day in 0..20 {
+            let t = Timestamp(day as f64);
+            for j in 0..3u32 {
+                pipeline
+                    .ingest(
+                        DocId((day * 3 + j as i64) as u64),
+                        t,
+                        tf(&[(j * 4, 3.0), (j * 4 + 1 + (day % 2) as u32, 1.0)]),
+                    )
+                    .unwrap();
+            }
+            if day % 4 == 3 {
+                last = Some(pipeline.recluster_incremental().unwrap().member_lists());
+            }
+        }
+        let last = last.expect("at least one window ran");
+        match &reference {
+            None => reference = Some(last),
+            Some(r) => assert_eq!(&last, r, "threads={threads} diverged"),
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with the same surface (`Criterion`, `Bencher::iter`,
+//! `Bencher::iter_batched`, `BatchSize`, `criterion_group!`,
+//! `criterion_main!`).
+//!
+//! Under `cargo bench` (cargo passes `--bench`) each benchmark is warmed
+//! up once and then sampled until `sample_size` samples or a small time
+//! budget is reached, and a `name  time: [min mean max]` line is printed.
+//! Under `cargo test` or a plain run, each benchmark body executes exactly
+//! once so the target stays fast and still exercises the code.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one routine
+/// call per setup call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Measure and report (under `cargo bench`).
+    Measure,
+    /// Run each benchmark body once (under `cargo test` / plain run).
+    Once,
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    sample_size: usize,
+    budget: Duration,
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Self {
+            sample_size: 100,
+            budget: Duration::from_secs(3),
+            mode: if bench_mode {
+                Mode::Measure
+            } else {
+                Mode::Once
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement time budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Defines a benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_batched`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            budget: self.budget,
+            mode: self.mode,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        match self.mode {
+            Mode::Once => println!("bench {id} ... ok (ran once, not measured)"),
+            Mode::Measure => {
+                let s = &bencher.samples;
+                if s.is_empty() {
+                    println!("bench {id} ... no samples");
+                } else {
+                    let min = s.iter().copied().min().unwrap();
+                    let max = s.iter().copied().max().unwrap();
+                    let mean = s.iter().sum::<Duration>() / s.len() as u32;
+                    println!(
+                        "{id:<40} time: [{} {} {}] ({} samples)",
+                        fmt_duration(min),
+                        fmt_duration(mean),
+                        fmt_duration(max),
+                        s.len(),
+                    );
+                }
+            }
+        }
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Runs and times one benchmark's iterations.
+pub struct Bencher {
+    sample_size: usize,
+    budget: Duration,
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.run(|| (), |()| routine());
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, setup: S, routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(setup, routine);
+    }
+
+    fn run<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.mode == Mode::Once {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            return;
+        }
+        // warm-up
+        let input = setup();
+        std::hint::black_box(routine(input));
+        let started = Instant::now();
+        while self.samples.len() < self.sample_size && started.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn once_mode_runs_each_body() {
+        let mut c = Criterion {
+            sample_size: 10,
+            budget: Duration::from_millis(50),
+            mode: Mode::Once,
+        };
+        sample_bench(&mut c); // must not hang or panic
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 5,
+            budget: Duration::from_millis(200),
+            mode: Mode::Measure,
+        };
+        let mut counted = 0u32;
+        c.bench_function("counted", |b| {
+            b.iter(|| {
+                counted += 1;
+            })
+        });
+        // warm-up + at least one sample
+        assert!(counted >= 2);
+    }
+}

@@ -1,0 +1,593 @@
+//! Offline stand-in for `proptest`: deterministic strategy-based property
+//! testing without external dependencies.
+//!
+//! Supports the API subset this workspace uses: range/tuple/`Just`/vec
+//! strategies, `prop_map`, `prop_oneof!`, a regex-subset string strategy
+//! (`"[a-z]{1,30}"`-style character classes and `.`), `prop::bool::ANY`,
+//! `ProptestConfig::with_cases`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Cases are generated from a seed derived deterministically from the test
+//! name, so failures reproduce exactly across runs. There is no shrinking:
+//! a failing case reports its assertion message and case index.
+
+/// The RNG handed to strategies — the vendored deterministic `StdRng`.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Why a test case did not pass: rejected by `prop_assume!`, or failed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The generated inputs do not satisfy the test's preconditions.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration; only the case count is tunable.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A generator of random values of one type.
+    ///
+    /// Object-safe: `generate` takes `&self`, and the combinator methods
+    /// carry `Self: Sized` bounds.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Produces one value from the RNG.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over the given alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A / 0)
+        (A / 0, B / 1)
+        (A / 0, B / 1, C / 2)
+        (A / 0, B / 1, C / 2, D / 3)
+        (A / 0, B / 1, C / 2, D / 3, E / 4)
+    }
+
+    // --- regex-subset string strategy ------------------------------------
+
+    /// One repeatable unit of the pattern: a set of char ranges and a
+    /// repetition count range.
+    struct Atom {
+        ranges: Vec<(char, char)>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Characters `.` may produce: printable ASCII plus a few multi-byte
+    /// samples, excluding `\n` per regex semantics.
+    const DOT_EXTRA: &[char] = &['é', 'ß', 'Ω', '猫', '😀'];
+
+    fn parse_pattern(pat: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let ranges = match chars[i] {
+                '.' => {
+                    i += 1;
+                    vec![(' ', '~')] // DOT_EXTRA handled at sample time
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "proptest stand-in: unterminated char class in {pat:?}"
+                    );
+                    i += 1; // ']'
+                    ranges
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("proptest stand-in: unterminated {m,n}")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (m.parse().expect("bad {m,n}"), n.parse().expect("bad {m,n}")),
+                    None => {
+                        let n: usize = body.parse().expect("bad {n}");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom { ranges, min, max });
+        }
+        atoms
+    }
+
+    fn sample_char(ranges: &[(char, char)], dot: bool, rng: &mut TestRng) -> char {
+        if dot && rng.gen_range(0u32..16) == 0 {
+            return DOT_EXTRA[rng.gen_range(0..DOT_EXTRA.len())];
+        }
+        let total: u32 = ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+            .sum();
+        let mut pick = rng.gen_range(0..total);
+        for &(lo, hi) in ranges {
+            let span = hi as u32 - lo as u32 + 1;
+            if pick < span {
+                return char::from_u32(lo as u32 + pick).unwrap();
+            }
+            pick -= span;
+        }
+        unreachable!("sample index within total span")
+    }
+
+    /// String strategies from a regex subset: sequences of `.` / `[class]` /
+    /// literal atoms, each with an optional `{m,n}` or `{n}` quantifier.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in parse_pattern(self) {
+                let n = rng.gen_range(atom.min..=atom.max);
+                let dot = atom.ranges == [(' ', '~')];
+                for _ in 0..n {
+                    out.push(sample_char(&atom.ranges, dot, rng));
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A strategy for `Vec<S::Value>` with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// `prop::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestCaseError, TestRng};
+    use rand::SeedableRng;
+
+    /// Derives a stable per-test seed from the test name (FNV-1a).
+    fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `f` until `config.cases` cases pass; panics on the first
+    /// failure or when rejects (from `prop_assume!`) overwhelm progress.
+    pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::seed_from_u64(seed_for(name));
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let max_rejects = config.cases.saturating_mul(16).max(1024);
+        while passed < config.cases {
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "{name}: too many rejected cases ({rejected}) — \
+                         prop_assume! condition is almost never satisfied"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{name}: property failed at case {passed}: {msg}")
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                #[allow(unreachable_code)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    Ok(())
+                })();
+                __outcome
+            });
+        }
+        $crate::__proptest_fns! { $config; $($rest)* }
+    };
+    ($config:expr;) => {};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Rejects the current test case (retried with new inputs) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        use crate::strategy::Strategy;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+        for _ in 0..200 {
+            let (a, b) = (0u64..1000, 2u32..8).generate(&mut rng);
+            assert!(a < 1000);
+            assert!((2..8).contains(&b));
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        use crate::strategy::Strategy;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let strat = prop::collection::vec((0u8..20, 1u8..5), 1..6);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_strategy_matches_class_pattern() {
+        use crate::strategy::Strategy;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = "[a-z]{1,30}".generate(&mut rng);
+            assert!((1..=30).contains(&s.chars().count()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+            let t = "[A-Za-z0-9]{1,20}".generate(&mut rng);
+            assert!(t.bytes().all(|b| b.is_ascii_alphanumeric()));
+            let u = ".{0,400}".generate(&mut rng);
+            assert!(u.chars().count() <= 400);
+            assert!(!u.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        use crate::strategy::Strategy;
+        let strat = prop_oneof![
+            (0u8..1).prop_map(|_| 0usize),
+            (0u8..1).prop_map(|_| 1usize),
+            crate::strategy::Just(2usize),
+        ];
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let collect = |name: &str| {
+            let mut out = Vec::new();
+            crate::test_runner::run_cases(&ProptestConfig::with_cases(10), name, |rng| {
+                out.push((0u64..1_000_000).generate(rng));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect("alpha"), collect("alpha"));
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: multiple args, assume, assert, early return.
+        #[test]
+        fn macro_smoke(x in 0u32..100, v in prop::collection::vec(0u8..10, 0..5)) {
+            prop_assume!(x != 13);
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assert!(x < 100, "x = {x}");
+            prop_assert_eq!(v.len(), v.iter().count());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports the struct shapes this workspace actually uses:
+//!
+//! * named-field structs → JSON objects (field order preserved);
+//! * single-field tuple structs (newtypes) → the inner value, transparently.
+//!
+//! Enums, generics and `#[serde(...)]` attributes are not supported; the
+//! macro panics at compile time if it meets one, which is the signal to
+//! extend it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a struct definition.
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named { name: String, fields: Vec<String> },
+    /// `struct S(T);` — a transparent newtype.
+    Newtype { name: String },
+}
+
+fn parse_struct(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    // skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`)
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _bracket = iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                other => panic!("serde derive: expected struct name, got {other:?}"),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                panic!("serde derive stand-in does not support enums")
+            }
+            Some(other) => panic!("serde derive: unexpected token {other}"),
+            None => panic!("serde derive: ran out of tokens before `struct`"),
+        }
+    };
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named {
+            name,
+            fields: parse_named_fields(g.stream()),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner = parse_tuple_arity(g.stream());
+            if inner != 1 {
+                panic!("serde derive stand-in supports only single-field tuple structs");
+            }
+            Shape::Newtype { name }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde derive stand-in does not support generic structs")
+        }
+        other => panic!("serde derive: expected struct body, got {other:?}"),
+    }
+}
+
+/// Extracts field names from the brace group of a named-field struct.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // skip field attributes and visibility
+        let field = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _bracket = iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde derive: unexpected field token {other}"),
+                None => return fields,
+            }
+        };
+        fields.push(field);
+        // expect `:` then the type, up to a top-level comma
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field name, got {other:?}"),
+        }
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct body.
+fn parse_tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut saw_any = false;
+    for tok in stream {
+        saw_any = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_struct(input) {
+        Shape::Named { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+    };
+    code.parse().expect("serde derive: generated code parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_struct(input) {
+        Shape::Named { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             v.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| e.in_field({f:?}))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return Err(::serde::DeError::new(\
+                                 concat!(\"expected object for \", {name:?})));\n\
+                         }}\n\
+                         Ok({name} {{\n\
+                             {inits}\
+                         }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+    };
+    code.parse().expect("serde derive: generated code parses")
+}
