@@ -57,8 +57,16 @@ impl GacCluster {
     }
 
     fn merge(self, other: GacCluster) -> GacCluster {
+        // in-place axpy reuses the larger operand's allocation instead of
+        // rebuilding the merged sum from scratch on every agglomeration
+        let (mut sum, addend) = if self.sum.nnz() >= other.sum.nnz() {
+            (self.sum, other.sum)
+        } else {
+            (other.sum, self.sum)
+        };
+        sum.axpy_in_place(&addend, 1.0);
         GacCluster {
-            sum: self.sum.add_scaled(&other.sum, 1.0),
+            sum,
             members: {
                 let mut m = self.members;
                 m.extend(other.members);

@@ -37,7 +37,7 @@ fn bench_avg_sim_update_vs_naive(c: &mut Criterion) {
     let dim = 50_000u32;
     let members: Vec<SparseVector> = (0..200).map(|_| random_phi(&mut rng, dim, 120)).collect();
     let newcomer = random_phi(&mut rng, dim, 120);
-    let rep = ClusterRep::from_members(dim as usize, members.iter());
+    let rep = ClusterRep::from_members(members.iter());
 
     // the paper's fast path: eq. 26 via the representative
     c.bench_function("avg_sim_if_added_rep_200docs", |bench| {

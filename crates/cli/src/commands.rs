@@ -4,7 +4,9 @@ use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::Write;
 
-use nidc_core::{cluster_batch, Cluster, Clustering, ClusteringConfig, NoveltyPipeline};
+use nidc_core::{
+    cluster_batch, Cluster, Clustering, ClusteringConfig, NoveltyPipeline, RepBackend,
+};
 use nidc_corpus::{Corpus, Generator, GeneratorConfig, TopicId};
 use nidc_eval::{evaluate, purity, Labeling, MARKING_THRESHOLD};
 use nidc_forgetting::{DecayParams, Repository, Timestamp};
@@ -21,6 +23,15 @@ pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         crate::Command::Cluster => cluster(args, out),
         crate::Command::Stream => stream(args, out),
         crate::Command::Eval => eval(args, out),
+    }
+}
+
+/// `--rep dense|sparse`: the representative backend (perf knob; results
+/// are bit-identical either way, so it defaults like `--threads` does).
+fn rep_backend_from(args: &ParsedArgs) -> Result<RepBackend> {
+    match args.get("rep") {
+        None => Ok(RepBackend::default()),
+        Some(s) => s.parse().map_err(CliError::Usage),
     }
 }
 
@@ -147,6 +158,7 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         k: args.get_usize("k", 24)?,
         seed: args.get_u64("seed", 42)?,
         threads: args.get_usize("threads", 0)?,
+        rep_backend: rep_backend_from(args)?,
         ..ClusteringConfig::default()
     };
     let top = args.get_usize("top", 10)?;
@@ -229,6 +241,7 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         k: args.get_usize("k", 16)?,
         seed: args.get_u64("seed", 42)?,
         threads: args.get_usize("threads", 0)?,
+        rep_backend: rep_backend_from(args)?,
         ..ClusteringConfig::default()
     };
     // --state FILE: resume from a previous run's checkpoint, if present,
@@ -333,6 +346,7 @@ fn eval<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         k: args.get_usize("k", 24)?,
         seed: args.get_u64("seed", 42)?,
         threads: args.get_usize("threads", 0)?,
+        rep_backend: rep_backend_from(args)?,
         ..ClusteringConfig::default()
     };
     let mut repo = Repository::new(decay);

@@ -63,17 +63,22 @@ COMMANDS:
     cluster    cluster a time range and print the hot-topic overview
                --input FILE [--k N=24] [--beta DAYS=7] [--gamma DAYS=30]
                [--from DAY=0] [--to DAY=end] [--top N=10] [--json]
-               [--threads N=0]
+               [--threads N=0] [--rep sparse|dense]
     stream     replay the corpus incrementally, printing overviews
                --input FILE [--k N=16] [--beta DAYS=7] [--gamma DAYS=21]
                [--every DAYS=5] [--state FILE] [--threads N=0]
+               [--rep sparse|dense]
                (--state: resume from / checkpoint to a pipeline state file)
     eval       cluster a window and score it against the labels
                --input FILE --window N(1-6) [--k N=24] [--beta DAYS=7]
                [--gamma DAYS=30] [--seed N] [--threads N=0]
+               [--rep sparse|dense]
 
 --threads N: worker threads for the clustering hot paths (0 = all hardware
 threads, 1 = sequential). Results are identical for any value.
+--rep sparse|dense: cluster-representative storage. `sparse` (default) also
+routes the step-1 scoring sweep through a term→cluster inverted index;
+`dense` keeps the original O(K·|V|) arrays. Results are bit-identical.
 
 Corpus JSONL format: first line = topic inventory (array), then one article
 per line: {\"id\":u64, \"topic\":u32, \"day\":f64, \"text\":\"...\"} —

@@ -6,10 +6,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use nidc_similarity::{ClusterRep, DocVectors};
+use nidc_similarity::{ClusterIndex, ClusterRep, DocVectors};
 use nidc_textproc::DocId;
 
-use crate::{Cluster, Clustering, ClusteringConfig, Error, Result};
+use crate::{Cluster, Clustering, ClusteringConfig, Error, RepBackend, Result};
 
 /// How the repetition process is initialised.
 #[derive(Debug, Clone)]
@@ -30,28 +30,80 @@ pub fn cluster_batch(vecs: &DocVectors, config: &ClusteringConfig) -> Result<Clu
     cluster_with_initial(vecs, config, InitialState::Random)
 }
 
-/// The step-1 assignment score of one `(document, cluster)` pair: the change
-/// of the cluster's criterion value if `d` joined (`is_current = false`), or
-/// `d`'s present contribution — `score(C) − score(C \ {d})` (`is_current =
-/// true`). One function so the parallel preview and the sequential apply
-/// compute bit-identical values.
+/// The step-1 assignment score of one `(document, cluster)` pair, given the
+/// already-computed dot product `c⃗ · φ_d`: the change of the cluster's
+/// criterion value if `d` joined (`is_current = false`), or `d`'s present
+/// contribution — `score(C) − score(C \ {d})` (`is_current = true`). One
+/// function so the parallel preview, the inverted-index sweep, and the
+/// sequential apply all compute bit-identical values.
+fn assignment_delta_from_dot(
+    criterion: crate::Criterion,
+    rep: &ClusterRep,
+    dot: f64,
+    norm_sq: f64,
+    is_current: bool,
+) -> f64 {
+    if is_current {
+        match criterion {
+            crate::Criterion::AvgSim => {
+                rep.avg_sim() - rep.avg_sim_if_removed_from_dot(dot, norm_sq)
+            }
+            crate::Criterion::GTerm => {
+                rep.g_term()
+                    - (rep.size().saturating_sub(1)) as f64
+                        * rep.avg_sim_if_removed_from_dot(dot, norm_sq)
+            }
+        }
+    } else {
+        match criterion {
+            crate::Criterion::AvgSim => rep.avg_sim_if_added_from_dot(dot) - rep.avg_sim(),
+            crate::Criterion::GTerm => rep.g_term_if_added_from_dot(dot) - rep.g_term(),
+        }
+    }
+}
+
+/// [`assignment_delta_from_dot`] with the dot product computed against one
+/// representative directly. Used whenever a cluster's previewed score is
+/// stale (the `dirty` path) and by the dense backend's sweep.
 fn assignment_delta(
     criterion: crate::Criterion,
     rep: &ClusterRep,
     phi: &nidc_textproc::SparseVector,
     is_current: bool,
 ) -> f64 {
-    if is_current {
-        match criterion {
-            crate::Criterion::AvgSim => rep.avg_sim() - rep.avg_sim_if_removed(phi),
-            crate::Criterion::GTerm => {
-                rep.g_term() - (rep.size().saturating_sub(1)) as f64 * rep.avg_sim_if_removed(phi)
+    assignment_delta_from_dot(criterion, rep, rep.dot_doc(phi), phi.norm_sq(), is_current)
+}
+
+/// Fills `row[q]` with the step-1 assignment delta of `phi` against every
+/// cluster `q < reps.len()`.
+///
+/// With an inverted [`ClusterIndex`] this is the tentpole fast path: one
+/// [`ClusterIndex::dot_all`] pass over φ's terms produces all K dot products
+/// at once — O(Σ_t |postings(t)|) instead of O(K·nnz(φ)) — and each dot is
+/// bit-identical to `reps[q].dot_doc(phi)` (the index mirrors the sparse
+/// representatives entry for entry), so the deltas, and therefore the argmax
+/// winner, match the dense backend exactly.
+fn score_row_into(
+    criterion: crate::Criterion,
+    reps: &[ClusterRep],
+    index: Option<&ClusterIndex>,
+    phi: &nidc_textproc::SparseVector,
+    current: Option<usize>,
+    row: &mut [f64],
+) {
+    match index {
+        Some(ix) => {
+            ix.dot_all(phi, row);
+            let norm_sq = phi.norm_sq();
+            for (q, rep) in reps.iter().enumerate() {
+                row[q] =
+                    assignment_delta_from_dot(criterion, rep, row[q], norm_sq, current == Some(q));
             }
         }
-    } else {
-        match criterion {
-            crate::Criterion::AvgSim => rep.avg_sim_if_added(phi) - rep.avg_sim(),
-            crate::Criterion::GTerm => rep.g_term_if_added(phi) - rep.g_term(),
+        None => {
+            for (q, rep) in reps.iter().enumerate() {
+                row[q] = assignment_delta(criterion, rep, phi, current == Some(q));
+            }
         }
     }
 }
@@ -72,7 +124,9 @@ pub fn cluster_with_initial(
     let k = config.k.min(ids.len());
 
     // --- Initial process -------------------------------------------------
-    let mut reps: Vec<ClusterRep> = (0..k).map(|_| ClusterRep::new(vecs.vocab_dim())).collect();
+    let mut reps: Vec<ClusterRep> = (0..k)
+        .map(|_| ClusterRep::new_with(config.rep_backend))
+        .collect();
     let mut assign: BTreeMap<DocId, usize> = BTreeMap::new();
     let mut sizes = vec![0usize; k];
 
@@ -119,12 +173,22 @@ pub fn cluster_with_initial(
         sizes[p] += 1;
     }
 
+    // The sparse backend routes the step-1 sweep through a term→cluster
+    // inverted index mirroring the representatives; the dense backend keeps
+    // per-cluster dot products (no index to maintain).
+    let mut index: Option<ClusterIndex> = (config.rep_backend == RepBackend::Sparse).then(|| {
+        let mut ix = ClusterIndex::new(k);
+        ix.rebuild(&reps);
+        ix
+    });
+
     let mut g_old: f64 = reps.iter().map(ClusterRep::g_term).sum();
 
     // --- Repetition process ----------------------------------------------
     let threads = nidc_parallel::resolve_threads(config.threads);
     let mut outliers: Vec<DocId> = Vec::new();
     let mut iterations = 0usize;
+    let mut scratch = vec![0.0; k];
     loop {
         iterations += 1;
         outliers.clear();
@@ -142,18 +206,26 @@ pub fn cluster_with_initial(
             .then(|| {
                 let assign = &assign;
                 let reps = &reps;
-                nidc_parallel::par_map(&ids, threads, |&d| {
-                    let phi = vecs.phi(d).expect("id comes from vecs");
-                    let current = assign.get(&d).copied();
-                    reps.iter()
-                        .enumerate()
-                        .map(|(q, rep)| {
-                            assignment_delta(config.criterion, rep, phi, current == Some(q))
+                let index = index.as_ref();
+                nidc_parallel::par_chunks(ids.len(), threads, |range| {
+                    // one scratch row per chunk, cloned per document
+                    let mut row = vec![0.0; k];
+                    range
+                        .map(|di| {
+                            let d = ids[di];
+                            let phi = vecs.phi(d).expect("id comes from vecs");
+                            let current = assign.get(&d).copied();
+                            score_row_into(config.criterion, reps, index, phi, current, &mut row);
+                            row.clone()
                         })
-                        .collect()
+                        .collect::<Vec<Vec<f64>>>()
                 })
+                .into_iter()
+                .flatten()
+                .collect()
             });
         let mut dirty = vec![false; k];
+        let mut any_dirty = false;
         for (di, &d) in ids.iter().enumerate() {
             let phi = vecs.phi(d).expect("id comes from vecs");
             let current = assign.get(&d).copied();
@@ -171,13 +243,41 @@ pub fn cluster_with_initial(
             // actually moves — this keeps converged iterations cheap, which
             // is what makes warm restarts (§5.2) fast.
             let mut best: Option<(usize, f64)> = None;
-            for (q, rep) in reps.iter().enumerate() {
-                let delta = match &preview {
-                    Some(scores) if !dirty[q] => scores[di][q],
-                    _ => assignment_delta(config.criterion, rep, phi, current == Some(q)),
-                };
-                if best.is_none_or(|(_, bd)| delta > bd) {
-                    best = Some((q, delta));
+            match &preview {
+                // nothing has moved yet: every previewed row is still exact
+                Some(rows) if !any_dirty => {
+                    for (q, &delta) in rows[di].iter().enumerate() {
+                        if best.is_none_or(|(_, bd)| delta > bd) {
+                            best = Some((q, delta));
+                        }
+                    }
+                }
+                Some(rows) => {
+                    for (q, rep) in reps.iter().enumerate() {
+                        let delta = if dirty[q] {
+                            assignment_delta(config.criterion, rep, phi, current == Some(q))
+                        } else {
+                            rows[di][q]
+                        };
+                        if best.is_none_or(|(_, bd)| delta > bd) {
+                            best = Some((q, delta));
+                        }
+                    }
+                }
+                None => {
+                    score_row_into(
+                        config.criterion,
+                        &reps,
+                        index.as_ref(),
+                        phi,
+                        current,
+                        &mut scratch,
+                    );
+                    for (q, &delta) in scratch[..k].iter().enumerate() {
+                        if best.is_none_or(|(_, bd)| delta > bd) {
+                            best = Some((q, delta));
+                        }
+                    }
                 }
             }
             // step 1(b): largest strictly-positive increase wins, else outlier
@@ -186,20 +286,31 @@ pub fn cluster_with_initial(
                     if current != Some(q) {
                         if let Some(p) = current {
                             reps[p].remove(phi);
+                            if let Some(ix) = index.as_mut() {
+                                ix.remove(p, phi);
+                            }
                             sizes[p] -= 1;
                             dirty[p] = true;
                         }
                         reps[q].add(phi);
+                        if let Some(ix) = index.as_mut() {
+                            ix.add(q, phi);
+                        }
                         sizes[q] += 1;
                         dirty[q] = true;
+                        any_dirty = true;
                         assign.insert(d, q);
                     }
                 }
                 _ => {
                     if let Some(p) = current {
                         reps[p].remove(phi);
+                        if let Some(ix) = index.as_mut() {
+                            ix.remove(p, phi);
+                        }
                         sizes[p] -= 1;
                         dirty[p] = true;
+                        any_dirty = true;
                         assign.remove(&d);
                     }
                     outliers.push(d);
@@ -219,6 +330,14 @@ pub fn cluster_with_initial(
                     .iter()
                     .map(|d| vecs.phi(*d).expect("member has a vector")),
             );
+        }
+        if any_dirty {
+            // re-mirror the recomputed representatives (incremental updates
+            // above tracked them exactly, but recompute_exact may shed
+            // floating-point drift the postings still carry)
+            if let Some(ix) = index.as_mut() {
+                ix.rebuild(&reps);
+            }
         }
         let g_new: f64 = reps.iter().map(ClusterRep::g_term).sum();
 

@@ -128,9 +128,9 @@ mod tests {
 
     fn sample() -> Clustering {
         let m0 = [phi(&[(0, 0.5)]), phi(&[(0, 0.4), (1, 0.1)])];
-        let rep0 = ClusterRep::from_members(2, m0.iter());
+        let rep0 = ClusterRep::from_members(m0.iter());
         let c0 = Cluster::new(vec![DocId(0), DocId(1)], rep0);
-        let c1 = Cluster::new(vec![], ClusterRep::new(2));
+        let c1 = Cluster::new(vec![], ClusterRep::new());
         let g = c0.rep().g_term();
         Clustering::new(vec![c0, c1], vec![DocId(9)], g, 3)
     }

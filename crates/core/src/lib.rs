@@ -68,7 +68,7 @@ mod pipeline;
 
 pub use algorithm::{cluster_batch, cluster_with_initial, InitialState};
 pub use clustering::{Cluster, Clustering};
-pub use config::{ClusteringConfig, Criterion};
+pub use config::{ClusteringConfig, Criterion, RepBackend};
 pub use error::Error;
 pub use persist::{ConfigState, PipelineState};
 pub use pipeline::NoveltyPipeline;

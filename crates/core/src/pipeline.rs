@@ -94,15 +94,27 @@ impl NoveltyPipeline {
     }
 
     /// Expires documents below `ε = λ^γ` (§5.2 step 2) and returns them.
+    ///
+    /// Expired documents are pruned from the warm-start assignment in the
+    /// same pass (via [`Repository::expire_with`]), so the next incremental
+    /// re-clustering never carries dead keys into the K-means initial state.
     pub fn expire(&mut self) -> Vec<DocId> {
-        self.repo.expire()
+        let previous = &mut self.previous;
+        let mut dead = Vec::new();
+        self.repo.expire_with(|id| {
+            if let Some(prev) = previous.as_mut() {
+                prev.remove(&id);
+            }
+            dead.push(id);
+        });
+        dead
     }
 
     /// Incremental re-clustering (§5.2 step 3): expire, then warm-start the
     /// extended K-means from the previous clustering's assignment. Falls
     /// back to random seeding the first time.
     pub fn recluster_incremental(&mut self) -> Result<Clustering> {
-        self.repo.expire();
+        self.expire();
         let vecs = DocVectors::build_parallel(&self.repo, self.config.threads);
         let initial = match self.previous.take() {
             Some(prev) => InitialState::Assignment(prev),
@@ -118,7 +130,7 @@ impl NoveltyPipeline {
     /// rebuilds every statistic from scratch and seeds randomly, ignoring
     /// any previous clustering.
     pub fn recluster_from_scratch(&mut self) -> Result<Clustering> {
-        self.repo.expire();
+        self.expire();
         self.repo.recompute_from_scratch_with(self.config.threads);
         let vecs = DocVectors::build_parallel(&self.repo, self.config.threads);
         let clustering = cluster_with_initial(&vecs, &self.config, InitialState::Random)?;

@@ -82,7 +82,7 @@ proptest! {
         let c = cluster_batch(&vecs, &config).unwrap();
         let mut g = 0.0;
         for cl in c.clusters() {
-            let mut rep = ClusterRep::new(vecs.vocab_dim());
+            let mut rep = ClusterRep::new();
             rep.recompute_exact(cl.members().iter().map(|d| vecs.phi(*d).unwrap()));
             g += rep.g_term();
         }

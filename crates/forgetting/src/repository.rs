@@ -293,6 +293,18 @@ impl Repository {
     /// Expires every document whose weight has dropped below `ε = λ^γ`
     /// (§5.2 step 2). Returns the expired ids in order.
     pub fn expire(&mut self) -> Vec<DocId> {
+        let mut dead = Vec::new();
+        self.expire_with(|id| dead.push(id));
+        dead
+    }
+
+    /// Like [`Repository::expire`], but streams each expired id into
+    /// `on_expire` as it is removed. Incremental callers use this to retire
+    /// the document's contribution from downstream state in the same pass —
+    /// cluster representatives and the term→cluster index via
+    /// `remove(φ_d)`, warm-start assignment maps by dropping the key —
+    /// instead of re-deriving the expired set afterwards.
+    pub fn expire_with<F: FnMut(DocId)>(&mut self, mut on_expire: F) {
         let eps = self.params.epsilon();
         let dead: Vec<DocId> = self
             .docs
@@ -300,10 +312,10 @@ impl Repository {
             .filter(|(_, e)| e.weight < eps)
             .map(|(&id, _)| id)
             .collect();
-        for &id in &dead {
+        for id in dead {
             let _ = self.remove(id);
+            on_expire(id);
         }
-        dead
     }
 
     /// The **non-incremental** statistics rebuild of the paper's

@@ -46,7 +46,7 @@
 //! let s = vecs.sim(DocId(0), DocId(1)).unwrap();
 //! assert!(s > 0.0);
 //!
-//! let mut rep = ClusterRep::new(vecs.vocab_dim());
+//! let mut rep = ClusterRep::new();
 //! rep.add(vecs.phi(DocId(0)).unwrap());
 //! rep.add(vecs.phi(DocId(1)).unwrap());
 //! // eq. 24: avg_sim from the representative equals the pairwise average.
@@ -57,10 +57,12 @@
 #![warn(missing_docs)]
 
 mod docvec;
+mod index;
 mod rep;
 
 pub use docvec::DocVectors;
-pub use rep::ClusterRep;
+pub use index::ClusterIndex;
+pub use rep::{ClusterRep, RepBackend};
 
 use nidc_forgetting::Repository;
 use nidc_textproc::DocId;

@@ -2,6 +2,61 @@
 
 use nidc_textproc::{SparseVector, TermId};
 
+/// How a [`ClusterRep`] stores its vector `c⃗_p`.
+///
+/// Both backends produce **bit-identical** statistics and clusterings: every
+/// weight is accumulated by the same scalar operations in the same order,
+/// only the storage (and therefore the asymptotics) differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepBackend {
+    /// `Vec<f64>` over the full term space: O(|V|) memory per cluster,
+    /// O(1) per-term lookup. The original implementation, kept for A/B
+    /// verification against the sparse path.
+    Dense,
+    /// Sorted `Vec<(TermId, f64)>` (the [`SparseVector`] idiom): O(nnz)
+    /// memory, O(log nnz) lookup, and merge-join rep↔rep products. The
+    /// default, and the backend the term→cluster inverted index
+    /// ([`crate::ClusterIndex`]) mirrors.
+    #[default]
+    Sparse,
+}
+
+impl std::str::FromStr for RepBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(RepBackend::Dense),
+            "sparse" => Ok(RepBackend::Sparse),
+            other => Err(format!("unknown rep backend '{other}' (dense|sparse)")),
+        }
+    }
+}
+
+impl std::fmt::Display for RepBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RepBackend::Dense => "dense",
+            RepBackend::Sparse => "sparse",
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    Dense(Vec<f64>),
+    Sparse(SparseVector),
+}
+
+impl Storage {
+    fn weight(&self, t: TermId) -> f64 {
+        match self {
+            Storage::Dense(v) => v.get(t.index()).copied().unwrap_or(0.0),
+            Storage::Sparse(s) => s.get(t),
+        }
+    }
+}
+
 /// A cluster representative `c⃗_p = Σ_{d∈C_p} φ_d` (eq. 19–20) together with
 /// the cached quantities of §4.4:
 ///
@@ -13,37 +68,72 @@ use nidc_textproc::{SparseVector, TermId};
 /// "what if d is appended" (eq. 26) and "what if d is removed" queries
 /// O(|φ_d|) — the efficiency trick that makes the extended K-means viable.
 ///
-/// The representative is stored densely (`Vec<f64>` over the term space) so
-/// that a document-representative dot product costs O(nnz(φ_d)).
+/// The representative vector is stored per [`RepBackend`]: sparse (sorted
+/// `Vec<(TermId, f64)>`, the default) or dense (`Vec<f64>` over the term
+/// space, for A/B verification). A document-representative dot product
+/// costs O(nnz(φ_d)) dense and O(nnz(φ_d)·log nnz(c⃗_p)) sparse; both
+/// accumulate term contributions in φ's term order, so every derived
+/// statistic is bit-identical across backends.
 #[derive(Debug, Clone)]
 pub struct ClusterRep {
-    rep: Vec<f64>,
+    storage: Storage,
     size: usize,
     cr_self: f64,
     ss: f64,
 }
 
+impl Default for ClusterRep {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ClusterRep {
-    /// An empty cluster over a term space of dimension `vocab_dim`.
-    pub fn new(vocab_dim: usize) -> Self {
+    /// An empty cluster on the default (sparse) backend.
+    pub fn new() -> Self {
+        Self::new_with(RepBackend::default())
+    }
+
+    /// An empty cluster on an explicit backend.
+    pub fn new_with(backend: RepBackend) -> Self {
         Self {
-            rep: vec![0.0; vocab_dim],
+            storage: match backend {
+                RepBackend::Dense => Storage::Dense(Vec::new()),
+                RepBackend::Sparse => Storage::Sparse(SparseVector::new()),
+            },
             size: 0,
             cr_self: 0.0,
             ss: 0.0,
         }
     }
 
-    /// Builds a representative from a set of member φ vectors.
-    pub fn from_members<'a, I>(vocab_dim: usize, members: I) -> Self
+    /// Builds a representative from a set of member φ vectors (sparse
+    /// backend).
+    pub fn from_members<'a, I>(members: I) -> Self
     where
         I: IntoIterator<Item = &'a SparseVector>,
     {
-        let mut rep = Self::new(vocab_dim);
+        Self::from_members_with(RepBackend::default(), members)
+    }
+
+    /// Builds a representative from member φ vectors on an explicit backend.
+    pub fn from_members_with<'a, I>(backend: RepBackend, members: I) -> Self
+    where
+        I: IntoIterator<Item = &'a SparseVector>,
+    {
+        let mut rep = Self::new_with(backend);
         for phi in members {
             rep.add(phi);
         }
         rep
+    }
+
+    /// Which backend stores this representative.
+    pub fn backend(&self) -> RepBackend {
+        match self.storage {
+            Storage::Dense(_) => RepBackend::Dense,
+            Storage::Sparse(_) => RepBackend::Sparse,
+        }
     }
 
     /// Number of member documents `|C_p|`.
@@ -66,35 +156,90 @@ impl ClusterRep {
         self.ss
     }
 
-    /// The dense representative vector `c⃗_p`.
-    pub fn vector(&self) -> &[f64] {
-        &self.rep
+    /// Number of stored non-zero terms of `c⃗_p`.
+    pub fn nnz(&self) -> usize {
+        match &self.storage {
+            Storage::Dense(v) => v.iter().filter(|&&w| w != 0.0).count(),
+            Storage::Sparse(s) => s.nnz(),
+        }
+    }
+
+    /// The weight of term `t` in `c⃗_p` (0.0 if absent).
+    pub fn weight(&self, t: TermId) -> f64 {
+        self.storage.weight(t)
+    }
+
+    /// Calls `f` for every stored non-zero `(term, weight)` entry of `c⃗_p`,
+    /// in ascending term order.
+    pub fn for_each_entry(&self, mut f: impl FnMut(TermId, f64)) {
+        match &self.storage {
+            Storage::Dense(v) => {
+                for (i, &w) in v.iter().enumerate() {
+                    if w != 0.0 {
+                        f(TermId(i as u32), w);
+                    }
+                }
+            }
+            Storage::Sparse(s) => {
+                for (t, w) in s.iter() {
+                    f(t, w);
+                }
+            }
+        }
     }
 
     /// `cr_sim(C_p, {d}) = c⃗_p · φ_d` — the only quantity that must be
     /// computed fresh per (cluster, document) pair (see the discussion
     /// following eq. 26).
+    ///
+    /// Both backends accumulate `rep[t]·φ[t]` over φ's terms in term order
+    /// (absent terms contribute an exact ±0.0), so the result is
+    /// bit-identical across backends — and to the per-cluster rows of
+    /// [`crate::ClusterIndex::dot_all`].
     pub fn dot_doc(&self, phi: &SparseVector) -> f64 {
-        let mut acc = 0.0;
-        for (t, w) in phi.iter() {
-            if let Some(&r) = self.rep.get(t.index()) {
-                acc += r * w;
+        match &self.storage {
+            Storage::Dense(v) => {
+                let mut acc = 0.0;
+                for (t, w) in phi.iter() {
+                    if let Some(&r) = v.get(t.index()) {
+                        acc += r * w;
+                    }
+                }
+                acc
+            }
+            Storage::Sparse(s) => {
+                let mut acc = 0.0;
+                for (t, w) in phi.iter() {
+                    acc += s.get(t) * w;
+                }
+                acc
             }
         }
-        acc
     }
 
     /// `cr_sim(C_p, C_q)` between two representatives (eq. 21).
+    ///
+    /// Sparse×sparse is a merge-join over the stored entries —
+    /// O(nnz_p + nnz_q) instead of the dense backend's O(|V|) zip.
     pub fn dot_rep(&self, other: &ClusterRep) -> f64 {
-        self.rep
-            .iter()
-            .zip(other.rep.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        match (&self.storage, &other.storage) {
+            (Storage::Dense(a), Storage::Dense(b)) => {
+                a.iter().zip(b.iter()).map(|(a, b)| a * b).sum()
+            }
+            (Storage::Sparse(a), Storage::Sparse(b)) => a.dot(b),
+            (Storage::Sparse(a), Storage::Dense(b)) => a
+                .iter()
+                .map(|(t, w)| b.get(t.index()).copied().unwrap_or(0.0) * w)
+                .sum(),
+            (Storage::Dense(a), Storage::Sparse(b)) => b
+                .iter()
+                .map(|(t, w)| a.get(t.index()).copied().unwrap_or(0.0) * w)
+                .sum(),
+        }
     }
 
     /// Adds document `φ` to the cluster, maintaining all cached quantities in
-    /// O(nnz(φ)).
+    /// O(nnz(φ)) (dense) / O(nnz(φ) + nnz(c⃗_p)) worst case (sparse merge).
     pub fn add(&mut self, phi: &SparseVector) {
         let dot = self.dot_doc(phi);
         let norm_sq = phi.norm_sq();
@@ -102,17 +247,22 @@ impl ClusterRep {
         self.cr_self += 2.0 * dot + norm_sq;
         self.ss += norm_sq;
         self.size += 1;
-        for (t, w) in phi.iter() {
-            let idx = t.index();
-            if idx >= self.rep.len() {
-                self.rep.resize(idx + 1, 0.0);
+        match &mut self.storage {
+            Storage::Dense(v) => {
+                for (t, w) in phi.iter() {
+                    let idx = t.index();
+                    if idx >= v.len() {
+                        v.resize(idx + 1, 0.0);
+                    }
+                    v[idx] += w;
+                }
             }
-            self.rep[idx] += w;
+            Storage::Sparse(s) => s.axpy_in_place(phi, 1.0),
         }
     }
 
     /// Removes document `φ` from the cluster (the deletion analogue the paper
-    /// omits "for simplicity"), in O(nnz(φ)):
+    /// omits "for simplicity"), in O(nnz(φ)) / O(nnz(φ) + nnz(c⃗_p)):
     ///
     /// ```text
     /// |c − φ|² = |c|² − 2 c·φ + |φ|²
@@ -146,14 +296,22 @@ impl ClusterRep {
             self.ss = 0.0;
         }
         self.size -= 1;
-        for (t, w) in phi.iter() {
-            if let Some(r) = self.rep.get_mut(t.index()) {
-                *r -= w;
+        match &mut self.storage {
+            Storage::Dense(v) => {
+                for (t, w) in phi.iter() {
+                    if let Some(r) = v.get_mut(t.index()) {
+                        *r -= w;
+                    }
+                }
             }
+            Storage::Sparse(s) => s.axpy_in_place(phi, -1.0),
         }
         if self.size == 0 {
             // restore exact emptiness so drift cannot accumulate across reuse
-            self.rep.iter_mut().for_each(|r| *r = 0.0);
+            match &mut self.storage {
+                Storage::Dense(v) => v.iter_mut().for_each(|r| *r = 0.0),
+                Storage::Sparse(s) => *s = SparseVector::new(),
+            }
             self.cr_self = 0.0;
             self.ss = 0.0;
         }
@@ -188,11 +346,17 @@ impl ClusterRep {
     ///
     /// Returns 0 for an empty cluster (a singleton has no pairs).
     pub fn avg_sim_if_added(&self, phi: &SparseVector) -> f64 {
+        self.avg_sim_if_added_from_dot(self.dot_doc(phi))
+    }
+
+    /// [`ClusterRep::avg_sim_if_added`] with `cr_sim(C,{d})` supplied by the
+    /// caller (e.g. from one [`crate::ClusterIndex::dot_all`] sweep).
+    pub fn avg_sim_if_added_from_dot(&self, dot: f64) -> f64 {
         if self.size == 0 {
             return 0.0;
         }
         let n = self.size as f64;
-        let num = self.cr_self + 2.0 * self.dot_doc(phi) - self.ss;
+        let num = self.cr_self + 2.0 * dot - self.ss;
         (num / (n * (n + 1.0))).max(0.0)
     }
 
@@ -209,22 +373,33 @@ impl ClusterRep {
     /// paper's clustering index; see the discussion of the two assignment
     /// criteria in `nidc-core`.
     pub fn g_term_if_added(&self, phi: &SparseVector) -> f64 {
+        self.g_term_if_added_from_dot(self.dot_doc(phi))
+    }
+
+    /// [`ClusterRep::g_term_if_added`] with `cr_sim(C,{d})` supplied by the
+    /// caller.
+    pub fn g_term_if_added_from_dot(&self, dot: f64) -> f64 {
         if self.size == 0 {
             return 0.0;
         }
         let n = self.size as f64;
-        ((self.cr_self + 2.0 * self.dot_doc(phi) - self.ss) / n).max(0.0)
+        ((self.cr_self + 2.0 * dot - self.ss) / n).max(0.0)
     }
 
     /// `avg_sim(C_p \ {d})` without mutating the cluster — the deletion
     /// analogue of eq. 26. `φ` must be a current member.
     pub fn avg_sim_if_removed(&self, phi: &SparseVector) -> f64 {
+        self.avg_sim_if_removed_from_dot(self.dot_doc(phi), phi.norm_sq())
+    }
+
+    /// [`ClusterRep::avg_sim_if_removed`] with `cr_sim(C,{d})` and `|φ|²`
+    /// supplied by the caller.
+    pub fn avg_sim_if_removed_from_dot(&self, dot: f64, norm_sq: f64) -> f64 {
         if self.size <= 2 {
             return 0.0;
         }
         let n = self.size as f64;
-        let norm_sq = phi.norm_sq();
-        let cr_new = self.cr_self - 2.0 * self.dot_doc(phi) + norm_sq;
+        let cr_new = self.cr_self - 2.0 * dot + norm_sq;
         let ss_new = self.ss - norm_sq;
         ((cr_new - ss_new) / ((n - 1.0) * (n - 2.0))).max(0.0)
     }
@@ -235,33 +410,61 @@ impl ClusterRep {
     where
         I: IntoIterator<Item = &'a SparseVector>,
     {
-        self.rep.iter_mut().for_each(|r| *r = 0.0);
         self.size = 0;
         self.ss = 0.0;
-        for phi in members {
-            for (t, w) in phi.iter() {
-                let idx = t.index();
-                if idx >= self.rep.len() {
-                    self.rep.resize(idx + 1, 0.0);
+        match &mut self.storage {
+            Storage::Dense(v) => {
+                v.iter_mut().for_each(|r| *r = 0.0);
+                for phi in members {
+                    for (t, w) in phi.iter() {
+                        let idx = t.index();
+                        if idx >= v.len() {
+                            v.resize(idx + 1, 0.0);
+                        }
+                        v[idx] += w;
+                    }
+                    self.ss += phi.norm_sq();
+                    self.size += 1;
                 }
-                self.rep[idx] += w;
+                self.cr_self = v.iter().map(|r| r * r).sum();
             }
-            self.ss += phi.norm_sq();
-            self.size += 1;
+            Storage::Sparse(s) => {
+                // Accumulate per term in member order — the same scalar-op
+                // sequence the dense backend's slot accumulation performs —
+                // into a hash map, then sort once. An axpy per member would
+                // rewrite the whole entry list each time (O(|C|·nnz(c⃗))).
+                // Map iteration order is never observed: entries are sorted
+                // before use.
+                let mut acc: std::collections::HashMap<TermId, f64> =
+                    std::collections::HashMap::with_capacity(s.nnz());
+                for phi in members {
+                    for (t, w) in phi.iter() {
+                        *acc.entry(t).or_insert(0.0) += w;
+                    }
+                    self.ss += phi.norm_sq();
+                    self.size += 1;
+                }
+                let mut entries: Vec<(TermId, f64)> =
+                    acc.into_iter().filter(|&(_, w)| w != 0.0).collect();
+                entries.sort_unstable_by_key(|&(t, _)| t);
+                *s = SparseVector::from_sorted(entries);
+                self.cr_self = s.iter().map(|(_, w)| w * w).sum();
+            }
         }
-        self.cr_self = self.rep.iter().map(|r| r * r).sum();
     }
 
     /// The `n` heaviest terms of the representative, descending — a cheap
     /// cluster label for display ("hot topic" keywords).
+    ///
+    /// Cost is O(nnz log nnz): only the stored non-zero entries are
+    /// collected and sorted, never a vocabulary-sized buffer.
     pub fn top_terms(&self, n: usize) -> Vec<(TermId, f64)> {
-        let mut terms: Vec<(TermId, f64)> = self
-            .rep
-            .iter()
-            .enumerate()
-            .filter(|&(_, &w)| w > 0.0)
-            .map(|(i, &w)| (TermId(i as u32), w))
-            .collect();
+        let mut terms: Vec<(TermId, f64)> = Vec::with_capacity(self.nnz().min(1024));
+        self.for_each_entry(|t, w| {
+            if w > 0.0 {
+                terms.push((t, w));
+            }
+        });
         terms.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         terms.truncate(n);
         terms
@@ -271,6 +474,8 @@ impl ClusterRep {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const BACKENDS: [RepBackend; 2] = [RepBackend::Dense, RepBackend::Sparse];
 
     fn phi(pairs: &[(u32, f64)]) -> SparseVector {
         SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
@@ -304,171 +509,290 @@ mod tests {
 
     #[test]
     fn eq22_identity_cr_self_decomposition() {
-        let members = sample_members();
-        let rep = ClusterRep::from_members(4, members.iter());
-        let n = members.len() as f64;
-        // eq. 22: cr_sim(C,C) = n(n−1)·avg_sim + ss
-        let lhs = rep.cr_self();
-        let rhs = n * (n - 1.0) * brute_avg_sim(&members) + rep.ss();
-        assert!((lhs - rhs).abs() < 1e-12);
+        for backend in BACKENDS {
+            let members = sample_members();
+            let rep = ClusterRep::from_members_with(backend, members.iter());
+            let n = members.len() as f64;
+            // eq. 22: cr_sim(C,C) = n(n−1)·avg_sim + ss
+            let lhs = rep.cr_self();
+            let rhs = n * (n - 1.0) * brute_avg_sim(&members) + rep.ss();
+            assert!((lhs - rhs).abs() < 1e-12, "{backend}");
+        }
     }
 
     #[test]
     fn eq24_avg_sim_matches_brute_force() {
-        let members = sample_members();
-        let rep = ClusterRep::from_members(4, members.iter());
-        assert!((rep.avg_sim() - brute_avg_sim(&members)).abs() < 1e-12);
+        for backend in BACKENDS {
+            let members = sample_members();
+            let rep = ClusterRep::from_members_with(backend, members.iter());
+            assert!(
+                (rep.avg_sim() - brute_avg_sim(&members)).abs() < 1e-12,
+                "{backend}"
+            );
+        }
     }
 
     #[test]
     fn eq26_append_preview_matches_actual_append() {
-        let members = sample_members();
-        let newcomer = phi(&[(1, 0.3), (2, 0.3)]);
-        let mut rep = ClusterRep::from_members(4, members.iter());
-        let predicted = rep.avg_sim_if_added(&newcomer);
-        rep.add(&newcomer);
-        assert!((predicted - rep.avg_sim()).abs() < 1e-12);
-        // and against brute force
-        let mut all = members;
-        all.push(newcomer);
-        assert!((rep.avg_sim() - brute_avg_sim(&all)).abs() < 1e-12);
+        for backend in BACKENDS {
+            let members = sample_members();
+            let newcomer = phi(&[(1, 0.3), (2, 0.3)]);
+            let mut rep = ClusterRep::from_members_with(backend, members.iter());
+            let predicted = rep.avg_sim_if_added(&newcomer);
+            rep.add(&newcomer);
+            assert!((predicted - rep.avg_sim()).abs() < 1e-12, "{backend}");
+            // and against brute force
+            let mut all = members;
+            all.push(newcomer);
+            assert!(
+                (rep.avg_sim() - brute_avg_sim(&all)).abs() < 1e-12,
+                "{backend}"
+            );
+        }
     }
 
     #[test]
     fn removal_preview_matches_actual_removal() {
-        let members = sample_members();
-        let mut rep = ClusterRep::from_members(4, members.iter());
-        let predicted = rep.avg_sim_if_removed(&members[1]);
-        rep.remove(&members[1]);
-        assert!((predicted - rep.avg_sim()).abs() < 1e-12);
-        let remaining: Vec<_> = members
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != 1)
-            .map(|(_, m)| m.clone())
-            .collect();
-        assert!((rep.avg_sim() - brute_avg_sim(&remaining)).abs() < 1e-12);
+        for backend in BACKENDS {
+            let members = sample_members();
+            let mut rep = ClusterRep::from_members_with(backend, members.iter());
+            let predicted = rep.avg_sim_if_removed(&members[1]);
+            rep.remove(&members[1]);
+            assert!((predicted - rep.avg_sim()).abs() < 1e-12, "{backend}");
+            let remaining: Vec<_> = members
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != 1)
+                .map(|(_, m)| m.clone())
+                .collect();
+            assert!(
+                (rep.avg_sim() - brute_avg_sim(&remaining)).abs() < 1e-12,
+                "{backend}"
+            );
+        }
     }
 
     #[test]
     fn add_then_remove_is_identity() {
-        let members = sample_members();
-        let mut rep = ClusterRep::from_members(4, members.iter());
-        let before = (rep.size(), rep.cr_self(), rep.ss(), rep.avg_sim());
-        let d = phi(&[(0, 0.9), (3, 0.1)]);
-        rep.add(&d);
-        rep.remove(&d);
-        assert_eq!(rep.size(), before.0);
-        assert!((rep.cr_self() - before.1).abs() < 1e-12);
-        assert!((rep.ss() - before.2).abs() < 1e-12);
-        assert!((rep.avg_sim() - before.3).abs() < 1e-12);
+        for backend in BACKENDS {
+            let members = sample_members();
+            let mut rep = ClusterRep::from_members_with(backend, members.iter());
+            let before = (rep.size(), rep.cr_self(), rep.ss(), rep.avg_sim());
+            let d = phi(&[(0, 0.9), (3, 0.1)]);
+            rep.add(&d);
+            rep.remove(&d);
+            assert_eq!(rep.size(), before.0);
+            assert!((rep.cr_self() - before.1).abs() < 1e-12);
+            assert!((rep.ss() - before.2).abs() < 1e-12);
+            assert!((rep.avg_sim() - before.3).abs() < 1e-12);
+        }
     }
 
     #[test]
     fn merge_formula_eq25() {
         // avg_sim(C_p ∪ C_q) from representative quantities, two disjoint sets.
-        let p_members = vec![phi(&[(0, 0.4)]), phi(&[(0, 0.2), (1, 0.5)])];
-        let q_members = vec![phi(&[(1, 0.3), (2, 0.2)]), phi(&[(2, 0.6)])];
-        let p = ClusterRep::from_members(3, p_members.iter());
-        let q = ClusterRep::from_members(3, q_members.iter());
-        let np = p.size() as f64;
-        let nq = q.size() as f64;
-        let merged_avg = (p.cr_self() + 2.0 * p.dot_rep(&q) + q.cr_self() - p.ss() - q.ss())
-            / ((np + nq) * (np + nq - 1.0));
-        let mut all = p_members;
-        all.extend(q_members);
-        assert!((merged_avg - brute_avg_sim(&all)).abs() < 1e-12);
+        for backend in BACKENDS {
+            let p_members = vec![phi(&[(0, 0.4)]), phi(&[(0, 0.2), (1, 0.5)])];
+            let q_members = vec![phi(&[(1, 0.3), (2, 0.2)]), phi(&[(2, 0.6)])];
+            let p = ClusterRep::from_members_with(backend, p_members.iter());
+            let q = ClusterRep::from_members_with(backend, q_members.iter());
+            let np = p.size() as f64;
+            let nq = q.size() as f64;
+            let merged_avg = (p.cr_self() + 2.0 * p.dot_rep(&q) + q.cr_self() - p.ss() - q.ss())
+                / ((np + nq) * (np + nq - 1.0));
+            let mut all = p_members;
+            all.extend(q_members);
+            assert!(
+                (merged_avg - brute_avg_sim(&all)).abs() < 1e-12,
+                "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_rep_mixed_backends_agree() {
+        let p_members = sample_members();
+        let q_members = [phi(&[(1, 0.3), (2, 0.2)]), phi(&[(3, 0.6)])];
+        let pd = ClusterRep::from_members_with(RepBackend::Dense, p_members.iter());
+        let ps = ClusterRep::from_members_with(RepBackend::Sparse, p_members.iter());
+        let qd = ClusterRep::from_members_with(RepBackend::Dense, q_members.iter());
+        let qs = ClusterRep::from_members_with(RepBackend::Sparse, q_members.iter());
+        let reference = pd.dot_rep(&qd);
+        for (a, b) in [(&ps, &qs), (&ps, &qd), (&pd, &qs)] {
+            assert!((a.dot_rep(b) - reference).abs() < 1e-15);
+        }
     }
 
     #[test]
     fn empty_and_singleton_clusters() {
-        let mut rep = ClusterRep::new(3);
-        assert_eq!(rep.avg_sim(), 0.0);
-        assert_eq!(rep.g_term(), 0.0);
-        assert_eq!(rep.avg_sim_if_added(&phi(&[(0, 1.0)])), 0.0);
-        rep.add(&phi(&[(0, 1.0)]));
-        assert_eq!(rep.size(), 1);
-        assert_eq!(rep.avg_sim(), 0.0); // singleton: no pairs
+        for backend in BACKENDS {
+            let mut rep = ClusterRep::new_with(backend);
+            assert_eq!(rep.avg_sim(), 0.0);
+            assert_eq!(rep.g_term(), 0.0);
+            assert_eq!(rep.avg_sim_if_added(&phi(&[(0, 1.0)])), 0.0);
+            rep.add(&phi(&[(0, 1.0)]));
+            assert_eq!(rep.size(), 1);
+            assert_eq!(rep.avg_sim(), 0.0); // singleton: no pairs
+        }
     }
 
     #[test]
     fn removing_last_member_restores_exact_emptiness() {
-        let d = phi(&[(0, 0.3), (2, 0.7)]);
-        let mut rep = ClusterRep::new(3);
-        rep.add(&d);
-        rep.remove(&d);
-        assert!(rep.is_empty());
-        assert_eq!(rep.cr_self(), 0.0);
-        assert_eq!(rep.ss(), 0.0);
-        assert!(rep.vector().iter().all(|&w| w == 0.0));
+        for backend in BACKENDS {
+            let d = phi(&[(0, 0.3), (2, 0.7)]);
+            let mut rep = ClusterRep::new_with(backend);
+            rep.add(&d);
+            rep.remove(&d);
+            assert!(rep.is_empty(), "{backend}");
+            assert_eq!(rep.cr_self(), 0.0);
+            assert_eq!(rep.ss(), 0.0);
+            assert_eq!(rep.nnz(), 0, "{backend}: stored weights must be zeroed");
+            let mut seen = 0;
+            rep.for_each_entry(|_, _| seen += 1);
+            assert_eq!(seen, 0);
+        }
     }
 
     #[test]
-    fn dot_doc_handles_terms_beyond_vocab_dim() {
-        let rep = ClusterRep::from_members(2, [phi(&[(0, 1.0)])].iter());
-        // φ mentions term 5, beyond the rep's dimension: contributes 0.
-        assert_eq!(rep.dot_doc(&phi(&[(0, 2.0), (5, 3.0)])), 2.0);
+    fn dot_doc_handles_terms_beyond_stored_range() {
+        for backend in BACKENDS {
+            let rep = ClusterRep::from_members_with(backend, [phi(&[(0, 1.0)])].iter());
+            // φ mentions term 5, beyond the rep's support: contributes 0.
+            assert_eq!(rep.dot_doc(&phi(&[(0, 2.0), (5, 3.0)])), 2.0);
+        }
     }
 
     #[test]
-    fn add_grows_vocab_dim_on_demand() {
-        let mut rep = ClusterRep::new(1);
-        rep.add(&phi(&[(4, 1.5)]));
-        assert_eq!(rep.vector().len(), 5);
-        assert_eq!(rep.vector()[4], 1.5);
+    fn add_grows_support_on_demand() {
+        for backend in BACKENDS {
+            let mut rep = ClusterRep::new_with(backend);
+            rep.add(&phi(&[(4, 1.5)]));
+            assert_eq!(rep.nnz(), 1);
+            assert_eq!(rep.weight(TermId(4)), 1.5);
+            assert_eq!(rep.weight(TermId(3)), 0.0);
+        }
     }
 
     #[test]
     fn recompute_exact_matches_incremental() {
-        let members = sample_members();
-        let mut rep = ClusterRep::new(4);
-        for m in &members {
-            rep.add(m);
+        for backend in BACKENDS {
+            let members = sample_members();
+            let mut rep = ClusterRep::new_with(backend);
+            for m in &members {
+                rep.add(m);
+            }
+            let mut exact = rep.clone();
+            exact.recompute_exact(members.iter());
+            assert!((rep.cr_self() - exact.cr_self()).abs() < 1e-12);
+            assert!((rep.ss() - exact.ss()).abs() < 1e-12);
+            assert_eq!(rep.size(), exact.size());
         }
-        let mut exact = rep.clone();
-        exact.recompute_exact(members.iter());
-        assert!((rep.cr_self() - exact.cr_self()).abs() < 1e-12);
-        assert!((rep.ss() - exact.ss()).abs() < 1e-12);
-        assert_eq!(rep.size(), exact.size());
     }
 
     #[test]
     fn top_terms_are_sorted_descending() {
-        let rep = ClusterRep::from_members(4, [phi(&[(0, 0.1), (1, 0.9), (2, 0.5)])].iter());
-        let top = rep.top_terms(2);
-        assert_eq!(top.len(), 2);
-        assert_eq!(top[0].0, TermId(1));
-        assert_eq!(top[1].0, TermId(2));
+        for backend in BACKENDS {
+            let rep = ClusterRep::from_members_with(
+                backend,
+                [phi(&[(0, 0.1), (1, 0.9), (2, 0.5)])].iter(),
+            );
+            let top = rep.top_terms(2);
+            assert_eq!(top.len(), 2);
+            assert_eq!(top[0].0, TermId(1));
+            assert_eq!(top[1].0, TermId(2));
+        }
+    }
+
+    #[test]
+    fn top_terms_is_nnz_bounded_on_high_dimension_rep() {
+        // A sparse rep whose largest term id is in the tens of millions must
+        // not allocate or scan a vocabulary-sized buffer: the candidate list
+        // is bounded by nnz, not by the term-id range.
+        let mut rep = ClusterRep::new();
+        rep.add(&phi(&[(30_000_000, 1.0), (5, 3.0), (17_000_000, 2.0)]));
+        assert_eq!(rep.nnz(), 3);
+        let all = rep.top_terms(usize::MAX);
+        assert_eq!(all.len(), 3, "candidate list must be nnz-bounded");
+        assert_eq!(all[0].0, TermId(5));
+        assert_eq!(all[1].0, TermId(17_000_000));
     }
 
     #[test]
     fn g_term_if_added_preview_matches_actual() {
-        let members = sample_members();
-        let newcomer = phi(&[(0, 0.2), (2, 0.4)]);
-        let mut rep = ClusterRep::from_members(4, members.iter());
-        let preview = rep.g_term_if_added(&newcomer);
-        rep.add(&newcomer);
-        assert!((preview - rep.g_term()).abs() < 1e-12);
+        for backend in BACKENDS {
+            let members = sample_members();
+            let newcomer = phi(&[(0, 0.2), (2, 0.4)]);
+            let mut rep = ClusterRep::from_members_with(backend, members.iter());
+            let preview = rep.g_term_if_added(&newcomer);
+            rep.add(&newcomer);
+            assert!((preview - rep.g_term()).abs() < 1e-12);
+        }
     }
 
     #[test]
     fn g_term_if_added_to_empty_is_zero() {
-        let rep = ClusterRep::new(3);
+        let rep = ClusterRep::new();
         assert_eq!(rep.g_term_if_added(&phi(&[(0, 1.0)])), 0.0);
     }
 
     #[test]
     fn g_term_if_added_to_singleton_is_twice_sim() {
-        let seed = phi(&[(0, 0.6), (1, 0.2)]);
-        let rep = ClusterRep::from_members(2, [seed.clone()].iter());
-        let d = phi(&[(0, 0.5), (1, 0.5)]);
-        assert!((rep.g_term_if_added(&d) - 2.0 * seed.dot(&d)).abs() < 1e-12);
+        for backend in BACKENDS {
+            let seed = phi(&[(0, 0.6), (1, 0.2)]);
+            let rep = ClusterRep::from_members_with(backend, [seed.clone()].iter());
+            let d = phi(&[(0, 0.5), (1, 0.5)]);
+            assert!((rep.g_term_if_added(&d) - 2.0 * seed.dot(&d)).abs() < 1e-12);
+        }
     }
 
     #[test]
     fn g_term_is_size_times_avg_sim() {
+        for backend in BACKENDS {
+            let members = sample_members();
+            let rep = ClusterRep::from_members_with(backend, members.iter());
+            assert!((rep.g_term() - 4.0 * rep.avg_sim()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn backends_are_bit_identical_through_churn() {
         let members = sample_members();
-        let rep = ClusterRep::from_members(4, members.iter());
-        assert!((rep.g_term() - 4.0 * rep.avg_sim()).abs() < 1e-12);
+        let churn = [phi(&[(0, 0.9), (3, 0.1)]), phi(&[(2, 0.5)])];
+        let mut dense = ClusterRep::new_with(RepBackend::Dense);
+        let mut sparse = ClusterRep::new_with(RepBackend::Sparse);
+        for m in &members {
+            dense.add(m);
+            sparse.add(m);
+        }
+        for d in &churn {
+            dense.add(d);
+            sparse.add(d);
+        }
+        for d in churn.iter().rev() {
+            dense.remove(d);
+            sparse.remove(d);
+        }
+        assert_eq!(
+            dense.cr_self(),
+            sparse.cr_self(),
+            "cr_self must be bitwise equal"
+        );
+        assert_eq!(dense.ss(), sparse.ss());
+        assert_eq!(dense.avg_sim(), sparse.avg_sim());
+        let probe = phi(&[(0, 0.2), (1, 0.4), (3, 0.3)]);
+        assert_eq!(dense.dot_doc(&probe), sparse.dot_doc(&probe));
+        assert_eq!(
+            dense.avg_sim_if_added(&probe),
+            sparse.avg_sim_if_added(&probe)
+        );
+    }
+
+    #[test]
+    fn backend_parsing_and_display() {
+        assert_eq!("dense".parse::<RepBackend>().unwrap(), RepBackend::Dense);
+        assert_eq!("sparse".parse::<RepBackend>().unwrap(), RepBackend::Sparse);
+        assert!("fancy".parse::<RepBackend>().is_err());
+        assert_eq!(RepBackend::default(), RepBackend::Sparse);
+        assert_eq!(RepBackend::Dense.to_string(), "dense");
     }
 }

@@ -2,7 +2,7 @@
 //! incremental formulas must agree with brute-force pairwise computation for
 //! arbitrary clusters and arbitrary add/remove sequences.
 
-use nidc_similarity::ClusterRep;
+use nidc_similarity::{ClusterRep, RepBackend};
 use nidc_textproc::{SparseVector, TermId};
 use proptest::prelude::*;
 
@@ -36,7 +36,7 @@ proptest! {
     /// eq. 24: representative-based avg_sim equals pairwise avg_sim.
     #[test]
     fn avg_sim_matches_brute_force(members in prop::collection::vec(phi_strategy(), 0..12)) {
-        let rep = ClusterRep::from_members(DIM as usize, members.iter());
+        let rep = ClusterRep::from_members(members.iter());
         let brute = brute_avg_sim(&members);
         prop_assert!((rep.avg_sim() - brute).abs() < 1e-9,
             "rep={} brute={brute}", rep.avg_sim());
@@ -48,7 +48,7 @@ proptest! {
         members in prop::collection::vec(phi_strategy(), 1..10),
         newcomer in phi_strategy(),
     ) {
-        let mut rep = ClusterRep::from_members(DIM as usize, members.iter());
+        let mut rep = ClusterRep::from_members(members.iter());
         let preview = rep.avg_sim_if_added(&newcomer);
         rep.add(&newcomer);
         prop_assert!((preview - rep.avg_sim()).abs() < 1e-9);
@@ -61,7 +61,7 @@ proptest! {
         members in prop::collection::vec(phi_strategy(), 3..10),
         idx in 0usize..3,
     ) {
-        let mut rep = ClusterRep::from_members(DIM as usize, members.iter());
+        let mut rep = ClusterRep::from_members(members.iter());
         let preview = rep.avg_sim_if_removed(&members[idx]);
         rep.remove(&members[idx]);
         prop_assert!((preview - rep.avg_sim()).abs() < 1e-9);
@@ -73,7 +73,7 @@ proptest! {
         initial in prop::collection::vec(phi_strategy(), 1..8),
         churn in prop::collection::vec(phi_strategy(), 0..20),
     ) {
-        let mut rep = ClusterRep::from_members(DIM as usize, initial.iter());
+        let mut rep = ClusterRep::from_members(initial.iter());
         // add every churn doc then remove them again, in reverse
         for d in &churn {
             rep.add(d);
@@ -94,8 +94,8 @@ proptest! {
         p_members in prop::collection::vec(phi_strategy(), 1..6),
         q_members in prop::collection::vec(phi_strategy(), 1..6),
     ) {
-        let p = ClusterRep::from_members(DIM as usize, p_members.iter());
-        let q = ClusterRep::from_members(DIM as usize, q_members.iter());
+        let p = ClusterRep::from_members(p_members.iter());
+        let q = ClusterRep::from_members(q_members.iter());
         let np = p.size() as f64;
         let nq = q.size() as f64;
         if np + nq < 2.0 {
@@ -111,8 +111,50 @@ proptest! {
     /// avg_sim is never negative and g_term is consistent.
     #[test]
     fn invariants(members in prop::collection::vec(phi_strategy(), 0..10)) {
-        let rep = ClusterRep::from_members(DIM as usize, members.iter());
+        let rep = ClusterRep::from_members(members.iter());
         prop_assert!(rep.avg_sim() >= 0.0);
         prop_assert!((rep.g_term() - rep.size() as f64 * rep.avg_sim()).abs() < 1e-12);
+    }
+
+    /// The dense and sparse backends are **bit-identical** (not merely
+    /// close) through arbitrary interleaved add/remove churn — the property
+    /// that lets the sparse backend be the default without touching the
+    /// workspace's determinism contract.
+    #[test]
+    fn backends_bit_identical_under_churn(
+        initial in prop::collection::vec(phi_strategy(), 0..8),
+        churn in prop::collection::vec((phi_strategy(), prop::bool::ANY), 0..24),
+        probe in phi_strategy(),
+    ) {
+        let mut dense = ClusterRep::from_members_with(RepBackend::Dense, initial.iter());
+        let mut sparse = ClusterRep::from_members_with(RepBackend::Sparse, initial.iter());
+        // replay the same add/remove sequence through both; removals only
+        // target documents currently in the cluster (mirrors the algorithm)
+        let mut present: Vec<&SparseVector> = initial.iter().collect();
+        for (d, is_add) in &churn {
+            if *is_add || present.is_empty() {
+                dense.add(d);
+                sparse.add(d);
+                present.push(d);
+            } else {
+                let victim = present.remove(present.len() / 2);
+                dense.remove(victim);
+                sparse.remove(victim);
+            }
+        }
+        prop_assert_eq!(dense.size(), sparse.size());
+        prop_assert!(dense.cr_self() == sparse.cr_self(),
+            "cr_self: {} vs {}", dense.cr_self(), sparse.cr_self());
+        prop_assert!(dense.ss() == sparse.ss());
+        prop_assert!(dense.avg_sim() == sparse.avg_sim());
+        prop_assert!(dense.g_term() == sparse.g_term());
+        prop_assert!(dense.dot_doc(&probe) == sparse.dot_doc(&probe),
+            "dot_doc: {} vs {}", dense.dot_doc(&probe), sparse.dot_doc(&probe));
+        prop_assert!(dense.avg_sim_if_added(&probe) == sparse.avg_sim_if_added(&probe));
+        prop_assert!(dense.g_term_if_added(&probe) == sparse.g_term_if_added(&probe));
+        if dense.size() >= 2 && !present.is_empty() {
+            let d = present[0];
+            prop_assert!(dense.avg_sim_if_removed(d) == sparse.avg_sim_if_removed(d));
+        }
     }
 }

@@ -155,6 +155,108 @@ impl SparseVector {
         SparseVector { entries: out }
     }
 
+    /// Adds `scale · other` into `self` in place (sorted merge).
+    ///
+    /// The merge reuses `self`'s allocation when `other` introduces no new
+    /// term ids (the common case for cluster-representative maintenance,
+    /// where a member's terms are already present); otherwise one new buffer
+    /// of size `nnz(self) + nnz(other)` is built.
+    ///
+    /// Entries whose merged weight is exactly `0.0` are pruned, preserving
+    /// the no-stored-zeros invariant. Each surviving weight is produced by
+    /// the single scalar operation `a + scale·b` (or `scale·b` for new
+    /// terms), so repeated calls accumulate bit-identically to a dense
+    /// per-slot `+=` loop applied in the same order.
+    pub fn axpy_in_place(&mut self, other: &SparseVector, scale: f64) {
+        if scale == 0.0 || other.is_empty() {
+            return;
+        }
+        // Fast path: every term of `other` already exists in `self` —
+        // update weights in place, pruning exact zeros only if one appeared
+        // (weights cancel to exactly 0.0 only on removals, so the common
+        // append case skips the O(nnz) retain scan entirely).
+        let mut j = 0;
+        let mut in_place = true;
+        let mut zeroed = false;
+        {
+            let a = &mut self.entries;
+            let b = &other.entries;
+            let mut i = 0;
+            while j < b.len() {
+                match a[i..].binary_search_by_key(&b[j].0, |&(t, _)| t) {
+                    Ok(off) => {
+                        i += off;
+                        a[i].1 += scale * b[j].1;
+                        zeroed |= a[i].1 == 0.0;
+                        j += 1;
+                    }
+                    Err(_) => {
+                        in_place = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if in_place {
+            if zeroed {
+                self.entries.retain(|&(_, w)| w != 0.0);
+            }
+            return;
+        }
+        // General path: fold the remaining terms of `other` (position `j`
+        // on) in by a backward in-place merge. Counting the genuinely new
+        // terms first lets the vector grow once at the tail and merge from
+        // the back, so no fresh allocation is made and spare capacity is
+        // reused across long add/remove chains — the cost that dominates
+        // representative maintenance when documents churn between clusters.
+        let b = &other.entries[j..];
+        let old_len = self.entries.len();
+        let mut extra = 0usize;
+        {
+            let a = &self.entries;
+            let (mut i, mut jj) = (0, 0);
+            while jj < b.len() {
+                if i >= a.len() || a[i].0 > b[jj].0 {
+                    extra += 1;
+                    jj += 1;
+                } else if a[i].0 == b[jj].0 {
+                    i += 1;
+                    jj += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.entries.resize(old_len + extra, (TermId(0), 0.0));
+        let a = &mut self.entries;
+        let mut write = old_len + extra;
+        let (mut i, mut jj) = (old_len as isize - 1, b.len() as isize - 1);
+        // invariant: write == (i+1) + (jj+1) + <remaining prefix of a>, so a
+        // write never clobbers an unread a[..=i] slot
+        while jj >= 0 {
+            write -= 1;
+            if i >= 0 && a[i as usize].0 == b[jj as usize].0 {
+                let w = a[i as usize].1 + scale * b[jj as usize].1;
+                a[write] = (a[i as usize].0, w);
+                zeroed |= w == 0.0;
+                i -= 1;
+                jj -= 1;
+            } else if i >= 0 && a[i as usize].0 > b[jj as usize].0 {
+                a[write] = a[i as usize];
+                i -= 1;
+            } else {
+                let scaled = scale * b[jj as usize].1;
+                a[write] = (b[jj as usize].0, scaled);
+                zeroed |= scaled == 0.0;
+                jj -= 1;
+            }
+        }
+        debug_assert_eq!(write as isize, i + 1);
+        if zeroed {
+            self.entries.retain(|&(_, w)| w != 0.0);
+        }
+    }
+
     /// Returns the vector scaled by `factor`.
     pub fn scaled(&self, factor: f64) -> SparseVector {
         if factor == 0.0 {
@@ -270,6 +372,41 @@ mod tests {
             c.entries(),
             &[(TermId(0), 1.0), (TermId(1), 6.0)] // 2.0 + 2*(-1.0) = 0 pruned
         );
+    }
+
+    #[test]
+    fn axpy_in_place_matches_add_scaled() {
+        let cases = [
+            (
+                vec![(0u32, 1.0), (2, 2.0)],
+                vec![(1u32, 3.0), (2, -1.0)],
+                2.0,
+            ),
+            (vec![(0, 1.0), (2, 2.0)], vec![(0, 0.5), (2, 0.25)], -1.0),
+            (vec![], vec![(4, 1.0)], 3.0),
+            (vec![(7, 1.0)], vec![], 2.0),
+            (vec![(1, 1.0), (3, 1.0)], vec![(1, 1.0), (3, 1.0)], -1.0),
+        ];
+        for (a, b, scale) in cases {
+            let a = v(&a);
+            let b = v(&b);
+            let mut inplace = a.clone();
+            inplace.axpy_in_place(&b, scale);
+            assert_eq!(
+                inplace,
+                a.add_scaled(&b, scale),
+                "a={a:?} b={b:?} s={scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_in_place_subset_takes_fast_path_and_prunes() {
+        // every term of b exists in a: exercised in place, zeros pruned
+        let mut a = v(&[(0, 1.0), (3, 2.0), (9, 4.0)]);
+        let b = v(&[(3, 2.0), (9, 1.0)]);
+        a.axpy_in_place(&b, -1.0);
+        assert_eq!(a.entries(), &[(TermId(0), 1.0), (TermId(9), 3.0)]);
     }
 
     #[test]

@@ -72,12 +72,12 @@ pub use nidc_textproc as textproc;
 pub mod prelude {
     pub use nidc_core::{
         cluster_batch, cluster_with_initial, Cluster, Clustering, ClusteringConfig, Criterion,
-        InitialState, NoveltyPipeline,
+        InitialState, NoveltyPipeline, RepBackend,
     };
     pub use nidc_corpus::{Article, Corpus, Generator, GeneratorConfig, TopicId};
     pub use nidc_eval::{ari, evaluate, nmi, purity, Labeling, MARKING_THRESHOLD};
     pub use nidc_forgetting::{DecayParams, Repository, StatsSnapshot, Timestamp};
-    pub use nidc_similarity::{ClusterRep, DocVectors};
+    pub use nidc_similarity::{ClusterIndex, ClusterRep, DocVectors};
     pub use nidc_textproc::{
         DocId, Pipeline, PorterStemmer, SparseVector, TermCounts, TermId, Tokenizer, Vocabulary,
     };
