@@ -16,11 +16,10 @@
 //! Env: `NIDC_SCALE` scales the document count (default 1.0 ≈ 2k docs),
 //! `NIDC_THREADS` sets the threaded variant's worker count (default 4).
 
-use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use nidc_baselines::{gac, GacConfig};
-use nidc_bench::{json_out_path, scale_from_env, write_bench_json};
+use nidc_bench::{scale_from_env, write_json_report};
 use nidc_corpus::Generator;
 use nidc_forgetting::{DecayParams, Repository, Timestamp};
 use nidc_similarity::DocVectors;
@@ -141,17 +140,14 @@ fn main() {
     );
     record("recompute_from_scratch", t_seq, t_par);
 
-    let path = json_out_path().unwrap_or_else(|| PathBuf::from("results/BENCH_parallel.json"));
     let n_docs = docs.len();
-    write_bench_json(
-        &path,
+    write_json_report(
         "parallel_hot_paths",
+        Some("results/BENCH_parallel.json"),
         serde_json::json!({
             "scale": scale,
             "docs": n_docs,
             "results": results,
         }),
-    )
-    .expect("write BENCH json");
-    println!("\nBENCH json written to {}", path.display());
+    );
 }

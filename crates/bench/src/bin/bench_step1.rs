@@ -12,15 +12,17 @@
 //! memory footprints: dense K·|V|·8 bytes vs the sparse reps' Σnnz·16 and
 //! the index's postings·16.
 //!
-//! Writes `BENCH_step1.json` (repo root when run from there) by default;
-//! override with `--json <path>`. Env: `NIDC_SCALE` scales the corpus
-//! (default 1.0 ≈ the paper's 7,578-document subset), `NIDC_SWEEPS` the
-//! number of timed sweep repetitions (default 5).
+//! Writes `results/BENCH_step1.json` by default; override with
+//! `--json <path>`. With `--metrics <path>` (`--metrics-format jsonl|prom`),
+//! exports one instrumentation snapshot covering the whole run — the
+//! `nidc_index_postings_touched_total` vs `nidc_kmeans_step1_candidates_total`
+//! pair quantifies the inverted-index saving directly. Env: `NIDC_SCALE`
+//! scales the corpus (default 1.0 ≈ the paper's 7,578-document subset),
+//! `NIDC_SWEEPS` the number of timed sweep repetitions (default 5).
 
-use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use nidc_bench::{json_out_path, scale_from_env, write_bench_json, PreparedCorpus};
+use nidc_bench::{metrics_from_args, scale_from_env, write_json_report, PreparedCorpus};
 use nidc_core::{cluster_batch, ClusteringConfig, RepBackend};
 use nidc_forgetting::{DecayParams, Timestamp};
 use nidc_similarity::{ClusterIndex, ClusterRep, DocVectors};
@@ -32,6 +34,7 @@ fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
 }
 
 fn main() {
+    let mut exporter = metrics_from_args();
     let scale = scale_from_env(1.0);
     let sweeps: usize = std::env::var("NIDC_SWEEPS")
         .ok()
@@ -205,13 +208,14 @@ fn main() {
         }));
     }
 
-    let out = json_out_path().unwrap_or_else(|| PathBuf::from("BENCH_step1.json"));
+    if let Some(m) = exporter.as_mut() {
+        m.record_window(&[("scale", scale)])
+            .expect("write metrics snapshot");
+    }
+
     let payload = serde_json::json!({
         "scale": scale,
         "results": results,
     });
-    match write_bench_json(&out, "step1_sweep", payload) {
-        Ok(()) => println!("wrote {}", out.display()),
-        Err(e) => eprintln!("could not write {}: {e}", out.display()),
-    }
+    write_json_report("step1_sweep", Some("results/BENCH_step1.json"), payload);
 }

@@ -1,0 +1,104 @@
+//! **Metrics-manifest gate** — CI's guard against silently losing
+//! instrumentation. Reads a JSON-lines metrics export (the `--metrics`
+//! output of `online_simulation` or the CLI) and a manifest of required
+//! metric names, and exits non-zero if any required metric never appeared
+//! in any window.
+//!
+//! Usage: `check_metrics --manifest metrics_manifest.txt --metrics out.jsonl`
+//!
+//! The manifest is one metric name per line; blank lines and `#` comments
+//! are ignored. A metric counts as present when any snapshot line lists it
+//! under `counters` or `histograms` — per-window deltas reset between
+//! lines, so presence is checked against the union across all windows.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// The union of metric names (counters and histograms) across every
+/// snapshot line of a JSON-lines export.
+fn collect_names(jsonl: &str) -> Result<BTreeSet<String>, String> {
+    let mut names = BTreeSet::new();
+    for (lineno, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: invalid JSON: {e}", lineno + 1))?;
+        for section in ["counters", "histograms"] {
+            if let Some(map) = v.get(section).and_then(|s| s.as_object()) {
+                for (name, _) in map {
+                    names.insert(name.clone());
+                }
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn run() -> Result<(), String> {
+    let manifest_path =
+        arg_value("--manifest").ok_or("usage: check_metrics --manifest FILE --metrics FILE")?;
+    let metrics_path =
+        arg_value("--metrics").ok_or("usage: check_metrics --manifest FILE --metrics FILE")?;
+
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read manifest {manifest_path}: {e}"))?;
+    let required: Vec<&str> = manifest
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if required.is_empty() {
+        return Err(format!("manifest {manifest_path} lists no metrics"));
+    }
+
+    let jsonl = std::fs::read_to_string(&metrics_path)
+        .map_err(|e| format!("cannot read metrics export {metrics_path}: {e}"))?;
+    let windows = jsonl.lines().filter(|l| !l.trim().is_empty()).count();
+    if windows == 0 {
+        return Err(format!("metrics export {metrics_path} holds no snapshots"));
+    }
+    let present = collect_names(&jsonl)?;
+
+    let missing: Vec<&&str> = required.iter().filter(|m| !present.contains(**m)).collect();
+    if missing.is_empty() {
+        println!(
+            "check_metrics: all {} required metrics present across {windows} window snapshot(s) \
+             ({} distinct metrics exported)",
+            required.len(),
+            present.len()
+        );
+        Ok(())
+    } else {
+        let mut msg = format!(
+            "{} of {} required metrics missing from {metrics_path}:",
+            missing.len(),
+            required.len()
+        );
+        for m in missing {
+            msg.push_str("\n  - ");
+            msg.push_str(m);
+        }
+        Err(msg)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("check_metrics: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -21,11 +21,13 @@
 //! speedup).
 //!
 //! Scale with `NIDC_SCALE` (documents per day multiplier, default 1.0).
-//! With `--json <path>`, also writes the timings as BENCH JSON.
+//! With `--json <path>`, also writes the timings as BENCH JSON. With
+//! `--metrics <path>` (`--metrics-format jsonl|prom`), exports one
+//! instrumentation snapshot covering the whole run.
 
 use std::time::{Duration, Instant};
 
-use nidc_bench::{fmt_duration, json_out_path, scale_from_env, write_bench_json};
+use nidc_bench::{fmt_duration, metrics_from_args, scale_from_env, write_json_report};
 use nidc_core::{cluster_with_initial, ClusteringConfig, InitialState};
 use nidc_corpus::Generator;
 use nidc_forgetting::{DecayParams, Repository, Timestamp};
@@ -33,6 +35,7 @@ use nidc_similarity::DocVectors;
 use nidc_textproc::{DocId, Pipeline, SparseVector, Vocabulary};
 
 fn main() {
+    let mut exporter = metrics_from_args();
     let scale = scale_from_env(1.0);
     let per_day = (288.0 * scale).round().max(1.0) as u32; // ≈ 4327 docs over 15 days
     let days = 15u32;
@@ -144,11 +147,16 @@ fn main() {
         tfs.len()
     );
 
-    if let Some(path) = json_out_path() {
+    if let Some(m) = exporter.as_mut() {
+        m.record_window(&[("scale", scale)])
+            .expect("write metrics snapshot");
+    }
+
+    {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
-        write_bench_json(
-            &path,
+        write_json_report(
             "expt1_incremental_time",
+            None,
             serde_json::json!({
                 "scale": scale,
                 "docs": { "backlog": backlog.len(), "new_day": last_day.len() },
@@ -165,8 +173,6 @@ fn main() {
                     "clustering": ratio(cluster_noninc, cluster_inc),
                 },
             }),
-        )
-        .expect("write BENCH json");
-        println!("BENCH json written to {}", path.display());
+        );
     }
 }

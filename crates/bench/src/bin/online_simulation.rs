@@ -12,11 +12,14 @@
 //!
 //! Env: `NIDC_SCALE` (default 0.5), `NIDC_EVERY` (days between
 //! re-clusterings, default 5). With `--json <path>`, also writes the
-//! aggregate timings as BENCH JSON.
+//! aggregate timings as BENCH JSON. With `--metrics <path>`
+//! (`--metrics-format jsonl|prom`), exports one instrumentation snapshot
+//! per re-clustering window — the canonical producer for
+//! `metrics_manifest.txt`.
 
 use std::time::Instant;
 
-use nidc_bench::{json_out_path, scale_from_env, write_bench_json, PreparedCorpus};
+use nidc_bench::{metrics_from_args, scale_from_env, write_json_report, PreparedCorpus};
 use nidc_core::{ClusteringConfig, NoveltyPipeline};
 use nidc_eval::{evaluate, Labeling, MARKING_THRESHOLD};
 use nidc_forgetting::{DecayParams, Timestamp};
@@ -36,6 +39,7 @@ fn main() {
         ..ClusteringConfig::default()
     };
     let mut pipeline = NoveltyPipeline::new(decay, config);
+    let mut exporter = metrics_from_args();
 
     println!(
         "on-line simulation: {} articles over 178 days, re-clustering every {every} days",
@@ -49,7 +53,10 @@ fn main() {
     let mut pending: Vec<usize> = Vec::new();
     let (mut total_stats_ms, mut total_cluster_ms, mut rounds) = (0.0, 0.0, 0u32);
 
-    let flush = |pipeline: &mut NoveltyPipeline, pending: &mut Vec<usize>, day: f64| {
+    let flush = |pipeline: &mut NoveltyPipeline,
+                 pending: &mut Vec<usize>,
+                 exporter: &mut Option<nidc_obs::MetricsExporter>,
+                 day: f64| {
         let t0 = Instant::now();
         for &i in pending.iter() {
             let a = &prep.corpus.articles()[i];
@@ -85,12 +92,16 @@ fn main() {
             e.micro_f1,
             e.macro_f1
         );
+        if let Some(m) = exporter.as_mut() {
+            m.record_window(&[("day", day), ("docs", pipeline.repository().len() as f64)])
+                .expect("write metrics snapshot");
+        }
         (stats_ms, cluster_ms)
     };
 
     for (i, a) in prep.corpus.articles().iter().enumerate() {
         while a.day >= next_report {
-            let (s, c) = flush(&mut pipeline, &mut pending, next_report);
+            let (s, c) = flush(&mut pipeline, &mut pending, &mut exporter, next_report);
             total_stats_ms += s;
             total_cluster_ms += c;
             rounds += 1;
@@ -98,7 +109,7 @@ fn main() {
         }
         pending.push(i);
     }
-    let (s, c) = flush(&mut pipeline, &mut pending, 178.0);
+    let (s, c) = flush(&mut pipeline, &mut pending, &mut exporter, 178.0);
     total_stats_ms += s;
     total_cluster_ms += c;
     rounds += 1;
@@ -112,27 +123,23 @@ fn main() {
         "(the paper's batch alternative would re-ingest the entire live repository each round)"
     );
 
-    if let Some(path) = json_out_path() {
-        // (bound to locals: the vendored json! macro needs single-token values
-        // alongside nested literals)
-        let articles = prep.corpus.len();
-        write_bench_json(
-            &path,
-            "online_simulation",
-            serde_json::json!({
-                "scale": scale,
-                "report_every_days": every,
-                "articles": articles,
-                "rounds": rounds,
-                "results": [
-                    { "name": "stats_update_mean", "wall_ms": total_stats_ms / rounds as f64 },
-                    { "name": "cluster_mean", "wall_ms": total_cluster_ms / rounds as f64 },
-                    { "name": "stats_update_total", "wall_ms": total_stats_ms },
-                    { "name": "cluster_total", "wall_ms": total_cluster_ms },
-                ],
-            }),
-        )
-        .expect("write BENCH json");
-        println!("BENCH json written to {}", path.display());
-    }
+    // (bound to locals: the vendored json! macro needs single-token values
+    // alongside nested literals)
+    let articles = prep.corpus.len();
+    write_json_report(
+        "online_simulation",
+        None,
+        serde_json::json!({
+            "scale": scale,
+            "report_every_days": every,
+            "articles": articles,
+            "rounds": rounds,
+            "results": [
+                { "name": "stats_update_mean", "wall_ms": total_stats_ms / rounds as f64 },
+                { "name": "cluster_mean", "wall_ms": total_cluster_ms / rounds as f64 },
+                { "name": "stats_update_total", "wall_ms": total_stats_ms },
+                { "name": "cluster_total", "wall_ms": total_cluster_ms },
+            ],
+        }),
+    );
 }

@@ -199,6 +199,47 @@ pub fn json_out_path() -> Option<std::path::PathBuf> {
     None
 }
 
+/// The one `--json` writer shared by every experiment binary: resolves the
+/// output path (`--json <path>` override, else `default_path`, conventionally
+/// under `results/`) and writes the BENCH JSON there, announcing the file on
+/// stdout. Returns the path written, or `None` when neither an override nor
+/// a default was given — binaries without a default stay silent unless
+/// `--json` opts in.
+pub fn write_json_report(
+    name: &str,
+    default_path: Option<&str>,
+    payload: serde_json::Value,
+) -> Option<std::path::PathBuf> {
+    let path = json_out_path().or_else(|| default_path.map(std::path::PathBuf::from))?;
+    match write_bench_json(&path, name, payload) {
+        Ok(()) => println!("BENCH json written to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    Some(path)
+}
+
+/// The `--metrics <path>` / `--metrics-format jsonl|prom` arguments of an
+/// experiment binary, as a ready [`nidc_obs::MetricsExporter`] (creating it
+/// enables global metric recording). `None` without `--metrics`.
+pub fn metrics_from_args() -> Option<nidc_obs::MetricsExporter> {
+    let mut path: Option<String> = None;
+    let mut format = nidc_obs::MetricsFormat::default();
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--metrics" => path = args.next(),
+            "--metrics-format" => {
+                let f = args.next().expect("--metrics-format requires a value");
+                format = f.parse().expect("--metrics-format");
+            }
+            _ => {}
+        }
+    }
+    let exporter =
+        nidc_obs::MetricsExporter::create(path?, format).expect("create metrics export file");
+    Some(exporter)
+}
+
 /// Writes a BENCH JSON file: `{ "bench": name, "host": {...}, ...payload }`.
 ///
 /// The host block records the hardware parallelism the numbers were taken

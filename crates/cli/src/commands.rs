@@ -17,6 +17,11 @@ use crate::{CliError, ParsedArgs, Result};
 
 /// Dispatches a parsed command line, writing human output to `out`.
 pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
+    // `--log-level off|info|debug`: structured stderr tracing for every
+    // subcommand (replaces ad-hoc progress prints).
+    if let Some(level) = args.get("log-level") {
+        nidc_obs::set_log_level(level.parse().map_err(CliError::Usage)?);
+    }
     match args.command {
         crate::Command::Generate => generate(args, out),
         crate::Command::Stats => stats(args, out),
@@ -33,6 +38,21 @@ fn rep_backend_from(args: &ParsedArgs) -> Result<RepBackend> {
         None => Ok(RepBackend::default()),
         Some(s) => s.parse().map_err(CliError::Usage),
     }
+}
+
+/// `--metrics FILE [--metrics-format jsonl|prom]`: builds the snapshot
+/// exporter (creating it enables global metric recording). `None` when no
+/// `--metrics` was given — the instrumentation then costs one relaxed
+/// atomic load per site.
+fn metrics_exporter(args: &ParsedArgs) -> Result<Option<nidc_obs::MetricsExporter>> {
+    let Some(path) = args.get("metrics") else {
+        return Ok(None);
+    };
+    let format = match args.get("metrics-format") {
+        None => nidc_obs::MetricsFormat::default(),
+        Some(s) => s.parse().map_err(CliError::Usage)?,
+    };
+    Ok(Some(nidc_obs::MetricsExporter::create(path, format)?))
 }
 
 fn load_corpus(args: &ParsedArgs) -> Result<Corpus> {
@@ -162,6 +182,7 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         ..ClusteringConfig::default()
     };
     let top = args.get_usize("top", 10)?;
+    let mut exporter = metrics_exporter(args)?;
 
     let mut repo = Repository::new(decay);
     let mut topic_of = BTreeMap::new();
@@ -181,6 +202,9 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         .map_err(|e| CliError::Other(e.to_string()))?;
     let vecs = DocVectors::build_parallel(&repo, config.threads);
     let clustering = cluster_batch(&vecs, &config).map_err(|e| CliError::Other(e.to_string()))?;
+    if let Some(m) = exporter.as_mut() {
+        m.record_window(&[("from", from), ("to", to)])?;
+    }
 
     if args.flag("json") {
         let assignment: BTreeMap<String, usize> = clustering
@@ -244,6 +268,7 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         rep_backend: rep_backend_from(args)?,
         ..ClusteringConfig::default()
     };
+    let mut exporter = metrics_exporter(args)?;
     // --state FILE: resume from a previous run's checkpoint, if present,
     // and write a new checkpoint when the stream is exhausted.
     let state_path = args.get("state").map(str::to_owned);
@@ -306,6 +331,12 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
                 .recluster_incremental()
                 .map_err(|e| CliError::Other(e.to_string()))?;
             report(&pipeline, &clustering, next_report, out, &topic_of)?;
+            if let Some(m) = exporter.as_mut() {
+                m.record_window(&[
+                    ("day", next_report),
+                    ("docs", pipeline.repository().len() as f64),
+                ])?;
+            }
             next_report += every;
         }
         topic_of.insert(DocId(a.id), a.topic);
@@ -323,6 +354,12 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         out,
         &topic_of,
     )?;
+    if let Some(m) = exporter.as_mut() {
+        m.record_window(&[
+            ("day", pipeline.repository().now().days()),
+            ("docs", pipeline.repository().len() as f64),
+        ])?;
+    }
     if let Some(p) = &state_path {
         pipeline.save_json(File::create(p)?)?;
         writeln!(out, "checkpoint written to {p}")?;
@@ -349,6 +386,7 @@ fn eval<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         rep_backend: rep_backend_from(args)?,
         ..ClusteringConfig::default()
     };
+    let mut exporter = metrics_exporter(args)?;
     let mut repo = Repository::new(decay);
     for &i in &w.article_indices {
         let a = &corpus.articles()[i];
@@ -359,6 +397,9 @@ fn eval<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         .map_err(|e| CliError::Other(e.to_string()))?;
     let vecs = DocVectors::build_parallel(&repo, config.threads);
     let clustering = cluster_batch(&vecs, &config).map_err(|e| CliError::Other(e.to_string()))?;
+    if let Some(m) = exporter.as_mut() {
+        m.record_window(&[("window", window_no as f64)])?;
+    }
     let labels: Labeling<u32> = w
         .article_indices
         .iter()

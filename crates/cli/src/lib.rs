@@ -63,22 +63,29 @@ COMMANDS:
     cluster    cluster a time range and print the hot-topic overview
                --input FILE [--k N=24] [--beta DAYS=7] [--gamma DAYS=30]
                [--from DAY=0] [--to DAY=end] [--top N=10] [--json]
-               [--threads N=0] [--rep sparse|dense]
+               [--threads N=0] [--rep sparse|dense] [--metrics FILE]
     stream     replay the corpus incrementally, printing overviews
                --input FILE [--k N=16] [--beta DAYS=7] [--gamma DAYS=21]
                [--every DAYS=5] [--state FILE] [--threads N=0]
-               [--rep sparse|dense]
+               [--rep sparse|dense] [--metrics FILE]
                (--state: resume from / checkpoint to a pipeline state file)
     eval       cluster a window and score it against the labels
                --input FILE --window N(1-6) [--k N=24] [--beta DAYS=7]
                [--gamma DAYS=30] [--seed N] [--threads N=0]
-               [--rep sparse|dense]
+               [--rep sparse|dense] [--metrics FILE]
 
 --threads N: worker threads for the clustering hot paths (0 = all hardware
 threads, 1 = sequential). Results are identical for any value.
 --rep sparse|dense: cluster-representative storage. `sparse` (default) also
 routes the step-1 scoring sweep through a term→cluster inverted index;
 `dense` keeps the original O(K·|V|) arrays. Results are bit-identical.
+--metrics FILE: record pipeline/K-means/index instrumentation and export
+snapshots to FILE — per window for `stream`, once at the end for `cluster`
+and `eval`. --metrics-format jsonl|prom picks the layout (default jsonl:
+one per-window delta object per line; prom: cumulative Prometheus text).
+Metrics never alter clustering results — recording is observation only.
+--log-level off|info|debug: structured `key=value` tracing on stderr
+(info: per-recluster summaries; debug: per-iteration K-means traces).
 
 Corpus JSONL format: first line = topic inventory (array), then one article
 per line: {\"id\":u64, \"topic\":u32, \"day\":f64, \"text\":\"...\"} —

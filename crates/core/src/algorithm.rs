@@ -6,10 +6,34 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use nidc_obs::{buckets, LazyCounter, LazyHistogram};
 use nidc_similarity::{ClusterIndex, ClusterRep, DocVectors};
 use nidc_textproc::DocId;
 
 use crate::{Cluster, Clustering, ClusteringConfig, Error, RepBackend, Result};
+
+/// Extended K-means runs (one per `cluster_with_initial` call on non-empty
+/// input).
+static RUNS: LazyCounter = LazyCounter::new("nidc_kmeans_runs_total");
+/// Runs warm-started from a previous assignment (§5.2 incremental mode).
+static WARM_STARTS: LazyCounter = LazyCounter::new("nidc_kmeans_warm_starts_total");
+/// Runs seeded randomly (the paper's initial process, §4.3).
+static COLD_STARTS: LazyCounter = LazyCounter::new("nidc_kmeans_cold_starts_total");
+/// Repetitions until convergence, one observation per run.
+static ITERATIONS_HIST: LazyHistogram =
+    LazyHistogram::new("nidc_kmeans_iterations", buckets::ITERATIONS);
+/// Clustering index G after each repetition — the per-iteration convergence
+/// trace.
+static OBJECTIVE_G: LazyHistogram =
+    LazyHistogram::new("nidc_kmeans_objective_g", buckets::OBJECTIVE_G);
+/// Documents reassigned to a different cluster (step 1(b) moves).
+static MOVED_DOCS: LazyCounter = LazyCounter::new("nidc_kmeans_moved_docs_total");
+/// Documents demoted to the outlier list during an iteration.
+static OUTLIER_DOCS: LazyCounter = LazyCounter::new("nidc_kmeans_outlier_docs_total");
+/// `(document, cluster)` candidate pairs scored by the step-1 sweep — the
+/// dense-equivalent `K·rows` work bound. Compare against
+/// `nidc_index_postings_touched_total` for the inverted-index saving.
+static STEP1_CANDIDATES: LazyCounter = LazyCounter::new("nidc_kmeans_step1_candidates_total");
 
 /// How the repetition process is initialised.
 #[derive(Debug, Clone)]
@@ -91,6 +115,7 @@ fn score_row_into(
     current: Option<usize>,
     row: &mut [f64],
 ) {
+    STEP1_CANDIDATES.add(reps.len() as u64);
     match index {
         Some(ix) => {
             ix.dot_all(phi, row);
@@ -122,6 +147,7 @@ pub fn cluster_with_initial(
         return Ok(Clustering::new(Vec::new(), Vec::new(), 0.0, 0));
     }
     let k = config.k.min(ids.len());
+    RUNS.inc();
 
     // --- Initial process -------------------------------------------------
     let mut reps: Vec<ClusterRep> = (0..k)
@@ -132,6 +158,8 @@ pub fn cluster_with_initial(
 
     match initial {
         InitialState::Random => {
+            COLD_STARTS.inc();
+            WARM_STARTS.add(0); // register the sibling so snapshots list both
             let mut rng = StdRng::seed_from_u64(config.seed);
             let mut pool = ids.clone();
             pool.shuffle(&mut rng);
@@ -140,6 +168,8 @@ pub fn cluster_with_initial(
             }
         }
         InitialState::Assignment(prev) => {
+            WARM_STARTS.inc();
+            COLD_STARTS.add(0);
             for (&d, &p) in &prev {
                 if p >= k {
                     return Err(Error::InvalidInitialAssignment { cluster: p, k });
@@ -192,6 +222,10 @@ pub fn cluster_with_initial(
     loop {
         iterations += 1;
         outliers.clear();
+        // Per-iteration tallies, published once at the bottom of the loop so
+        // the sweep itself never touches an atomic.
+        let mut moved = 0u64;
+        let mut demoted = 0u64;
         // Parallel preview of step 1(a): score every (document, cluster)
         // pair against the representatives as they stand at the top of the
         // iteration. The sequential apply below uses a previewed score only
@@ -300,6 +334,7 @@ pub fn cluster_with_initial(
                         dirty[q] = true;
                         any_dirty = true;
                         assign.insert(d, q);
+                        moved += 1;
                     }
                 }
                 _ => {
@@ -312,6 +347,7 @@ pub fn cluster_with_initial(
                         dirty[p] = true;
                         any_dirty = true;
                         assign.remove(&d);
+                        demoted += 1;
                     }
                     outliers.push(d);
                 }
@@ -341,6 +377,24 @@ pub fn cluster_with_initial(
         }
         let g_new: f64 = reps.iter().map(ClusterRep::g_term).sum();
 
+        // Publish the per-iteration tallies (moved=0 on converged iterations
+        // still registers the counter) and trace convergence.
+        MOVED_DOCS.add(moved);
+        OUTLIER_DOCS.add(demoted);
+        OBJECTIVE_G.observe(g_new);
+        if nidc_obs::log_on(nidc_obs::Level::Debug) {
+            nidc_obs::debug(
+                "kmeans",
+                "iteration",
+                &[
+                    ("iter", &iterations),
+                    ("moved", &moved),
+                    ("outliers", &outliers.len()),
+                    ("g", &g_new),
+                ],
+            );
+        }
+
         // step 4: convergence test (G_new − G_old)/G_old < δ
         let converged = if g_old > 0.0 {
             (g_new - g_old) / g_old < config.delta
@@ -349,6 +403,7 @@ pub fn cluster_with_initial(
         };
         g_old = g_new;
         if converged || iterations >= config.max_iters {
+            ITERATIONS_HIST.observe(iterations as f64);
             let clusters = members
                 .into_iter()
                 .zip(reps)

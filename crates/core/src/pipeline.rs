@@ -4,10 +4,31 @@
 use std::collections::BTreeMap;
 
 use nidc_forgetting::{DecayParams, Repository, Timestamp};
+use nidc_obs::{buckets, LazyCounter, LazyHistogram};
 use nidc_similarity::DocVectors;
 use nidc_textproc::{DocId, SparseVector};
 
 use crate::{cluster_with_initial, Clustering, ClusteringConfig, InitialState, Result};
+
+/// Wall-clock seconds per `ingest`/`ingest_batch` call (§5.1 incremental
+/// statistics update).
+static INGEST_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_pipeline_ingest_seconds", buckets::LATENCY_SECONDS);
+/// Documents handed to the pipeline (single and batch ingests combined).
+static INGESTED_DOCS: LazyCounter = LazyCounter::new("nidc_pipeline_ingested_docs_total");
+/// Wall-clock seconds per pure-decay `advance_to` call.
+static ADVANCE_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_pipeline_advance_seconds", buckets::LATENCY_SECONDS);
+/// Wall-clock seconds per `expire` pass (§5.2 step 2).
+static EXPIRE_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_pipeline_expire_seconds", buckets::LATENCY_SECONDS);
+/// Documents expired below `ε = λ^γ`.
+static EXPIRED_DOCS: LazyCounter = LazyCounter::new("nidc_pipeline_expired_docs_total");
+/// Wall-clock seconds per re-clustering (expire + vector build + K-means).
+static RECLUSTER_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_pipeline_recluster_seconds", buckets::LATENCY_SECONDS);
+/// Re-clustering requests served (incremental and from-scratch combined).
+static RECLUSTERS: LazyCounter = LazyCounter::new("nidc_pipeline_reclusters_total");
 
 /// The stateful novelty-based clustering pipeline.
 ///
@@ -74,7 +95,9 @@ impl NoveltyPipeline {
     /// Ingests one document acquired at `t` (statistics update is
     /// incremental, §5.1).
     pub fn ingest(&mut self, id: DocId, t: Timestamp, tf: SparseVector) -> Result<()> {
+        let _timer = INGEST_SECONDS.start_timer();
         self.repo.insert(id, t, tf)?;
+        INGESTED_DOCS.inc();
         Ok(())
     }
 
@@ -83,12 +106,16 @@ impl NoveltyPipeline {
     where
         I: IntoIterator<Item = (DocId, SparseVector)>,
     {
+        let _timer = INGEST_SECONDS.start_timer();
+        let before = self.repo.len();
         self.repo.insert_batch(t, docs)?;
+        INGESTED_DOCS.add((self.repo.len() - before) as u64);
         Ok(())
     }
 
     /// Advances the clock without ingesting (pure decay).
     pub fn advance_to(&mut self, t: Timestamp) -> Result<()> {
+        let _timer = ADVANCE_SECONDS.start_timer();
         self.repo.advance_to(t)?;
         Ok(())
     }
@@ -99,6 +126,7 @@ impl NoveltyPipeline {
     /// same pass (via [`Repository::expire_with`]), so the next incremental
     /// re-clustering never carries dead keys into the K-means initial state.
     pub fn expire(&mut self) -> Vec<DocId> {
+        let _timer = EXPIRE_SECONDS.start_timer();
         let previous = &mut self.previous;
         let mut dead = Vec::new();
         self.repo.expire_with(|id| {
@@ -107,6 +135,9 @@ impl NoveltyPipeline {
             }
             dead.push(id);
         });
+        // add(0) keeps the counter registered over windows where nothing ages
+        // out, so per-window snapshots stay schema-stable
+        EXPIRED_DOCS.add(dead.len() as u64);
         dead
     }
 
@@ -114,6 +145,8 @@ impl NoveltyPipeline {
     /// extended K-means from the previous clustering's assignment. Falls
     /// back to random seeding the first time.
     pub fn recluster_incremental(&mut self) -> Result<Clustering> {
+        let timer = RECLUSTER_SECONDS.start_timer();
+        RECLUSTERS.inc();
         self.expire();
         let vecs = DocVectors::build_parallel(&self.repo, self.config.threads);
         let initial = match self.previous.take() {
@@ -123,6 +156,8 @@ impl NoveltyPipeline {
         let clustering = cluster_with_initial(&vecs, &self.config, initial)?;
         self.previous = Some(clustering.assignment());
         self.last = Some(clustering.clone());
+        timer.stop();
+        self.log_recluster("incremental", &clustering);
         Ok(clustering)
     }
 
@@ -130,13 +165,36 @@ impl NoveltyPipeline {
     /// rebuilds every statistic from scratch and seeds randomly, ignoring
     /// any previous clustering.
     pub fn recluster_from_scratch(&mut self) -> Result<Clustering> {
+        let timer = RECLUSTER_SECONDS.start_timer();
+        RECLUSTERS.inc();
         self.expire();
         self.repo.recompute_from_scratch_with(self.config.threads);
         let vecs = DocVectors::build_parallel(&self.repo, self.config.threads);
         let clustering = cluster_with_initial(&vecs, &self.config, InitialState::Random)?;
         self.previous = Some(clustering.assignment());
         self.last = Some(clustering.clone());
+        timer.stop();
+        self.log_recluster("from_scratch", &clustering);
         Ok(clustering)
+    }
+
+    /// One info-level summary line per re-clustering.
+    fn log_recluster(&self, mode: &str, clustering: &Clustering) {
+        if nidc_obs::log_on(nidc_obs::Level::Info) {
+            nidc_obs::info(
+                "pipeline",
+                "recluster",
+                &[
+                    ("mode", &mode),
+                    ("day", &self.repo.now().0),
+                    ("docs", &self.repo.len()),
+                    ("clusters", &clustering.non_empty_clusters()),
+                    ("outliers", &clustering.outliers().len()),
+                    ("iters", &clustering.iterations()),
+                    ("g", &clustering.g()),
+                ],
+            );
+        }
     }
 }
 

@@ -2,9 +2,27 @@
 
 use std::collections::BTreeMap;
 
+use nidc_obs::{buckets, LazyCounter, LazyHistogram};
 use nidc_textproc::{DocId, SparseVector, TermId};
 
 use crate::{DecayParams, Error, Result, StatsSnapshot, Timestamp};
+
+/// Incremental clock-advance (decay) pass timings, O(docs + vocab).
+static ADVANCE_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_forgetting_advance_seconds", buckets::LATENCY_SECONDS);
+/// From-scratch statistics rebuild timings, O(total tokens).
+static RECOMPUTE_SECONDS: LazyHistogram = LazyHistogram::new(
+    "nidc_forgetting_recompute_seconds",
+    buckets::LATENCY_SECONDS,
+);
+/// Documents inserted into the repository.
+static DOCS_INSERTED: LazyCounter = LazyCounter::new("nidc_forgetting_docs_inserted_total");
+/// Documents dropped by ε-expiration.
+static DOCS_EXPIRED: LazyCounter = LazyCounter::new("nidc_forgetting_docs_expired_total");
+/// Times a clamp-to-zero actually absorbed negative floating-point residue
+/// (in `tdw` or a term numerator). Always-on so fp drift is observable in
+/// release builds, where the accompanying `debug_assert!`s compile out.
+static FP_RESIDUE_CLAMPS: LazyCounter = LazyCounter::new("nidc_fp_residue_clamps_total");
 
 /// A stored document: raw term frequencies plus forgetting-model state.
 #[derive(Debug, Clone)]
@@ -194,6 +212,7 @@ impl Repository {
         if delta == 0.0 {
             return Ok(());
         }
+        let _timer = ADVANCE_SECONDS.start_timer();
         let factor = self.params.decay_over(delta);
         for entry in self.docs.values_mut() {
             entry.weight *= factor; // eq. 27
@@ -241,6 +260,7 @@ impl Repository {
                 weight: 1.0,
             },
         );
+        DOCS_INSERTED.inc();
         Ok(())
     }
 
@@ -261,6 +281,7 @@ impl Repository {
     /// the term numerators. Returns the removed entry.
     pub fn remove(&mut self, id: DocId) -> Result<DocEntry> {
         let entry = self.docs.remove(&id).ok_or(Error::UnknownDocument(id))?;
+        let mut clamps = 0u64;
         self.tdw -= entry.weight;
         for (term, f) in entry.tf.iter() {
             if let Some(s) = self.term_num.get_mut(term.index()) {
@@ -276,6 +297,7 @@ impl Repository {
                 );
                 if *s < 0.0 {
                     *s = 0.0; // clamp tiny negative drift
+                    clamps += 1;
                 }
             }
         }
@@ -286,7 +308,10 @@ impl Repository {
         );
         if self.tdw < 0.0 {
             self.tdw = 0.0;
+            clamps += 1;
         }
+        // add(0) keeps the counter registered even in drift-free runs.
+        FP_RESIDUE_CLAMPS.add(clamps);
         Ok(entry)
     }
 
@@ -312,6 +337,7 @@ impl Repository {
             .filter(|(_, e)| e.weight < eps)
             .map(|(&id, _)| id)
             .collect();
+        DOCS_EXPIRED.add(dead.len() as u64);
         for id in dead {
             let _ = self.remove(id);
             on_expire(id);
@@ -325,6 +351,7 @@ impl Repository {
     /// Cost: O(total tokens). Also removes accumulated floating-point drift
     /// from long chains of incremental updates.
     pub fn recompute_from_scratch(&mut self) {
+        let _timer = RECOMPUTE_SECONDS.start_timer();
         let mut tdw = 0.0;
         for s in &mut self.term_num {
             *s = 0.0;
@@ -365,8 +392,10 @@ impl Repository {
     pub fn recompute_from_scratch_with(&mut self, threads: usize) {
         let threads = nidc_parallel::resolve_threads(threads);
         if !nidc_parallel::should_fan_out(self.docs.len(), threads) {
+            // The sequential fallback carries its own RECOMPUTE_SECONDS timer.
             return self.recompute_from_scratch();
         }
+        let _timer = RECOMPUTE_SECONDS.start_timer();
         let lambda = self.params;
         let now = self.now;
         let ages: Vec<Timestamp> = self.docs.values().map(|e| e.acquired).collect();

@@ -1,0 +1,209 @@
+//! File exporters for per-window metric snapshots.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use crate::snapshot::Snapshot;
+
+/// On-disk format for exported snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// One JSON object per window, appended as a line (`jsonl`). Each line
+    /// holds the **delta since the previous line** — the exporter resets
+    /// the registry after writing, so windows are directly comparable.
+    #[default]
+    Jsonl,
+    /// Prometheus text exposition (`prom`). The file is rewritten on every
+    /// export with **cumulative** totals, like a `/metrics` endpoint would
+    /// serve; the registry is not reset.
+    Prom,
+}
+
+impl FromStr for MetricsFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" => Ok(Self::Jsonl),
+            "prom" => Ok(Self::Prom),
+            other => Err(format!(
+                "unknown metrics format {other:?} (expected jsonl|prom)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for MetricsFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Jsonl => "jsonl",
+            Self::Prom => "prom",
+        })
+    }
+}
+
+/// Writes global-registry snapshots to a file, once per window.
+///
+/// Creating an exporter also calls [`crate::set_enabled`]`(true)` — an
+/// export target implies the intent to record.
+#[derive(Debug)]
+pub struct MetricsExporter {
+    path: PathBuf,
+    format: MetricsFormat,
+    /// Open append handle for JSON-lines; `None` for Prometheus, which
+    /// rewrites the whole file each export.
+    writer: Option<BufWriter<File>>,
+}
+
+impl MetricsExporter {
+    /// Creates (truncating) the export file at `path`, making parent
+    /// directories as needed, and enables global metric recording.
+    pub fn create(path: impl Into<PathBuf>, format: MetricsFormat) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let writer = match format {
+            MetricsFormat::Jsonl => Some(BufWriter::new(File::create(&path)?)),
+            MetricsFormat::Prom => {
+                File::create(&path)?; // fail early if the path is unwritable
+                None
+            }
+        };
+        crate::set_enabled(true);
+        Ok(Self {
+            path,
+            format,
+            writer,
+        })
+    }
+
+    /// Where exports go.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured format.
+    pub fn format(&self) -> MetricsFormat {
+        self.format
+    }
+
+    /// Exports the current global snapshot, tagged with `meta` fields
+    /// (window index, simulation day, …).
+    ///
+    /// JSON-lines: appends one line and resets the registry (per-window
+    /// deltas). Prometheus: rewrites the file with cumulative totals and
+    /// ignores `meta` (the exposition format has no per-sample metadata).
+    pub fn record_window(&mut self, meta: &[(&str, f64)]) -> io::Result<()> {
+        let snap = crate::snapshot();
+        self.export(&snap, meta)
+    }
+
+    /// Like [`MetricsExporter::record_window`] for an explicit snapshot.
+    /// JSON-lines still resets the global registry afterwards.
+    pub fn export(&mut self, snap: &Snapshot, meta: &[(&str, f64)]) -> io::Result<()> {
+        match self.format {
+            MetricsFormat::Jsonl => {
+                let w = self.writer.as_mut().expect("jsonl exporter has a writer");
+                w.write_all(snap.to_json_line(meta).as_bytes())?;
+                w.write_all(b"\n")?;
+                w.flush()?;
+                crate::reset();
+            }
+            MetricsFormat::Prom => {
+                fs::write(&self.path, snap.to_prometheus())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::global_lock;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nidc_obs_export_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn format_parses_and_displays() {
+        assert_eq!(
+            "jsonl".parse::<MetricsFormat>().unwrap(),
+            MetricsFormat::Jsonl
+        );
+        assert_eq!(
+            "prom".parse::<MetricsFormat>().unwrap(),
+            MetricsFormat::Prom
+        );
+        assert!("csv".parse::<MetricsFormat>().is_err());
+        assert_eq!(MetricsFormat::Jsonl.to_string(), "jsonl");
+        assert_eq!(MetricsFormat::Prom.to_string(), "prom");
+        assert_eq!(MetricsFormat::default(), MetricsFormat::Jsonl);
+    }
+
+    #[test]
+    fn jsonl_appends_deltas_and_resets() {
+        let _guard = global_lock();
+        let path = tmpdir("jsonl").join("out.jsonl");
+        let mut exp = MetricsExporter::create(&path, MetricsFormat::Jsonl).unwrap();
+        assert!(crate::enabled());
+        crate::add("export_jsonl_total", 2);
+        exp.record_window(&[("window", 0.0)]).unwrap();
+        // Reset happened: the counter is registered but back to zero.
+        assert_eq!(crate::snapshot().counter("export_jsonl_total"), Some(0));
+        crate::add("export_jsonl_total", 5);
+        exp.record_window(&[("window", 1.0)]).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"window\":0"));
+        assert!(lines[0].contains("\"export_jsonl_total\":2"));
+        assert!(
+            lines[1].contains("\"export_jsonl_total\":5"),
+            "delta, not cumulative"
+        );
+        crate::set_enabled(false);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prom_rewrites_cumulative() {
+        let _guard = global_lock();
+        let path = tmpdir("prom").join("metrics.prom");
+        let mut exp = MetricsExporter::create(&path, MetricsFormat::Prom).unwrap();
+        crate::add("export_prom_total", 1);
+        exp.record_window(&[]).unwrap();
+        crate::add("export_prom_total", 1);
+        exp.record_window(&[]).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("export_prom_total 2"), "cumulative: {text}");
+        assert_eq!(
+            text.matches("# TYPE export_prom_total").count(),
+            1,
+            "rewritten, not appended"
+        );
+        crate::set_enabled(false);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_makes_parent_dirs() {
+        let _guard = global_lock();
+        let path = tmpdir("mkdir").join("nested/deeper/out.jsonl");
+        let exp = MetricsExporter::create(&path, MetricsFormat::Jsonl).unwrap();
+        assert!(exp.path().parent().unwrap().is_dir());
+        assert_eq!(exp.format(), MetricsFormat::Jsonl);
+        crate::set_enabled(false);
+        fs::remove_file(&path).ok();
+    }
+}

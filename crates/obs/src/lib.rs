@@ -1,0 +1,190 @@
+//! Zero-dependency observability for the NIDC pipeline.
+//!
+//! Three primitives — atomic [`Counter`]s, fixed-bucket [`Histogram`]s and
+//! RAII [`PhaseTimer`]s — feed one process-global [`Registry`], which can be
+//! frozen into a [`Snapshot`] and exported as a JSON-lines record or a
+//! Prometheus text-format exposition ([`MetricsExporter`]). A leveled
+//! structured logger ([`Level`], [`info`], [`debug`]) replaces ad-hoc
+//! `println!` debugging in the pipeline crates.
+//!
+//! # Determinism contract
+//!
+//! Instrumentation must never influence results. Every recording call is a
+//! pure observer: it reads values the algorithm already computed and updates
+//! atomics that nothing on the algorithm side ever reads back. No control
+//! flow and no floating-point value in any instrumented crate depends on
+//! recorder state, so clusterings are bit-identical with the recorder on or
+//! off (enforced by `tests/obs_determinism.rs` in the workspace root).
+//!
+//! # Overhead budget
+//!
+//! Recording is **off by default**. Disabled call sites pay exactly one
+//! relaxed atomic load plus a predictable branch — the [`enabled`] check —
+//! and construct nothing. Enabled counter/histogram sites pay one relaxed
+//! `fetch_add` (histograms add a ≤ 24-element bounds scan and a CAS loop for
+//! the running sum); site handles ([`LazyCounter`], [`LazyHistogram`]) cache
+//! their registry entry in a `OnceLock`, so the name lookup happens once per
+//! site, not per event. Hot loops accumulate locally and publish one `add`
+//! per call (see `ClusterIndex::dot_all`).
+//!
+//! # Usage
+//!
+//! ```
+//! use nidc_obs as obs;
+//!
+//! static DOCS: obs::LazyCounter = obs::LazyCounter::new("demo_docs_total");
+//! static PHASE: obs::LazyHistogram =
+//!     obs::LazyHistogram::new("demo_phase_seconds", obs::buckets::LATENCY_SECONDS);
+//!
+//! obs::set_enabled(true);
+//! {
+//!     let _t = PHASE.start_timer(); // observes elapsed seconds on drop
+//!     DOCS.add(3);
+//! }
+//! let snap = obs::snapshot();
+//! assert_eq!(snap.counter("demo_docs_total"), Some(3));
+//! println!("{}", snap.to_prometheus());
+//! obs::set_enabled(false);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod handles;
+mod log;
+mod metrics;
+mod recorder;
+mod snapshot;
+
+pub use export::{MetricsExporter, MetricsFormat};
+pub use handles::{LazyCounter, LazyHistogram, PhaseTimer};
+pub use log::{debug, info, log, log_level, log_on, set_log_level, Level};
+pub use metrics::{buckets, Counter, Histogram};
+pub use recorder::{NoopRecorder, Recorder, Registry};
+pub use snapshot::{HistogramSnapshot, Snapshot};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-global registry every instrumented crate records into.
+static GLOBAL: Registry = Registry::new();
+
+/// Master switch. `false` (the default) turns every instrumentation site
+/// into a single relaxed load + branch.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-global [`Registry`].
+///
+/// Always present; whether call sites actually record into it is governed by
+/// [`set_enabled`].
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Whether metric recording is currently enabled.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns metric recording on or off process-wide.
+///
+/// Safe to toggle at any time; sites that cached registry handles keep
+/// working because [`reset`] zeroes metrics in place rather than replacing
+/// them.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The active recorder: the global registry when enabled, a no-op otherwise.
+///
+/// For code that wants dynamic dispatch; hot paths should prefer the static
+/// [`LazyCounter`]/[`LazyHistogram`] handles instead.
+pub fn recorder() -> &'static dyn Recorder {
+    static NOOP: NoopRecorder = NoopRecorder;
+    if enabled() {
+        &GLOBAL
+    } else {
+        &NOOP
+    }
+}
+
+/// Adds `delta` to the named counter in the global registry (no-op while
+/// disabled).
+#[inline]
+pub fn add(name: &'static str, delta: u64) {
+    if enabled() {
+        GLOBAL.counter(name).add(delta);
+    }
+}
+
+/// Records `value` into the named histogram in the global registry (no-op
+/// while disabled).
+#[inline]
+pub fn observe(name: &'static str, bounds: &'static [f64], value: f64) {
+    if enabled() {
+        GLOBAL.histogram(name, bounds).observe(value);
+    }
+}
+
+/// Freezes the current state of the global registry.
+pub fn snapshot() -> Snapshot {
+    GLOBAL.snapshot()
+}
+
+/// Zeroes every metric in the global registry **in place**.
+///
+/// Registered metrics stay registered (and cached handles stay valid), so a
+/// snapshot taken right after a reset reports every previously-touched
+/// metric with zero values — this is what makes per-window JSON-lines
+/// deltas possible without invalidating `LazyCounter` sites.
+pub fn reset() {
+    GLOBAL.reset();
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! The global enable flag is shared across the test binary's threads;
+    //! every unit test that toggles it serialises on this lock.
+    use std::sync::{Mutex, MutexGuard};
+
+    pub(crate) fn global_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_add_and_observe_respect_enable_gate() {
+        let _guard = test_support::global_lock();
+        let name = "lib_test_gate_total";
+        set_enabled(false);
+        add(name, 5);
+        assert_eq!(
+            snapshot().counter(name),
+            None,
+            "disabled add must not register"
+        );
+        set_enabled(true);
+        add(name, 2);
+        observe("lib_test_gate_seconds", buckets::LATENCY_SECONDS, 0.25);
+        let snap = snapshot();
+        assert_eq!(snap.counter(name), Some(2));
+        assert_eq!(snap.histogram("lib_test_gate_seconds").unwrap().count, 1);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn recorder_switches_with_enable_flag() {
+        let _guard = test_support::global_lock();
+        set_enabled(false);
+        assert!(!recorder().enabled());
+        set_enabled(true);
+        assert!(recorder().enabled());
+        set_enabled(false);
+    }
+}

@@ -1,0 +1,164 @@
+//! Minimal leveled, structured logging to stderr.
+//!
+//! One line per event, `key=value` formatted, e.g.:
+//!
+//! ```text
+//! ts=12.345 level=debug target=kmeans event=iteration iter=3 moved=12 g=0.018221
+//! ```
+//!
+//! Logging is off by default (`Level::Off`); the CLI maps `--log-level`
+//! onto [`set_log_level`]. The level check is one relaxed atomic load, so
+//! disabled call sites that pre-check [`log_on`] pay no formatting cost.
+
+use std::fmt;
+use std::io::Write;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log verbosity, ordered: `Off < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Level {
+    /// No logging (default).
+    #[default]
+    Off,
+    /// Once-per-phase events (recluster summaries, recompute fallbacks).
+    Info,
+    /// Per-iteration detail (K-means convergence traces).
+    Debug,
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Self::Off),
+            "info" => Ok(Self::Info),
+            "debug" => Ok(Self::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (expected off|info|debug)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Off => "off",
+            Self::Info => "info",
+            Self::Debug => "debug",
+        })
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn level_from_u8(v: u8) -> Level {
+    match v {
+        2 => Level::Debug,
+        1 => Level::Info,
+        _ => Level::Off,
+    }
+}
+
+/// Sets the process-wide log level.
+pub fn set_log_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide log level.
+pub fn log_level() -> Level {
+    level_from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether events at `level` are currently emitted. Call sites with costly
+/// field computation should pre-check this.
+#[inline]
+pub fn log_on(level: Level) -> bool {
+    level != Level::Off && level <= log_level()
+}
+
+/// Seconds since the first log call of the process (stable origin for the
+/// `ts=` field).
+fn uptime() -> f64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Emits one structured line to stderr if `level` is enabled.
+///
+/// `target` names the subsystem (`pipeline`, `kmeans`, `forgetting`, …),
+/// `event` the occurrence, and `fields` extra `key=value` pairs.
+pub fn log(level: Level, target: &str, event: &str, fields: &[(&str, &dyn fmt::Display)]) {
+    if !log_on(level) {
+        return;
+    }
+    let mut line = String::with_capacity(96);
+    line.push_str(&format!(
+        "ts={:.3} level={level} target={target} event={event}",
+        uptime()
+    ));
+    for (key, value) in fields {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        line.push_str(&value.to_string());
+    }
+    line.push('\n');
+    // One write per line keeps concurrent emitters from interleaving;
+    // failure to log must never take the pipeline down.
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, event: &str, fields: &[(&str, &dyn fmt::Display)]) {
+    log(Level::Info, target, event, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, event: &str, fields: &[(&str, &dyn fmt::Display)]) {
+    log(Level::Debug, target, event, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_display_roundtrip() {
+        for level in [Level::Off, Level::Info, Level::Debug] {
+            assert_eq!(level.to_string().parse::<Level>().unwrap(), level);
+        }
+        assert!("verbose".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn level_ordering_gates_events() {
+        let _guard = crate::test_support::global_lock();
+        set_log_level(Level::Off);
+        assert!(!log_on(Level::Info));
+        assert!(!log_on(Level::Debug));
+        // `Off`-level events never fire, whatever the threshold.
+        set_log_level(Level::Debug);
+        assert!(!log_on(Level::Off));
+        assert!(log_on(Level::Info));
+        assert!(log_on(Level::Debug));
+        set_log_level(Level::Info);
+        assert!(log_on(Level::Info));
+        assert!(!log_on(Level::Debug));
+        set_log_level(Level::Off);
+    }
+
+    #[test]
+    fn log_calls_do_not_panic() {
+        let _guard = crate::test_support::global_lock();
+        set_log_level(Level::Debug);
+        info("obs", "test_event", &[("k", &1u64), ("name", &"value")]);
+        debug("obs", "test_event", &[("f", &0.5f64)]);
+        log(Level::Off, "obs", "never", &[]);
+        set_log_level(Level::Off);
+    }
+}

@@ -1,0 +1,271 @@
+//! The two metric primitives: atomic counters and fixed-bucket histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Standard bucket layouts.
+///
+/// Buckets are `f64` upper bounds, ascending and inclusive (a value lands in
+/// the first bucket whose bound is `>=` the value, Prometheus `le`
+/// semantics); an implicit `+Inf` overflow bucket is always appended.
+pub mod buckets {
+    /// Wall-clock phase latencies in seconds, 1µs – 60s.
+    pub const LATENCY_SECONDS: &[f64] = &[
+        1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+    ];
+
+    /// Size-like quantities (documents, postings, chunk lengths).
+    pub const SIZES: &[f64] = &[
+        1.0,
+        2.0,
+        5.0,
+        10.0,
+        25.0,
+        50.0,
+        100.0,
+        250.0,
+        500.0,
+        1_000.0,
+        2_500.0,
+        5_000.0,
+        10_000.0,
+        50_000.0,
+        100_000.0,
+        1_000_000.0,
+    ];
+
+    /// K-means repetition counts until convergence.
+    pub const ITERATIONS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 5.0, 7.0, 10.0, 15.0, 20.0, 30.0, 50.0];
+
+    /// Clustering-index G values (log-spaced; G spans many decades as the
+    /// live-document count and decay weights change).
+    pub const OBJECTIVE_G: &[f64] = &[
+        1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1_000.0,
+    ];
+}
+
+/// A monotonically increasing event counter.
+///
+/// All updates are relaxed atomic adds; reads are snapshots, not
+/// linearisation points.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `delta` events.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter in place.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fixed-bucket histogram with a running sum.
+///
+/// Bounds come from [`buckets`] (or any static ascending slice); a value
+/// `v` lands in the first bucket with `v <= bound`, or in the implicit
+/// `+Inf` overflow bucket. Non-finite observations are dropped — the only
+/// instrumented sources are wall-clock durations and already-validated
+/// objective values, so a NaN here is a recording bug, not a signal.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    /// One slot per bound plus the `+Inf` overflow slot.
+    counts: Vec<AtomicU64>,
+    /// Σ observed values, stored as `f64::to_bits` and updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over `bounds` (ascending, finite), all buckets zero.
+    pub fn new(bounds: &'static [f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        debug_assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bounds must be finite"
+        );
+        Self {
+            bounds,
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+
+    /// The finite upper bounds this histogram was built with.
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        // First bucket whose (inclusive) upper bound contains `value`;
+        // `partition_point` returns `bounds.len()` for the overflow bucket.
+        let idx = self.bounds.partition_point(|b| value > *b);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the `+Inf`
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Zeroes every bucket and the sum in place.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum_bits.store(0.0_f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_inc_reset() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        static BOUNDS: &[f64] = &[1.0, 2.0, 5.0];
+        let h = Histogram::new(BOUNDS);
+        h.observe(0.0); // below everything → bucket 0
+        h.observe(1.0); // exactly on a bound → that bucket (le semantics)
+        h.observe(1.0000001); // just above → next bucket
+        h.observe(2.0);
+        h.observe(5.0);
+        h.observe(5.0000001); // above the last bound → +Inf overflow
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - (0.0 + 1.0 + 1.0000001 + 2.0 + 5.0 + 5.0000001)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_negative_values_land_in_first_bucket() {
+        static BOUNDS: &[f64] = &[1.0, 2.0];
+        let h = Histogram::new(BOUNDS);
+        h.observe(-3.0);
+        assert_eq!(h.bucket_counts(), vec![1, 0, 0]);
+        assert_eq!(h.sum(), -3.0);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        static BOUNDS: &[f64] = &[1.0];
+        let h = Histogram::new(BOUNDS);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn histogram_reset_zeroes_in_place() {
+        static BOUNDS: &[f64] = &[1.0];
+        let h = Histogram::new(BOUNDS);
+        h.observe(0.5);
+        h.observe(3.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.bucket_counts(), vec![0, 0]);
+    }
+
+    #[test]
+    fn preset_bucket_layouts_ascend() {
+        for bounds in [
+            buckets::LATENCY_SECONDS,
+            buckets::SIZES,
+            buckets::ITERATIONS,
+            buckets::OBJECTIVE_G,
+        ] {
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+            assert!(bounds.iter().all(|b| b.is_finite() && *b > 0.0));
+        }
+    }
+
+    #[test]
+    fn histogram_concurrent_observe_is_lossless_on_count() {
+        static BOUNDS: &[f64] = &[10.0, 100.0];
+        let h = Histogram::new(BOUNDS);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe((t * 50 + i % 150) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,202 @@
+//! The [`Recorder`] trait, its no-op implementation, and the [`Registry`]
+//! that backs the process-global recorder.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::metrics::{Counter, Histogram};
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+
+/// A sink for metric events.
+///
+/// Implemented by [`Registry`] (records) and [`NoopRecorder`] (discards).
+/// Hot paths normally go through the static [`crate::LazyCounter`] /
+/// [`crate::LazyHistogram`] handles instead of dynamic dispatch; the trait
+/// exists so components can be handed an explicit recorder in tests and so
+/// the disabled path has a provably inert implementation.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder keeps anything at all. `false` lets callers
+    /// skip preparing event data.
+    fn enabled(&self) -> bool;
+
+    /// Adds `delta` to the named counter.
+    fn add(&self, name: &'static str, delta: u64);
+
+    /// Records `value` into the named histogram, creating it with `bounds`
+    /// on first use.
+    fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64);
+}
+
+/// A recorder that discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn add(&self, _name: &'static str, _delta: u64) {}
+
+    fn observe(&self, _name: &'static str, _bounds: &'static [f64], _value: f64) {}
+}
+
+/// A named collection of counters and histograms.
+///
+/// Metrics are registered on first use and never removed; [`Registry::reset`]
+/// zeroes them in place so `Arc` handles cached by call sites stay valid.
+/// Counter and histogram names live in separate namespaces, but the naming
+/// convention (see DESIGN.md §Observability) keeps them disjoint anyway
+/// (`*_total` counters vs. `*_seconds`/value-distribution histograms).
+#[derive(Debug)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self {
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        // A poisoned metrics map only means some thread panicked mid-insert;
+        // the data is still a valid BTreeMap, and observability must never
+        // take the process down.
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The counter registered under `name`, created at zero on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(Self::lock(&self.counters).entry(name).or_default())
+    }
+
+    /// The histogram registered under `name`, created with `bounds` on first
+    /// use (later calls keep the original bounds).
+    pub fn histogram(&self, name: &'static str, bounds: &'static [f64]) -> Arc<Histogram> {
+        Arc::clone(
+            Self::lock(&self.histograms)
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Freezes every registered metric into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = Self::lock(&self.counters)
+            .iter()
+            .map(|(name, c)| (name.to_string(), c.get()))
+            .collect();
+        let histograms = Self::lock(&self.histograms)
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.to_string(),
+                    HistogramSnapshot {
+                        bounds: h.bounds().to_vec(),
+                        counts: h.bucket_counts(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Zeroes every registered metric in place (registrations survive).
+    pub fn reset(&self) {
+        for c in Self::lock(&self.counters).values() {
+            c.reset();
+        }
+        for h in Self::lock(&self.histograms).values() {
+            h.reset();
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder for Registry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64) {
+        self.histogram(name, bounds).observe(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::buckets;
+
+    #[test]
+    fn counter_handles_are_shared() {
+        let r = Registry::new();
+        let a = r.counter("shared_total");
+        let b = r.counter("shared_total");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.counter("shared_total").get(), 5);
+    }
+
+    #[test]
+    fn histogram_keeps_first_bounds() {
+        let r = Registry::new();
+        let h = r.histogram("h_seconds", buckets::LATENCY_SECONDS);
+        let again = r.histogram("h_seconds", buckets::SIZES);
+        assert_eq!(h.bounds(), again.bounds());
+    }
+
+    #[test]
+    fn reset_preserves_registrations_and_handles() {
+        let r = Registry::new();
+        let c = r.counter("kept_total");
+        c.add(7);
+        r.observe("kept_seconds", buckets::LATENCY_SECONDS, 0.1);
+        r.reset();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("kept_total"), Some(0));
+        assert_eq!(snap.histogram("kept_seconds").unwrap().count, 0);
+        // The pre-reset handle still feeds the same counter.
+        c.add(1);
+        assert_eq!(r.snapshot().counter("kept_total"), Some(1));
+    }
+
+    #[test]
+    fn noop_recorder_discards() {
+        let n = NoopRecorder;
+        assert!(!n.enabled());
+        n.add("x_total", 1);
+        n.observe("x_seconds", buckets::LATENCY_SECONDS, 1.0);
+    }
+
+    #[test]
+    fn registry_recorder_records() {
+        let r = Registry::new();
+        let rec: &dyn Recorder = &r;
+        assert!(rec.enabled());
+        rec.add("r_total", 4);
+        rec.observe("r_sizes", buckets::SIZES, 12.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("r_total"), Some(4));
+        assert_eq!(snap.histogram("r_sizes").unwrap().count, 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Frozen metric state and its two wire formats (JSON, Prometheus text).
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite upper bounds, ascending (the `+Inf` bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `bounds.len() + 1` entries, the
+    /// last being the `+Inf` overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// Frozen state of a [`crate::Registry`] — the per-window report type.
+///
+/// Both collections are sorted by metric name (inherited from the
+/// registry's BTreeMap ordering), so serialisations are deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, state)` for every registered histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of the named counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// State of the named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Every registered metric name (counters then histograms, each sorted).
+    pub fn metric_names(&self) -> Vec<&str> {
+        self.counters
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .chain(self.histograms.iter().map(|(n, _)| n.as_str()))
+            .collect()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// One JSON object (single line, no trailing newline).
+    ///
+    /// Shape:
+    /// `{"counters":{"name":n,...},"histograms":{"name":{"count":n,"sum":s,`
+    /// `"buckets":[{"le":b,"n":n},...,{"le":"+Inf","n":n}]},...}}`
+    pub fn to_json(&self) -> String {
+        self.to_json_line(&[])
+    }
+
+    /// Like [`Snapshot::to_json`] with leading `"key":value` metadata fields
+    /// (window index, simulation day, …) spliced into the object.
+    pub fn to_json_line(&self, meta: &[(&str, f64)]) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        for (key, value) in meta {
+            push_json_str(&mut out, key);
+            out.push(':');
+            push_json_num(&mut out, *value);
+            out.push(',');
+        }
+        out.push_str("\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push_str(":{\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            push_json_num(&mut out, h.sum);
+            out.push_str(",\"buckets\":[");
+            for (j, n) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"le\":");
+                match h.bounds.get(j) {
+                    Some(b) => push_json_num(&mut out, *b),
+                    None => out.push_str("\"+Inf\""),
+                }
+                out.push_str(",\"n\":");
+                out.push_str(&n.to_string());
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Prometheus text exposition format (version 0.0.4): `# TYPE` comments,
+    /// counters as-is, histograms as cumulative `_bucket{le="..."}` series
+    /// plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(512);
+        for (name, value) in &self.counters {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" counter\n");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" histogram\n");
+            let mut cumulative = 0u64;
+            for (j, n) in h.counts.iter().enumerate() {
+                cumulative += n;
+                out.push_str(name);
+                out.push_str("_bucket{le=\"");
+                match h.bounds.get(j) {
+                    Some(b) => push_prom_num(&mut out, *b),
+                    None => out.push_str("+Inf"),
+                }
+                out.push_str("\"} ");
+                out.push_str(&cumulative.to_string());
+                out.push('\n');
+            }
+            out.push_str(name);
+            out.push_str("_sum ");
+            push_prom_num(&mut out, h.sum);
+            out.push('\n');
+            out.push_str(name);
+            out.push_str("_count ");
+            out.push_str(&h.count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Appends a JSON string literal (metric names are ASCII identifiers, but
+/// escape the JSON-significant characters anyway).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as a JSON number. Integral values print without a
+/// fraction; non-finite values (which the recording layer already filters)
+/// degrade to `0` rather than emitting invalid JSON.
+fn push_json_num(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push('0');
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        // `{:?}` is Rust's shortest round-trip form (e.g. `1e-6`, `0.25`);
+        // its exponent notation is valid JSON.
+        out.push_str(&format!("{v:?}"));
+    }
+}
+
+/// Appends an `f64` in Prometheus text format (same as JSON except that
+/// non-finite values have spellings).
+fn push_prom_num(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        push_json_num(out, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![("a_total".to_string(), 3), ("b_total".to_string(), 0)],
+            histograms: vec![(
+                "p_seconds".to_string(),
+                HistogramSnapshot {
+                    bounds: vec![0.001, 0.25, 1.0],
+                    counts: vec![1, 2, 0, 1],
+                    count: 4,
+                    sum: 1.7562,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample();
+        assert_eq!(s.counter("a_total"), Some(3));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.histogram("p_seconds").unwrap().count, 4);
+        assert!(s.histogram("missing").is_none());
+        assert_eq!(s.metric_names(), vec!["a_total", "b_total", "p_seconds"]);
+        assert!(!s.is_empty());
+        assert!(Snapshot::default().is_empty());
+    }
+
+    #[test]
+    fn json_shape() {
+        let s = sample();
+        let line = s.to_json_line(&[("window", 3.0), ("day", 14.5)]);
+        assert!(line.starts_with("{\"window\":3,\"day\":14.5,\"counters\":{"));
+        assert!(line.contains("\"a_total\":3"));
+        assert!(line.contains("\"p_seconds\":{\"count\":4,\"sum\":1.7562,\"buckets\":["));
+        assert!(line.contains("{\"le\":0.001,\"n\":1}"));
+        assert!(line.contains("{\"le\":\"+Inf\",\"n\":1}"));
+        assert!(!line.contains('\n'));
+        assert!(line.ends_with("}}"));
+    }
+
+    #[test]
+    fn prometheus_shape_is_cumulative() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE a_total counter\na_total 3\n"));
+        assert!(text.contains("# TYPE p_seconds histogram\n"));
+        assert!(text.contains("p_seconds_bucket{le=\"0.001\"} 1\n"));
+        assert!(text.contains("p_seconds_bucket{le=\"0.25\"} 3\n"));
+        assert!(text.contains("p_seconds_bucket{le=\"1\"} 3\n"));
+        assert!(text.contains("p_seconds_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("p_seconds_sum 1.7562\n"));
+        assert!(text.contains("p_seconds_count 4\n"));
+    }
+
+    #[test]
+    fn prometheus_lines_are_well_formed() {
+        // Minimal exposition-format validity: every line is a comment or
+        // `name{labels} value` / `name value` with a parseable value.
+        for line in sample().to_prometheus().lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("metric line has a value");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {name:?}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "bad value {value:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_number_edge_cases() {
+        let mut s = String::new();
+        push_json_num(&mut s, 1e-6);
+        s.push(' ');
+        push_json_num(&mut s, f64::NAN);
+        s.push(' ');
+        push_json_num(&mut s, 42.0);
+        assert_eq!(s, "1e-6 0 42");
+    }
+}

@@ -14,6 +14,18 @@
 
 use std::ops::Range;
 
+use nidc_obs::{buckets, LazyCounter, LazyHistogram};
+
+/// Calls that fanned out over scoped worker threads.
+static FANOUTS: LazyCounter = LazyCounter::new("nidc_parallel_fanouts_total");
+/// Calls that took the sequential path (below the fan-out gate).
+static SEQUENTIAL: LazyCounter = LazyCounter::new("nidc_parallel_sequential_total");
+/// Chunks processed (sequential calls count as one chunk).
+static CHUNKS: LazyCounter = LazyCounter::new("nidc_parallel_chunks_total");
+/// Wall-clock seconds each chunk's closure ran for.
+static CHUNK_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_parallel_chunk_seconds", buckets::LATENCY_SECONDS);
+
 /// The number of hardware threads, falling back to 1 when unknown.
 pub fn available_threads() -> usize {
     std::thread::available_parallelism()
@@ -50,6 +62,14 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
 /// the same gate every call site used ad hoc before this crate existed.
 /// `threads` must already be resolved (see [`resolve_threads`]).
 pub fn should_fan_out(len: usize, threads: usize) -> bool {
+    // Register (without incrementing) every fan-out metric at the decision
+    // point: call sites gate on this before touching `par_chunks`, so on a
+    // host that never crosses the gate these metrics would otherwise be
+    // absent from snapshots entirely.
+    FANOUTS.add(0);
+    SEQUENTIAL.add(0);
+    CHUNKS.add(0);
+    CHUNK_SECONDS.touch();
     threads > 1 && len >= 2 * threads
 }
 
@@ -66,8 +86,21 @@ where
 {
     let threads = resolve_threads(threads);
     if !should_fan_out(len, threads) {
-        return chunk_ranges(len, 1).into_iter().map(f).collect();
+        // add(0) registers the fan-out counter so snapshots report it even
+        // in runs that never cross the gate (single-core hosts).
+        SEQUENTIAL.inc();
+        FANOUTS.add(0);
+        return chunk_ranges(len, 1)
+            .into_iter()
+            .map(|range| {
+                CHUNKS.inc();
+                let _timer = CHUNK_SECONDS.start_timer();
+                f(range)
+            })
+            .collect();
     }
+    FANOUTS.inc();
+    SEQUENTIAL.add(0);
     let ranges = chunk_ranges(len, threads);
     let mut results: Vec<Option<R>> = Vec::new();
     results.resize_with(ranges.len(), || None);
@@ -75,6 +108,8 @@ where
         for (slot, range) in results.iter_mut().zip(ranges) {
             let f = &f;
             scope.spawn(move || {
+                CHUNKS.inc();
+                let _timer = CHUNK_SECONDS.start_timer();
                 *slot = Some(f(range));
             });
         }

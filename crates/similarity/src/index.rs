@@ -21,9 +21,22 @@
 //! per-cluster dot products, which is what preserves the workspace's
 //! thread-count determinism contract end to end.
 
+use nidc_obs::LazyCounter;
 use nidc_textproc::{SparseVector, TermId};
 
 use crate::ClusterRep;
+
+/// Postings visited by [`ClusterIndex::dot_all`] — the realised
+/// `Σ_t |postings(t)|` work of the step-1 sweep (compare against
+/// `nidc_kmeans_step1_candidates_total`, the dense-equivalent K·rows bound,
+/// to see the inverted-index win per run).
+static POSTINGS_TOUCHED: LazyCounter = LazyCounter::new("nidc_index_postings_touched_total");
+/// Incremental `add(cluster, φ)` maintenance operations.
+static ADD_OPS: LazyCounter = LazyCounter::new("nidc_index_add_ops_total");
+/// Incremental `remove(cluster, φ)` maintenance operations.
+static REMOVE_OPS: LazyCounter = LazyCounter::new("nidc_index_remove_ops_total");
+/// Full rebuilds from the representatives (once per K-means iteration).
+static REBUILDS: LazyCounter = LazyCounter::new("nidc_index_rebuilds_total");
 
 /// An inverted postings map `TermId → [(cluster, weight)]` mirroring the
 /// sparse representatives of K clusters.
@@ -130,12 +143,14 @@ impl ClusterIndex {
     /// Mirrors `reps[cluster].add(φ)`: folds `+φ` into the cluster's
     /// postings.
     pub fn add(&mut self, cluster: usize, phi: &SparseVector) {
+        ADD_OPS.inc();
         self.update(cluster, phi, 1.0);
     }
 
     /// Mirrors `reps[cluster].remove(φ)`: folds `−φ` into the cluster's
     /// postings. Expiration and step-1 reassignments both feed through here.
     pub fn remove(&mut self, cluster: usize, phi: &SparseVector) {
+        REMOVE_OPS.inc();
         self.update(cluster, phi, -1.0);
     }
 
@@ -143,6 +158,7 @@ impl ClusterIndex {
     /// after `recompute_exact` clears floating-point drift from the reps, so
     /// index and reps stay bit-identical mirrors of each other).
     pub fn rebuild(&mut self, reps: &[ClusterRep]) {
+        REBUILDS.inc();
         self.k = reps.len();
         // keep the spine and list allocations; the K-means loop rebuilds
         // once per iteration
@@ -169,13 +185,18 @@ impl ClusterIndex {
     pub fn dot_all(&self, phi: &SparseVector, out: &mut [f64]) {
         debug_assert!(out.len() >= self.k, "scratch row shorter than k");
         out[..self.k].fill(0.0);
+        // Accumulated locally and published once per call, so the hot
+        // posting loop never touches an atomic.
+        let mut touched = 0usize;
         for (t, w) in phi.iter() {
             if let Some(list) = self.postings.get(t.index()) {
+                touched += list.len();
                 for &(q, cw) in list {
                     out[q as usize] += cw * w;
                 }
             }
         }
+        POSTINGS_TOUCHED.add(touched as u64);
     }
 }
 

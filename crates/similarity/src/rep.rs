@@ -1,6 +1,14 @@
 //! Cluster representatives with O(|φ|) membership updates (paper §4.4).
 
+use nidc_obs::LazyCounter;
 use nidc_textproc::{SparseVector, TermId};
+
+/// Times a clamp-to-zero actually absorbed negative floating-point residue
+/// in a cached representative statistic (`cr_self` or `ss`). Shares its
+/// name with the repository-side counter in `nidc-forgetting`, so one
+/// metric reports fp drift across both layers — always-on, because the
+/// accompanying `debug_assert!`s compile out of release builds.
+static FP_RESIDUE_CLAMPS: LazyCounter = LazyCounter::new("nidc_fp_residue_clamps_total");
 
 /// How a [`ClusterRep`] stores its vector `c⃗_p`.
 ///
@@ -272,6 +280,7 @@ impl ClusterRep {
     /// corrupts the cached statistics (debug builds assert `size > 0`).
     pub fn remove(&mut self, phi: &SparseVector) {
         debug_assert!(self.size > 0, "remove from empty cluster");
+        let mut clamps = 0u64;
         let dot = self.dot_doc(phi);
         let norm_sq = phi.norm_sq();
         self.cr_self += -2.0 * dot + norm_sq;
@@ -285,6 +294,7 @@ impl ClusterRep {
         );
         if self.cr_self < 0.0 {
             self.cr_self = 0.0; // clamp fp drift
+            clamps += 1;
         }
         self.ss -= norm_sq;
         debug_assert!(
@@ -294,7 +304,9 @@ impl ClusterRep {
         );
         if self.ss < 0.0 {
             self.ss = 0.0;
+            clamps += 1;
         }
+        FP_RESIDUE_CLAMPS.add(clamps);
         self.size -= 1;
         match &mut self.storage {
             Storage::Dense(v) => {

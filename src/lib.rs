@@ -23,7 +23,11 @@
 //! * [`tdt`] — TDT tasks on the novelty similarity: first-story detection
 //!   and topic tracking over an inverted-index search substrate;
 //! * [`eval`] — contingency tables, micro/macro F1, topic marking, purity,
-//!   NMI, ARI.
+//!   NMI, ARI;
+//! * [`obs`] — zero-dependency metrics (counters, histograms, phase timers),
+//!   structured logging, and per-window snapshot exporters (JSON lines /
+//!   Prometheus text); recording is off by default and never changes
+//!   clustering results.
 //!
 //! # Quickstart
 //!
@@ -64,6 +68,7 @@ pub use nidc_corpus as corpus;
 pub use nidc_eval as eval;
 pub use nidc_f2icm as f2icm;
 pub use nidc_forgetting as forgetting;
+pub use nidc_obs as obs;
 pub use nidc_similarity as similarity;
 pub use nidc_tdt as tdt;
 pub use nidc_textproc as textproc;

@@ -1,0 +1,209 @@
+//! Recorder-on/off equivalence: enabling the observability layer must not
+//! change a single bit of any clustering result. The instrumentation is a
+//! pure observer — it never branches the algorithm, never reorders float
+//! accumulation, never feeds a value back — and this suite pins that
+//! contract across the same backend × thread matrix the determinism suite
+//! uses, through a full multi-window pipeline run.
+
+use std::collections::BTreeMap;
+
+use khy2006::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [0, 1, 2, 4];
+
+/// The tests below toggle the process-wide recorder flag, so they must not
+/// interleave within this test binary.
+static FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+    FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+    SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+}
+
+/// A three-topic stream over 12 days with enough churn to exercise moves,
+/// outliers, expiration, and warm restarts.
+fn stream() -> Vec<(u64, f64, SparseVector)> {
+    let mut docs = Vec::new();
+    for i in 0..36u64 {
+        let day = i as f64 * 0.33;
+        let topic = (i % 3) as u32 * 10;
+        docs.push((
+            i,
+            day,
+            tf(&[
+                (topic, 3.0),
+                (topic + 1, 2.0),
+                (topic + 2 + (i % 2) as u32, 1.0),
+            ]),
+        ));
+    }
+    // a stray that shares no terms with any topic
+    docs.push((99, 6.1, tf(&[(77, 1.0)])));
+    docs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    docs
+}
+
+/// Everything observable about one window's clustering: member lists,
+/// outliers, the clustering index G (bitwise), iteration count.
+type WindowResult = (Vec<Vec<DocId>>, Vec<DocId>, f64, usize);
+
+/// Runs the full pipeline (ingest → advance → expire → recluster, four
+/// windows) and returns everything observable about the results.
+fn run_pipeline(backend: RepBackend, threads: usize) -> Vec<WindowResult> {
+    let decay = DecayParams::from_spans(4.0, 8.0).unwrap();
+    let config = ClusteringConfig {
+        k: 3,
+        seed: 7,
+        threads,
+        rep_backend: backend,
+        ..ClusteringConfig::default()
+    };
+    let mut pipeline = NoveltyPipeline::new(decay, config);
+    let mut windows = Vec::new();
+    let mut next = 3.0f64;
+    for (id, day, tf) in stream() {
+        while day >= next {
+            pipeline.advance_to(Timestamp(next)).unwrap();
+            let c = pipeline.recluster_incremental().unwrap();
+            windows.push((
+                c.member_lists(),
+                c.outliers().to_vec(),
+                c.g(),
+                c.iterations(),
+            ));
+            next += 3.0;
+        }
+        pipeline.ingest(DocId(id), Timestamp(day), tf).unwrap();
+    }
+    let c = pipeline.recluster_incremental().unwrap();
+    windows.push((
+        c.member_lists(),
+        c.outliers().to_vec(),
+        c.g(),
+        c.iterations(),
+    ));
+    windows
+}
+
+/// The core guarantee: with metric recording AND debug logging enabled, the
+/// clusterings (members, outliers, bitwise G, iteration counts) are
+/// identical to the recorder-off run, per window, across both representative
+/// backends and all thread counts.
+#[test]
+fn recorder_on_off_results_are_bit_identical() {
+    let _guard = flag_lock();
+    for backend in [RepBackend::Sparse, RepBackend::Dense] {
+        for threads in THREAD_COUNTS {
+            khy2006::obs::set_enabled(false);
+            let off = run_pipeline(backend, threads);
+
+            khy2006::obs::reset();
+            khy2006::obs::set_enabled(true);
+            let on = run_pipeline(backend, threads);
+            khy2006::obs::set_enabled(false);
+
+            assert_eq!(
+                off, on,
+                "recorder flipped the result at backend {backend:?}, threads {threads}"
+            );
+        }
+    }
+}
+
+/// While the recorder is on, the run actually populates the metrics every
+/// layer promises — the snapshot is not an empty shell.
+#[test]
+fn enabled_run_covers_all_instrumented_layers() {
+    let _guard = flag_lock();
+    khy2006::obs::reset();
+    khy2006::obs::set_enabled(true);
+    // threads=2 so the parallel layer records fan-out decisions too
+    let _ = run_pipeline(RepBackend::Sparse, 2);
+    let snap = khy2006::obs::snapshot();
+    khy2006::obs::set_enabled(false);
+
+    for metric in [
+        // pipeline layer
+        "nidc_pipeline_ingested_docs_total",
+        "nidc_pipeline_reclusters_total",
+        "nidc_pipeline_expired_docs_total",
+        // K-means layer
+        "nidc_kmeans_runs_total",
+        "nidc_kmeans_warm_starts_total",
+        "nidc_kmeans_cold_starts_total",
+        "nidc_kmeans_moved_docs_total",
+        "nidc_kmeans_step1_candidates_total",
+        // inverted-index layer
+        "nidc_index_postings_touched_total",
+        "nidc_index_rebuilds_total",
+        // forgetting layer
+        "nidc_forgetting_docs_inserted_total",
+        "nidc_forgetting_docs_expired_total",
+        "nidc_fp_residue_clamps_total",
+        // parallel layer (registered even when the host never fans out)
+        "nidc_parallel_fanouts_total",
+        "nidc_parallel_sequential_total",
+    ] {
+        assert!(
+            snap.counter(metric).is_some(),
+            "metric {metric} missing from an enabled run"
+        );
+    }
+    for histogram in [
+        "nidc_pipeline_ingest_seconds",
+        "nidc_pipeline_expire_seconds",
+        "nidc_pipeline_recluster_seconds",
+        "nidc_forgetting_advance_seconds",
+        "nidc_kmeans_iterations",
+        "nidc_kmeans_objective_g",
+    ] {
+        let h = snap
+            .histogram(histogram)
+            .unwrap_or_else(|| panic!("histogram {histogram} missing from an enabled run"));
+        assert!(h.count > 0, "histogram {histogram} never observed");
+    }
+    // cross-checks that only hold because the run really happened
+    assert_eq!(snap.counter("nidc_pipeline_ingested_docs_total"), Some(37));
+    assert_eq!(
+        snap.counter("nidc_pipeline_reclusters_total"),
+        snap.counter("nidc_kmeans_runs_total"),
+        "each recluster drives exactly one K-means run"
+    );
+    let starts = snap.counter("nidc_kmeans_warm_starts_total").unwrap()
+        + snap.counter("nidc_kmeans_cold_starts_total").unwrap();
+    assert_eq!(Some(starts), snap.counter("nidc_kmeans_runs_total"));
+}
+
+/// Warm-start bookkeeping survives the recorder: running the same
+/// assignment twice through `cluster_with_initial` with metrics on yields
+/// the same clustering as with metrics off.
+#[test]
+fn warm_start_equivalence_with_recorder() {
+    let _guard = flag_lock();
+    let mut repo = Repository::new(DecayParams::from_spans(7.0, 30.0).unwrap());
+    for (id, day, tf) in stream() {
+        repo.insert(DocId(id), Timestamp(day), tf).unwrap();
+    }
+    let vecs = DocVectors::build(&repo);
+    let config = ClusteringConfig {
+        k: 3,
+        seed: 11,
+        ..ClusteringConfig::default()
+    };
+    let cold = cluster_batch(&vecs, &config).unwrap();
+    let prev: BTreeMap<DocId, usize> = cold.assignment();
+
+    khy2006::obs::set_enabled(false);
+    let off = cluster_with_initial(&vecs, &config, InitialState::Assignment(prev.clone())).unwrap();
+    khy2006::obs::set_enabled(true);
+    let on = cluster_with_initial(&vecs, &config, InitialState::Assignment(prev)).unwrap();
+    khy2006::obs::set_enabled(false);
+
+    assert_eq!(off.member_lists(), on.member_lists());
+    assert_eq!(off.outliers(), on.outliers());
+    assert!(off.g() == on.g(), "G must be bitwise equal");
+    assert_eq!(off.iterations(), on.iterations());
+}
