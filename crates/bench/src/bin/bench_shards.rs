@@ -1,0 +1,198 @@
+//! **Shard-scaling benchmark** — replays the Expt-1 stream through the
+//! sharded pipeline at shard counts {1, 2, 4, 8} and reports, per
+//! configuration, the wall-clock split into the paper's two phases
+//! (statistics updating vs clustering + query-time merge) together with the
+//! merged clustering quality over the live documents.
+//!
+//! Before any number is reported every configuration is gated on coverage:
+//! the merged view must account for every live document (assigned or
+//! outlier, never dropped), and the live-document count must be identical
+//! across shard counts — the router partitions the stream, it must not lose
+//! or duplicate any of it.
+//!
+//! Writes `results/BENCH_shards.json` by default; override with
+//! `--json <path>`. Env: `NIDC_SCALE` scales the corpus (default 0.5),
+//! `NIDC_EVERY` sets the days between re-clusterings (default 10),
+//! `NIDC_THREADS` sets each pipeline's inner worker count (default 0 = all).
+
+use std::time::Instant;
+
+use nidc_bench::{scale_from_env, write_json_report, PreparedCorpus};
+use nidc_core::{ClusteringConfig, ShardedPipeline};
+use nidc_eval::{evaluate, Labeling, MARKING_THRESHOLD};
+use nidc_forgetting::{DecayParams, Timestamp};
+use nidc_textproc::DocId;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Run {
+    shards: usize,
+    rounds: u32,
+    stats_ms: f64,
+    cluster_ms: f64,
+    live_docs: usize,
+    assigned: usize,
+    outliers: usize,
+    micro_f1: f64,
+    macro_f1: f64,
+}
+
+fn main() {
+    let scale = scale_from_env(0.5);
+    let every: f64 = std::env::var("NIDC_EVERY")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let threads: usize = std::env::var("NIDC_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let prep = PreparedCorpus::standard(scale);
+    let decay = DecayParams::from_spans(7.0, 21.0).expect("valid");
+
+    println!(
+        "shard scaling: {} articles over 178 days, re-clustering every {every} days",
+        prep.corpus.len()
+    );
+    println!(
+        "(K=24, beta=7d, gamma=21d, inner threads {threads}; host hardware threads {})\n",
+        nidc_parallel::available_threads()
+    );
+    println!("| shards | rounds | stats ms | cluster+merge ms | live docs | micro F1 | macro F1 |");
+    println!("|--------|--------|----------|------------------|-----------|----------|----------|");
+
+    let runs: Vec<Run> = SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let config = ClusteringConfig {
+                k: 24,
+                seed: 42,
+                threads,
+                ..ClusteringConfig::default()
+            };
+            let mut pipeline = ShardedPipeline::new(decay, config, shards).expect("shards >= 1");
+            let mut run = Run {
+                shards,
+                rounds: 0,
+                stats_ms: 0.0,
+                cluster_ms: 0.0,
+                live_docs: 0,
+                assigned: 0,
+                outliers: 0,
+                micro_f1: 0.0,
+                macro_f1: 0.0,
+            };
+
+            let mut next_report = every;
+            let mut pending: Vec<usize> = Vec::new();
+            let flush = |pipeline: &mut ShardedPipeline,
+                         pending: &mut Vec<usize>,
+                         run: &mut Run,
+                         day: f64| {
+                let t0 = Instant::now();
+                for &i in pending.iter() {
+                    let a = &prep.corpus.articles()[i];
+                    pipeline
+                        .ingest(DocId(a.id), Timestamp(a.day), prep.tfs[i].clone())
+                        .expect("chronological");
+                }
+                pending.clear();
+                pipeline.advance_to(Timestamp(day)).expect("forward");
+                run.stats_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+                let t1 = Instant::now();
+                let clustering = pipeline.recluster_incremental().expect("K >= 1");
+                run.cluster_ms += t1.elapsed().as_secs_f64() * 1e3;
+                run.rounds += 1;
+
+                let labels: Labeling<u32> = pipeline
+                    .shards()
+                    .iter()
+                    .flat_map(|s| s.repository().doc_ids())
+                    .map(|d| (d, prep.corpus.articles()[d.0 as usize].topic.0))
+                    .collect();
+                let e = evaluate(&clustering.member_lists(), &labels, MARKING_THRESHOLD);
+                run.live_docs = pipeline.num_docs();
+                run.assigned = clustering.assigned_docs();
+                run.outliers = clustering.outliers().len();
+                run.micro_f1 = e.micro_f1;
+                run.macro_f1 = e.macro_f1;
+            };
+
+            for (i, a) in prep.corpus.articles().iter().enumerate() {
+                while a.day >= next_report {
+                    flush(&mut pipeline, &mut pending, &mut run, next_report);
+                    next_report += every;
+                }
+                pending.push(i);
+            }
+            flush(&mut pipeline, &mut pending, &mut run, 178.0);
+
+            // coverage gate: the merged view must account for every live doc
+            assert_eq!(
+                run.assigned + run.outliers,
+                run.live_docs,
+                "{shards} shard(s): merged view dropped documents"
+            );
+
+            println!(
+                "| {:>6} | {:>6} | {:>8.1} | {:>16.1} | {:>9} | {:>8.2} | {:>8.2} |",
+                run.shards,
+                run.rounds,
+                run.stats_ms,
+                run.cluster_ms,
+                run.live_docs,
+                run.micro_f1,
+                run.macro_f1
+            );
+            run
+        })
+        .collect();
+
+    // partition gate: the router must neither lose nor duplicate documents
+    for r in &runs[1..] {
+        assert_eq!(
+            r.live_docs, runs[0].live_docs,
+            "{} shard(s): live-document count differs from the 1-shard run",
+            r.shards
+        );
+    }
+
+    let baseline = runs[0].cluster_ms;
+    println!();
+    for r in &runs[1..] {
+        println!(
+            "{} shards: clustering+merge {:.2}x vs 1 shard",
+            r.shards,
+            baseline / r.cluster_ms.max(1e-9)
+        );
+    }
+
+    let articles = prep.corpus.len();
+    let results: Vec<serde_json::Value> = runs
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "name": format!("shards_{}", r.shards),
+                "shards": r.shards,
+                "rounds": r.rounds,
+                "stats_ms": r.stats_ms,
+                "cluster_merge_ms": r.cluster_ms,
+                "live_docs": r.live_docs,
+                "micro_f1": r.micro_f1,
+                "macro_f1": r.macro_f1,
+            })
+        })
+        .collect();
+    write_json_report(
+        "bench_shards",
+        Some("results/BENCH_shards.json"),
+        serde_json::json!({
+            "scale": scale,
+            "report_every_days": every,
+            "inner_threads": threads,
+            "articles": articles,
+            "results": results,
+        }),
+    );
+}

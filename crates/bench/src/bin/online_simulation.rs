@@ -11,8 +11,9 @@
 //! in one run.
 //!
 //! Env: `NIDC_SCALE` (default 0.5), `NIDC_EVERY` (days between
-//! re-clusterings, default 5). With `--json <path>`, also writes the
-//! aggregate timings as BENCH JSON. With `--metrics <path>`
+//! re-clusterings, default 5), `NIDC_SHARDS` (stream shards, default 1 —
+//! today's single-pipeline behaviour, bit for bit). With `--json <path>`,
+//! also writes the aggregate timings as BENCH JSON. With `--metrics <path>`
 //! (`--metrics-format jsonl|prom`), exports one instrumentation snapshot
 //! per re-clustering window — the canonical producer for
 //! `metrics_manifest.txt`.
@@ -20,7 +21,7 @@
 use std::time::Instant;
 
 use nidc_bench::{metrics_from_args, scale_from_env, write_json_report, PreparedCorpus};
-use nidc_core::{ClusteringConfig, NoveltyPipeline};
+use nidc_core::{ClusteringConfig, ShardedPipeline};
 use nidc_eval::{evaluate, Labeling, MARKING_THRESHOLD};
 use nidc_forgetting::{DecayParams, Timestamp};
 use nidc_textproc::DocId;
@@ -31,6 +32,10 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(5.0);
+    let shards: usize = std::env::var("NIDC_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let prep = PreparedCorpus::standard(scale);
     let decay = DecayParams::from_spans(7.0, 21.0).expect("valid");
     let config = ClusteringConfig {
@@ -38,11 +43,11 @@ fn main() {
         seed: 42,
         ..ClusteringConfig::default()
     };
-    let mut pipeline = NoveltyPipeline::new(decay, config);
+    let mut pipeline = ShardedPipeline::new(decay, config, shards).expect("shards ≥ 1");
     let mut exporter = metrics_from_args();
 
     println!(
-        "on-line simulation: {} articles over 178 days, re-clustering every {every} days",
+        "on-line simulation: {} articles over 178 days, re-clustering every {every} days, {shards} shard(s)",
         prep.corpus.len()
     );
     println!("(K=24, beta=7d, gamma=21d — articles expire three weeks after arrival)\n");
@@ -53,7 +58,7 @@ fn main() {
     let mut pending: Vec<usize> = Vec::new();
     let (mut total_stats_ms, mut total_cluster_ms, mut rounds) = (0.0, 0.0, 0u32);
 
-    let flush = |pipeline: &mut NoveltyPipeline,
+    let flush = |pipeline: &mut ShardedPipeline,
                  pending: &mut Vec<usize>,
                  exporter: &mut Option<nidc_obs::MetricsExporter>,
                  day: f64| {
@@ -72,18 +77,18 @@ fn main() {
         let clustering = pipeline.recluster_incremental().expect("K ≥ 1");
         let cluster_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-        // quality over the live documents
+        // quality over the live documents, across every shard
         let labels: Labeling<u32> = pipeline
-            .repository()
-            .doc_ids()
-            .into_iter()
+            .shards()
+            .iter()
+            .flat_map(|s| s.repository().doc_ids())
             .map(|d| (d, prep.corpus.articles()[d.0 as usize].topic.0))
             .collect();
         let e = evaluate(&clustering.member_lists(), &labels, MARKING_THRESHOLD);
         println!(
             "| {:>4.0} | {:>9} | {:>8.1} | {:>10.1} | {:>5} | {:>8} | {:>8} | {:>8.2} | {:>8.2} |",
             day,
-            pipeline.repository().len(),
+            pipeline.num_docs(),
             stats_ms,
             cluster_ms,
             clustering.iterations(),
@@ -93,7 +98,7 @@ fn main() {
             e.macro_f1
         );
         if let Some(m) = exporter.as_mut() {
-            m.record_window(&[("day", day), ("docs", pipeline.repository().len() as f64)])
+            m.record_window(&[("day", day), ("docs", pipeline.num_docs() as f64)])
                 .expect("write metrics snapshot");
         }
         (stats_ms, cluster_ms)
@@ -132,6 +137,7 @@ fn main() {
         serde_json::json!({
             "scale": scale,
             "report_every_days": every,
+            "shards": shards,
             "articles": articles,
             "rounds": rounds,
             "results": [

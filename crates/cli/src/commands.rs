@@ -5,7 +5,7 @@ use std::fs::File;
 use std::io::Write;
 
 use nidc_core::{
-    cluster_batch, Cluster, Clustering, ClusteringConfig, NoveltyPipeline, RepBackend,
+    cluster_batch, Cluster, ClusteringConfig, MergedClustering, RepBackend, ShardedPipeline,
 };
 use nidc_corpus::{Corpus, Generator, GeneratorConfig, TopicId};
 use nidc_eval::{evaluate, purity, Labeling, MARKING_THRESHOLD};
@@ -269,34 +269,49 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         ..ClusteringConfig::default()
     };
     let mut exporter = metrics_exporter(args)?;
+    // --shards N: independent stream shards behind the deterministic
+    // router (1 = today's single-pipeline behaviour, bit for bit).
+    let shards = args.get_usize("shards", 1)?;
     // --state FILE: resume from a previous run's checkpoint, if present,
-    // and write a new checkpoint when the stream is exhausted.
+    // and write a new checkpoint when the stream is exhausted. A sharded
+    // checkpoint carries its own topology, which wins over --shards;
+    // legacy (unsharded) checkpoints load as one shard.
     let state_path = args.get("state").map(str::to_owned);
     let mut pipeline = match &state_path {
         Some(p) if std::path::Path::new(p).exists() => {
-            let restored = NoveltyPipeline::load_json(File::open(p)?)?;
+            let restored = ShardedPipeline::load_json(File::open(p)?)?;
+            if restored.num_shards() != shards && args.get("shards").is_some() {
+                writeln!(
+                    out,
+                    "note: checkpoint topology ({} shards) overrides --shards {shards}",
+                    restored.num_shards()
+                )?;
+            }
             writeln!(
                 out,
-                "resumed from {p}: {} live docs at {}",
-                restored.repository().len(),
-                restored.repository().now()
+                "resumed from {p}: {} live docs at {} across {} shard(s)",
+                restored.num_docs(),
+                restored.now(),
+                restored.num_shards()
             )?;
             restored
         }
-        _ => NoveltyPipeline::new(decay, config),
+        _ => ShardedPipeline::new(decay, config, shards)
+            .map_err(|e| CliError::Usage(e.to_string()))?,
     };
-    let resume_day = pipeline.repository().now().days();
+    let resume_day = pipeline.now().days();
     let mut topic_of = BTreeMap::new();
     let mut next_report = (resume_day / every).floor() * every + every;
-    let report = |pipeline: &NoveltyPipeline,
-                  clustering: &Clustering,
+    let report = |pipeline: &ShardedPipeline,
+                  clustering: &MergedClustering,
                   day: f64,
                   out: &mut W,
                   topic_of: &BTreeMap<DocId, TopicId>|
      -> Result<()> {
         let mut ranked: Vec<&Cluster> = clustering
-            .clusters()
+            .shards()
             .iter()
+            .flat_map(|c| c.clusters())
             .filter(|c| c.len() >= 2)
             .collect();
         ranked.sort_by(|a, b| {
@@ -309,7 +324,7 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
             out,
             "day {:>5.1}  {:>5} live docs | top: {}",
             day,
-            pipeline.repository().len(),
+            pipeline.num_docs(),
             ranked
                 .iter()
                 .take(3)
@@ -332,10 +347,7 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
                 .map_err(|e| CliError::Other(e.to_string()))?;
             report(&pipeline, &clustering, next_report, out, &topic_of)?;
             if let Some(m) = exporter.as_mut() {
-                m.record_window(&[
-                    ("day", next_report),
-                    ("docs", pipeline.repository().len() as f64),
-                ])?;
+                m.record_window(&[("day", next_report), ("docs", pipeline.num_docs() as f64)])?;
             }
             next_report += every;
         }
@@ -350,14 +362,14 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     report(
         &pipeline,
         &clustering,
-        pipeline.repository().now().days(),
+        pipeline.now().days(),
         out,
         &topic_of,
     )?;
     if let Some(m) = exporter.as_mut() {
         m.record_window(&[
-            ("day", pipeline.repository().now().days()),
-            ("docs", pipeline.repository().len() as f64),
+            ("day", pipeline.now().days()),
+            ("docs", pipeline.num_docs() as f64),
         ])?;
     }
     if let Some(p) = &state_path {
@@ -523,6 +535,56 @@ mod tests {
         run(&args, &mut out2).unwrap();
         let text = String::from_utf8(out2).unwrap();
         assert!(text.contains("resumed from"), "{text}");
+    }
+
+    #[test]
+    fn stream_with_shards_reports_periodically() {
+        let path = generate_corpus("g9.jsonl");
+        let args = ParsedArgs::parse([
+            "stream", "--input", &path, "--every", "30", "--k", "8", "--shards", "3",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("live docs"), "{text}");
+    }
+
+    #[test]
+    fn stream_zero_shards_is_usage_error() {
+        let path = generate_corpus("g10.jsonl");
+        let args =
+            ParsedArgs::parse(["stream", "--input", &path, "--every", "60", "--shards", "0"])
+                .unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run(&args, &mut out), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn sharded_stream_checkpoint_resumes_with_checkpoint_topology() {
+        let path = generate_corpus("g11.jsonl");
+        let state = temp_path("g11.state.json");
+        let _ = std::fs::remove_file(&state);
+        let state_s = state.to_string_lossy().into_owned();
+        let args = ParsedArgs::parse([
+            "stream", "--input", &path, "--every", "60", "--k", "6", "--shards", "2", "--state",
+            &state_s,
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        assert!(state.exists(), "checkpoint file not written");
+        // resume with a conflicting --shards: the checkpoint topology wins
+        let args2 = ParsedArgs::parse([
+            "stream", "--input", &path, "--every", "60", "--k", "6", "--shards", "5", "--state",
+            &state_s,
+        ])
+        .unwrap();
+        let mut out2 = Vec::new();
+        run(&args2, &mut out2).unwrap();
+        let text = String::from_utf8(out2).unwrap();
+        assert!(text.contains("across 2 shard(s)"), "{text}");
+        assert!(text.contains("overrides --shards 5"), "{text}");
     }
 
     #[test]

@@ -66,8 +66,8 @@ COMMANDS:
                [--threads N=0] [--rep sparse|dense] [--metrics FILE]
     stream     replay the corpus incrementally, printing overviews
                --input FILE [--k N=16] [--beta DAYS=7] [--gamma DAYS=21]
-               [--every DAYS=5] [--state FILE] [--threads N=0]
-               [--rep sparse|dense] [--metrics FILE]
+               [--every DAYS=5] [--state FILE] [--shards N=1]
+               [--threads N=0] [--rep sparse|dense] [--metrics FILE]
                (--state: resume from / checkpoint to a pipeline state file)
     eval       cluster a window and score it against the labels
                --input FILE --window N(1-6) [--k N=24] [--beta DAYS=7]
@@ -76,6 +76,11 @@ COMMANDS:
 
 --threads N: worker threads for the clustering hot paths (0 = all hardware
 threads, 1 = sequential). Results are identical for any value.
+--shards N (stream): split the stream over N independent pipelines behind a
+deterministic DocId router, clustered in parallel and merged at query time.
+N=1 (default) is the single pipeline, bit for bit; any fixed N is
+bit-identical across thread counts. Checkpoints store the topology — on
+resume the checkpoint's shard count wins over --shards.
 --rep sparse|dense: cluster-representative storage. `sparse` (default) also
 routes the step-1 scoring sweep through a term→cluster inverted index;
 `dense` keeps the original O(K·|V|) arrays. Results are bit-identical.

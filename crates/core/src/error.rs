@@ -14,6 +14,23 @@ pub enum Error {
         /// The configured K.
         k: usize,
     },
+    /// A sharded pipeline was configured with zero shards.
+    ZeroShards,
+    /// A persisted sharded state carries an unsupported format version.
+    StateVersionMismatch {
+        /// The version found in the state file.
+        found: u32,
+        /// The version this build reads and writes.
+        expected: u32,
+    },
+    /// A persisted sharded state's declared shard count disagrees with the
+    /// number of per-shard states it actually carries.
+    ShardCountMismatch {
+        /// The declared shard count.
+        declared: usize,
+        /// The number of per-shard states present.
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -23,6 +40,19 @@ impl std::fmt::Display for Error {
             Error::Forgetting(e) => write!(f, "forgetting model error: {e}"),
             Error::InvalidInitialAssignment { cluster, k } => {
                 write!(f, "initial assignment uses cluster {cluster} but K = {k}")
+            }
+            Error::ZeroShards => write!(f, "shard count must be at least 1"),
+            Error::StateVersionMismatch { found, expected } => {
+                write!(
+                    f,
+                    "sharded state version {found} is not supported (expected {expected})"
+                )
+            }
+            Error::ShardCountMismatch { declared, found } => {
+                write!(
+                    f,
+                    "sharded state declares {declared} shards but carries {found} shard states"
+                )
             }
         }
     }
@@ -57,5 +87,22 @@ mod tests {
         assert!(e.to_string().contains("d1"));
         assert!(e.source().is_some());
         assert!(Error::ZeroClusters.source().is_none());
+    }
+
+    #[test]
+    fn shard_errors_display() {
+        use std::error::Error as _;
+        assert!(Error::ZeroShards.to_string().contains("shard"));
+        let v = Error::StateVersionMismatch {
+            found: 9,
+            expected: 1,
+        };
+        assert!(v.to_string().contains('9') && v.to_string().contains('1'));
+        let c = Error::ShardCountMismatch {
+            declared: 4,
+            found: 2,
+        };
+        assert!(c.to_string().contains('4') && c.to_string().contains('2'));
+        assert!(v.source().is_none());
     }
 }

@@ -33,6 +33,14 @@
 //! we reuse the *membership* and rebuild the representatives under the new
 //! statistics, which is the same warm start expressed soundly.)
 //!
+//! # Sharding
+//!
+//! [`ShardedPipeline`] runs N independent pipelines behind a deterministic
+//! [`ShardRouter`] and merges the per-shard clusterings into one
+//! [`MergedClustering`] at query time (global cluster ids =
+//! `(shard, local)` [`GlobalClusterId`]s). `shards = 1` reproduces the
+//! single pipeline bit for bit.
+//!
 //! # Example
 //!
 //! ```
@@ -63,15 +71,19 @@ mod algorithm;
 mod clustering;
 mod config;
 mod error;
+mod merge;
 mod persist;
 mod pipeline;
+mod shard;
 
 pub use algorithm::{cluster_batch, cluster_with_initial, InitialState};
 pub use clustering::{Cluster, Clustering};
 pub use config::{ClusteringConfig, Criterion, RepBackend};
 pub use error::Error;
-pub use persist::{ConfigState, PipelineState};
+pub use merge::{GlobalClusterId, MergedClustering};
+pub use persist::{ConfigState, PipelineState, ShardState, ShardedPipelineState};
 pub use pipeline::NoveltyPipeline;
+pub use shard::{ShardRouter, ShardedPipeline, StreamShard};
 
 /// Convenient result alias for this crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,295 @@
+//! Query-time merge of per-shard clusterings.
+//!
+//! A [`crate::ShardedPipeline`] clusters every shard independently; nothing
+//! global exists until a caller asks. This module provides that global view:
+//! cluster identity becomes [`GlobalClusterId`] `(shard, local index)`, the
+//! per-shard [`Clustering`]s are held side by side, and global aggregates
+//! (`G`, outliers, assignment, member lists) are derived on demand. Member
+//! sets across shards are disjoint by construction (the router partitions
+//! `DocId`s), so cross-shard representative merges via
+//! [`ClusterRep::merge_from`] are exact (eq. 21/25).
+
+use std::collections::BTreeMap;
+
+use nidc_similarity::{ClusterRep, RepBackend};
+use nidc_textproc::DocId;
+
+use crate::{Cluster, Clustering};
+
+/// Global identity of a cluster in a sharded deployment: which shard owns
+/// it, and its index inside that shard's K-slot clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalClusterId {
+    /// The owning shard's index.
+    pub shard: usize,
+    /// The cluster's slot index within the shard's clustering (`0..K`).
+    pub local: usize,
+}
+
+impl std::fmt::Display for GlobalClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.shard, self.local)
+    }
+}
+
+/// The merged, query-time view over per-shard clusterings.
+///
+/// Holds one [`Clustering`] per shard (shard order is fixed by the
+/// pipeline), and exposes the same aggregate surface as a single
+/// [`Clustering`] — `g()` sums the shard indices (`G` is itself a sum over
+/// clusters, eq. 17, so summing shard partial sums is exact), `outliers()`
+/// merges and sorts, `assignment()` maps to [`GlobalClusterId`]s.
+#[derive(Debug, Clone)]
+pub struct MergedClustering {
+    shards: Vec<Clustering>,
+}
+
+impl MergedClustering {
+    /// Wraps per-shard clusterings (index = shard id).
+    pub fn new(shards: Vec<Clustering>) -> Self {
+        Self { shards }
+    }
+
+    /// Number of shards merged.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard clusterings, in shard order.
+    pub fn shards(&self) -> &[Clustering] {
+        &self.shards
+    }
+
+    /// One shard's clustering.
+    pub fn shard(&self, s: usize) -> &Clustering {
+        &self.shards[s]
+    }
+
+    /// Looks up a cluster by its global id.
+    pub fn cluster(&self, id: GlobalClusterId) -> Option<&Cluster> {
+        self.shards.get(id.shard)?.clusters().get(id.local)
+    }
+
+    /// All global cluster ids, shard-major (includes empty K-slots, so ids
+    /// are stable across queries).
+    pub fn cluster_ids(&self) -> Vec<GlobalClusterId> {
+        self.shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, c)| {
+                (0..c.clusters().len()).map(move |local| GlobalClusterId { shard: s, local })
+            })
+            .collect()
+    }
+
+    /// Iterates the non-empty clusters with their global ids, shard-major.
+    pub fn iter_non_empty(&self) -> impl Iterator<Item = (GlobalClusterId, &Cluster)> {
+        self.shards.iter().enumerate().flat_map(|(s, c)| {
+            c.clusters()
+                .iter()
+                .enumerate()
+                .filter(|(_, cl)| !cl.is_empty())
+                .map(move |(local, cl)| (GlobalClusterId { shard: s, local }, cl))
+        })
+    }
+
+    /// The global clustering index `G = Σ_shards G_s` (eq. 17 is a sum over
+    /// clusters, so the sum over shard partial sums is the exact global
+    /// index).
+    pub fn g(&self) -> f64 {
+        self.shards.iter().map(Clustering::g).sum()
+    }
+
+    /// The slowest shard's repetition-process iteration count (the
+    /// wall-clock-relevant figure under fan-out).
+    pub fn iterations(&self) -> usize {
+        self.shards
+            .iter()
+            .map(Clustering::iterations)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of non-empty clusters across all shards.
+    pub fn non_empty_clusters(&self) -> usize {
+        self.shards.iter().map(Clustering::non_empty_clusters).sum()
+    }
+
+    /// Total documents assigned to clusters (excludes outliers).
+    pub fn assigned_docs(&self) -> usize {
+        self.shards.iter().map(Clustering::assigned_docs).sum()
+    }
+
+    /// All shards' outliers, merged and sorted ascending.
+    pub fn outliers(&self) -> Vec<DocId> {
+        let mut all: Vec<DocId> = self
+            .shards
+            .iter()
+            .flat_map(|c| c.outliers().iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Member lists of every cluster, shard-major (includes empty K-slots,
+    /// matching [`Clustering::member_lists`] per shard). This is the shape
+    /// the evaluation code consumes — cluster marking and the merged
+    /// micro/macro-F1 are computed over exactly this concatenation.
+    pub fn member_lists(&self) -> Vec<Vec<DocId>> {
+        self.shards.iter().flat_map(|c| c.member_lists()).collect()
+    }
+
+    /// The global assignment map `DocId → global cluster id` (outliers
+    /// absent). Shards partition the document space, so no key collides.
+    pub fn assignment(&self) -> BTreeMap<DocId, GlobalClusterId> {
+        let mut map = BTreeMap::new();
+        for (s, clustering) in self.shards.iter().enumerate() {
+            for (local, cluster) in clustering.clusters().iter().enumerate() {
+                for &d in cluster.members() {
+                    map.insert(d, GlobalClusterId { shard: s, local });
+                }
+            }
+        }
+        map
+    }
+
+    /// Merges the representatives of the given clusters into one
+    /// [`ClusterRep`] on the sparse backend (the cross-shard merge of
+    /// eq. 21/25 via [`ClusterRep::merge_from`]). The router guarantees the
+    /// member sets are disjoint, which is exactly the precondition
+    /// `merge_from` needs. Unknown ids are skipped.
+    pub fn merged_rep(&self, ids: &[GlobalClusterId]) -> ClusterRep {
+        let mut rep = ClusterRep::new_with(RepBackend::Sparse);
+        for &id in ids {
+            if let Some(cluster) = self.cluster(id) {
+                rep.merge_from(cluster.rep());
+            }
+        }
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cluster_batch, ClusteringConfig};
+    use nidc_forgetting::{DecayParams, Repository, Timestamp};
+    use nidc_similarity::DocVectors;
+    use nidc_textproc::{SparseVector, TermId};
+
+    fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    /// Two shards, each clustered over its own repository.
+    fn two_shard_merge() -> MergedClustering {
+        let decay = DecayParams::from_spans(7.0, 14.0).unwrap();
+        let config = ClusteringConfig {
+            k: 2,
+            seed: 1,
+            ..ClusteringConfig::default()
+        };
+        let mut shards = Vec::new();
+        for base in [0u64, 100u64] {
+            let mut repo = Repository::new(decay);
+            for i in 0..3 {
+                repo.insert(
+                    DocId(base + i),
+                    Timestamp(0.01 * i as f64),
+                    tf(&[(0, 3.0), (1, 1.0 + (i % 2) as f64)]),
+                )
+                .unwrap();
+            }
+            for i in 3..6 {
+                repo.insert(
+                    DocId(base + i),
+                    Timestamp(0.01 * i as f64),
+                    tf(&[(8, 3.0), (9, 1.0 + (i % 2) as f64)]),
+                )
+                .unwrap();
+            }
+            let vecs = DocVectors::build(&repo);
+            shards.push(cluster_batch(&vecs, &config).unwrap());
+        }
+        MergedClustering::new(shards)
+    }
+
+    #[test]
+    fn aggregates_sum_over_shards() {
+        let m = two_shard_merge();
+        assert_eq!(m.shard_count(), 2);
+        let g_sum: f64 = m.shards().iter().map(Clustering::g).sum();
+        assert_eq!(m.g(), g_sum);
+        assert_eq!(
+            m.non_empty_clusters(),
+            m.shard(0).non_empty_clusters() + m.shard(1).non_empty_clusters()
+        );
+        assert_eq!(
+            m.assigned_docs(),
+            m.shard(0).assigned_docs() + m.shard(1).assigned_docs()
+        );
+        assert!(m.iterations() >= m.shard(0).iterations().min(m.shard(1).iterations()));
+    }
+
+    #[test]
+    fn member_lists_are_shard_major_and_assignment_uses_global_ids() {
+        let m = two_shard_merge();
+        let lists = m.member_lists();
+        assert_eq!(lists.len(), 4); // K = 2 slots per shard
+                                    // shard 0 members come first, shard 1 members after
+        let k = m.shard(0).clusters().len();
+        for (slot, members) in lists.iter().enumerate() {
+            for d in members {
+                assert_eq!(d.0 >= 100, slot >= k, "doc {d} in slot {slot}");
+            }
+        }
+        let assign = m.assignment();
+        for (d, gid) in &assign {
+            assert_eq!(gid.shard, usize::from(d.0 >= 100));
+            let members = m.cluster(*gid).unwrap().members();
+            assert!(members.contains(d));
+        }
+        // every assigned doc is in exactly one list
+        assert_eq!(assign.len(), m.assigned_docs());
+    }
+
+    #[test]
+    fn outliers_merge_sorted() {
+        let a = Clustering::new(vec![], vec![DocId(7), DocId(9)], 0.0, 1);
+        let b = Clustering::new(vec![], vec![DocId(3), DocId(8)], 0.0, 2);
+        let m = MergedClustering::new(vec![a, b]);
+        assert_eq!(m.outliers(), vec![DocId(3), DocId(7), DocId(8), DocId(9)]);
+        assert_eq!(m.iterations(), 2);
+    }
+
+    #[test]
+    fn merged_rep_matches_monolithic_rep_over_union() {
+        let m = two_shard_merge();
+        // merge the topic-A cluster of each shard; compare against a rep
+        // built from the union of their members' φ vectors
+        let ids: Vec<GlobalClusterId> = m.iter_non_empty().map(|(id, _)| id).collect();
+        let merged = m.merged_rep(&ids);
+        let total_size: usize = ids
+            .iter()
+            .map(|&id| m.cluster(id).unwrap().rep().size())
+            .sum();
+        assert_eq!(merged.size(), total_size);
+        let ss_sum: f64 = ids
+            .iter()
+            .map(|&id| m.cluster(id).unwrap().rep().ss())
+            .sum();
+        assert!((merged.ss() - ss_sum).abs() < 1e-12);
+        assert_eq!(merged.backend(), RepBackend::Sparse);
+        // unknown ids are skipped
+        let same = m.merged_rep(&[ids[0], GlobalClusterId { shard: 9, local: 9 }]);
+        assert_eq!(same.size(), m.cluster(ids[0]).unwrap().rep().size());
+    }
+
+    #[test]
+    fn global_ids_are_ordered_and_displayable() {
+        let a = GlobalClusterId { shard: 0, local: 5 };
+        let b = GlobalClusterId { shard: 1, local: 0 };
+        assert!(a < b);
+        assert_eq!(a.to_string(), "0:5");
+    }
+}

@@ -11,7 +11,13 @@ use nidc_forgetting::RepositoryState;
 use nidc_textproc::DocId;
 
 use crate::config::Criterion;
-use crate::{ClusteringConfig, NoveltyPipeline, Result};
+use crate::{ClusteringConfig, Error, NoveltyPipeline, Result, ShardedPipeline};
+
+/// The sharded checkpoint format version this build reads and writes.
+/// Bumped on any incompatible change to [`ShardedPipelineState`]; loading a
+/// state with a different version fails with
+/// [`Error::StateVersionMismatch`] instead of misinterpreting the bytes.
+pub const SHARDED_STATE_VERSION: u32 = 1;
 
 /// Serialisable form of [`ClusteringConfig`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -81,6 +87,34 @@ pub struct PipelineState {
     pub previous_assignment: Option<Vec<(u64, usize)>>,
 }
 
+/// One shard's persisted state: its repository and its warm-start
+/// assignment. The shard's index is its position in
+/// [`ShardedPipelineState::shard_states`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardState {
+    /// The shard's repository (documents, clock, decay parameters).
+    pub repository: RepositoryState,
+    /// The shard's previous clustering assignment (`doc id → local cluster
+    /// index`), used to warm-start its next re-clustering.
+    pub previous_assignment: Option<Vec<(u64, usize)>>,
+}
+
+/// The complete serialisable state of a [`ShardedPipeline`]: the shard
+/// topology plus every shard's state. The router is a pure function of the
+/// shard count, so persisting `shards` is enough to restore identical
+/// routing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedPipelineState {
+    /// Format version ([`SHARDED_STATE_VERSION`]).
+    pub version: u32,
+    /// The shard count (must equal `shard_states.len()`).
+    pub shards: usize,
+    /// The clustering configuration (shared by every shard).
+    pub config: ConfigState,
+    /// Per-shard states, in shard-index order.
+    pub shard_states: Vec<ShardState>,
+}
+
 impl NoveltyPipeline {
     /// Captures the pipeline's full state (repository + config + warm-start
     /// assignment). The last clustering *result* object is not persisted —
@@ -121,6 +155,96 @@ impl NoveltyPipeline {
         let state: PipelineState = serde_json::from_reader(reader)?;
         NoveltyPipeline::from_state(&state)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+impl ShardedPipeline {
+    /// Captures the sharded pipeline's full state: topology (shard count),
+    /// shared configuration, and every shard's repository + warm-start
+    /// assignment.
+    pub fn to_state(&self) -> ShardedPipelineState {
+        ShardedPipelineState {
+            version: SHARDED_STATE_VERSION,
+            shards: self.num_shards(),
+            config: ConfigState::from(self.config()),
+            shard_states: self
+                .shards()
+                .iter()
+                .map(|s| ShardState {
+                    repository: s.repository().to_state(),
+                    previous_assignment: s
+                        .pipeline()
+                        .previous_assignment()
+                        .map(|m| m.iter().map(|(&d, &p)| (d.0, p)).collect()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores a sharded pipeline from a captured state.
+    ///
+    /// # Errors
+    /// [`Error::StateVersionMismatch`] if the state was written by an
+    /// incompatible format version, [`Error::ShardCountMismatch`] if the
+    /// declared topology disagrees with the per-shard states carried, plus
+    /// any repository-restore failure.
+    pub fn from_state(state: &ShardedPipelineState) -> Result<ShardedPipeline> {
+        if state.version != SHARDED_STATE_VERSION {
+            return Err(Error::StateVersionMismatch {
+                found: state.version,
+                expected: SHARDED_STATE_VERSION,
+            });
+        }
+        if state.shards != state.shard_states.len() {
+            return Err(Error::ShardCountMismatch {
+                declared: state.shards,
+                found: state.shard_states.len(),
+            });
+        }
+        let config = ClusteringConfig::from(&state.config);
+        let pipelines = state
+            .shard_states
+            .iter()
+            .map(|s| {
+                let repo = nidc_forgetting::Repository::from_state(&s.repository)?;
+                let previous: Option<BTreeMap<DocId, usize>> = s
+                    .previous_assignment
+                    .as_ref()
+                    .map(|v| v.iter().map(|&(d, p)| (DocId(d), p)).collect());
+                Ok(NoveltyPipeline::from_parts(repo, config.clone(), previous))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        ShardedPipeline::from_shard_pipelines(pipelines, config)
+    }
+
+    /// Serialises the sharded pipeline state as JSON.
+    pub fn save_json<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        serde_json::to_writer(writer, &self.to_state()).map_err(std::io::Error::from)
+    }
+
+    /// Restores a sharded pipeline from JSON.
+    ///
+    /// Accepts both the sharded format (written by
+    /// [`ShardedPipeline::save_json`]) and the legacy single-pipeline format
+    /// (written by [`NoveltyPipeline::save_json`]), which loads as a
+    /// one-shard pipeline — the migration path for checkpoints that predate
+    /// sharding.
+    pub fn load_json<R: std::io::Read>(reader: R) -> std::io::Result<ShardedPipeline> {
+        let value: serde_json::Value = serde_json::from_reader(reader)?;
+        let invalid = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+        if value.get("shard_states").is_some() {
+            let state: ShardedPipelineState =
+                serde_json::from_value(value).map_err(std::io::Error::from)?;
+            ShardedPipeline::from_state(&state).map_err(|e| invalid(e.to_string()))
+        } else {
+            let state: PipelineState =
+                serde_json::from_value(value).map_err(std::io::Error::from)?;
+            let pipeline =
+                NoveltyPipeline::from_state(&state).map_err(|e| invalid(e.to_string()))?;
+            let config = pipeline.config().clone();
+            ShardedPipeline::from_shard_pipelines(vec![pipeline], config)
+                .map_err(|e| invalid(e.to_string()))
+        }
     }
 }
 
@@ -225,5 +349,117 @@ mod tests {
     #[test]
     fn corrupt_state_is_rejected() {
         assert!(NoveltyPipeline::load_json(&b"[]"[..]).is_err());
+        assert!(ShardedPipeline::load_json(&b"[]"[..]).is_err());
+    }
+
+    fn running_sharded(shards: usize) -> ShardedPipeline {
+        let decay = DecayParams::from_spans(7.0, 21.0).unwrap();
+        let config = ClusteringConfig {
+            k: 2,
+            seed: 1,
+            ..ClusteringConfig::default()
+        };
+        let mut p = ShardedPipeline::new(decay, config, shards).unwrap();
+        for i in 0..4u64 {
+            p.ingest(
+                DocId(i),
+                Timestamp(0.1 * i as f64),
+                tf(&[(0, 3.0), (1, 1.0 + i as f64 * 0.1)]),
+            )
+            .unwrap();
+        }
+        for i in 4..8u64 {
+            p.ingest(
+                DocId(i),
+                Timestamp(0.1 * i as f64),
+                tf(&[(7, 3.0), (8, 1.0 + i as f64 * 0.1)]),
+            )
+            .unwrap();
+        }
+        p.recluster_incremental().unwrap();
+        p
+    }
+
+    #[test]
+    fn sharded_roundtrip_preserves_topology_and_warm_start() {
+        let mut original = running_sharded(3);
+        let mut buf = Vec::new();
+        original.save_json(&mut buf).unwrap();
+        let mut restored = ShardedPipeline::load_json(buf.as_slice()).unwrap();
+
+        assert_eq!(restored.num_shards(), 3);
+        assert_eq!(restored.num_docs(), original.num_docs());
+        // warm-start state survives per shard
+        for (a, b) in original.shards().iter().zip(restored.shards()) {
+            assert_eq!(
+                a.pipeline().previous_assignment(),
+                b.pipeline().previous_assignment()
+            );
+        }
+        // both continue identically
+        for p in [&mut original, &mut restored] {
+            p.ingest(DocId(100), Timestamp(1.0), tf(&[(0, 2.0), (1, 2.0)]))
+                .unwrap();
+        }
+        let a = original.recluster_incremental().unwrap();
+        let b = restored.recluster_incremental().unwrap();
+        assert_eq!(a.member_lists(), b.member_lists());
+        assert_eq!(a.outliers(), b.outliers());
+        assert_eq!(a.g().to_bits(), b.g().to_bits());
+    }
+
+    #[test]
+    fn sharded_state_version_bump_is_rejected() {
+        let p = running_sharded(2);
+        let mut state = p.to_state();
+        state.version = SHARDED_STATE_VERSION + 1;
+        match ShardedPipeline::from_state(&state) {
+            Err(Error::StateVersionMismatch { found, expected }) => {
+                assert_eq!(found, SHARDED_STATE_VERSION + 1);
+                assert_eq!(expected, SHARDED_STATE_VERSION);
+            }
+            other => panic!("expected StateVersionMismatch, got {other:?}"),
+        }
+        // the JSON path surfaces the same failure as InvalidData
+        let mut json = Vec::new();
+        serde_json::to_writer(&mut json, &state).unwrap();
+        let err = ShardedPipeline::load_json(json.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn sharded_state_topology_mismatch_is_rejected() {
+        let p = running_sharded(2);
+        let mut state = p.to_state();
+        state.shard_states.pop();
+        assert!(matches!(
+            ShardedPipeline::from_state(&state),
+            Err(Error::ShardCountMismatch {
+                declared: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn legacy_unsharded_checkpoint_loads_as_one_shard() {
+        let mut single = running_pipeline();
+        let mut buf = Vec::new();
+        single.save_json(&mut buf).unwrap();
+        let mut sharded = ShardedPipeline::load_json(buf.as_slice()).unwrap();
+
+        assert_eq!(sharded.num_shards(), 1);
+        assert_eq!(sharded.num_docs(), single.repository().len());
+        // the migrated pipeline continues exactly like the original
+        single
+            .ingest(DocId(100), Timestamp(1.0), tf(&[(0, 2.0), (1, 2.0)]))
+            .unwrap();
+        sharded
+            .ingest(DocId(100), Timestamp(1.0), tf(&[(0, 2.0), (1, 2.0)]))
+            .unwrap();
+        let a = single.recluster_incremental().unwrap();
+        let b = sharded.recluster_incremental().unwrap();
+        assert_eq!(a.member_lists(), b.member_lists());
+        assert_eq!(a.outliers().to_vec(), b.outliers());
     }
 }

@@ -102,15 +102,36 @@ impl NoveltyPipeline {
     }
 
     /// Ingests a batch that arrived at `t`.
+    ///
+    /// Insert semantics are the repository's: documents are applied in
+    /// iteration order and the first failure stops the batch, leaving the
+    /// earlier inserts in place. `INGESTED_DOCS` counts the insert
+    /// operations that actually succeeded — including those preceding a
+    /// failure — rather than being derived from a `len()` delta.
     pub fn ingest_batch<I>(&mut self, t: Timestamp, docs: I) -> Result<()>
     where
         I: IntoIterator<Item = (DocId, SparseVector)>,
     {
         let _timer = INGEST_SECONDS.start_timer();
-        let before = self.repo.len();
-        self.repo.insert_batch(t, docs)?;
-        INGESTED_DOCS.add((self.repo.len() - before) as u64);
-        Ok(())
+        let (inserted, result) = self.ingest_batch_counted(t, docs);
+        INGESTED_DOCS.add(inserted);
+        result
+    }
+
+    /// Applies the batch and returns how many insert operations succeeded —
+    /// exactly the figure `INGESTED_DOCS` records.
+    fn ingest_batch_counted<I>(&mut self, t: Timestamp, docs: I) -> (u64, Result<()>)
+    where
+        I: IntoIterator<Item = (DocId, SparseVector)>,
+    {
+        let mut inserted = 0u64;
+        for (id, tf) in docs {
+            match self.repo.insert(id, t, tf) {
+                Ok(()) => inserted += 1,
+                Err(e) => return (inserted, Err(e.into())),
+            }
+        }
+        (inserted, Ok(()))
     }
 
     /// Advances the clock without ingesting (pure decay).
@@ -120,11 +141,17 @@ impl NoveltyPipeline {
         Ok(())
     }
 
-    /// Expires documents below `ε = λ^γ` (§5.2 step 2) and returns them.
+    /// Expires documents below `ε = λ^γ` (§5.2 step 2) and returns them,
+    /// sorted ascending by document id.
     ///
     /// Expired documents are pruned from the warm-start assignment in the
     /// same pass (via [`Repository::expire_with`]), so the next incremental
     /// re-clustering never carries dead keys into the K-means initial state.
+    ///
+    /// The returned order is sorted *by construction* — not by relying on
+    /// the repository's internal iteration order — so downstream consumers
+    /// (checkpoint diffs, cross-shard merges, logs) see a stable order even
+    /// if the repository's document storage changes.
     pub fn expire(&mut self) -> Vec<DocId> {
         let _timer = EXPIRE_SECONDS.start_timer();
         let previous = &mut self.previous;
@@ -135,6 +162,7 @@ impl NoveltyPipeline {
             }
             dead.push(id);
         });
+        dead.sort_unstable();
         // add(0) keeps the counter registered over windows where nothing ages
         // out, so per-window snapshots stay schema-stable
         EXPIRED_DOCS.add(dead.len() as u64);
@@ -149,8 +177,20 @@ impl NoveltyPipeline {
         RECLUSTERS.inc();
         self.expire();
         let vecs = DocVectors::build_parallel(&self.repo, self.config.threads);
+        // the effective K shrinks with the live population (K = min(k, n));
+        // after heavy expiration the previous assignment may reference
+        // cluster slots that no longer exist — those documents re-enter as
+        // unassigned (they reseed slots like any new document)
+        let k = self.config.k.min(vecs.len());
         let initial = match self.previous.take() {
-            Some(prev) => InitialState::Assignment(prev),
+            Some(mut prev) => {
+                prev.retain(|_, p| *p < k);
+                if prev.is_empty() {
+                    InitialState::Random
+                } else {
+                    InitialState::Assignment(prev)
+                }
+            }
             None => InitialState::Random,
         };
         let clustering = cluster_with_initial(&vecs, &self.config, initial)?;
@@ -331,5 +371,92 @@ mod tests {
         let mut p = pipeline();
         p.ingest(DocId(0), Timestamp(0.0), tf(&[(0, 1.0)])).unwrap();
         assert!(p.ingest(DocId(0), Timestamp(1.0), tf(&[(0, 1.0)])).is_err());
+    }
+
+    #[test]
+    fn partial_batch_failure_still_counts_its_successful_inserts() {
+        let mut p = pipeline();
+        p.ingest(DocId(5), Timestamp(0.0), tf(&[(0, 1.0)])).unwrap();
+        // two fresh docs succeed, the duplicate fails, doc 8 is never reached
+        let batch = vec![
+            (DocId(6), tf(&[(0, 1.0)])),
+            (DocId(7), tf(&[(1, 1.0)])),
+            (DocId(5), tf(&[(2, 1.0)])), // duplicate → error
+            (DocId(8), tf(&[(3, 1.0)])),
+        ];
+        let (inserted, result) = p.ingest_batch_counted(Timestamp(1.0), batch);
+        assert!(result.is_err());
+        assert_eq!(
+            inserted, 2,
+            "the metric must count actual insert operations, not a len() delta"
+        );
+        assert_eq!(p.repository().len(), 3);
+        assert!(!p.repository().contains(DocId(8)));
+    }
+
+    #[test]
+    fn all_success_batch_counts_every_insert() {
+        let mut p = pipeline();
+        let batch: Vec<_> = (0..5u64)
+            .map(|i| (DocId(i), tf(&[(i as u32, 1.0)])))
+            .collect();
+        let (inserted, result) = p.ingest_batch_counted(Timestamp(0.0), batch);
+        assert!(result.is_ok());
+        assert_eq!(inserted, 5);
+    }
+
+    #[test]
+    fn warm_start_survives_population_shrinking_below_previous_k() {
+        // regression: with K = min(config.k, live docs), heavy expiration can
+        // shrink the effective K below cluster ids still referenced by the
+        // previous assignment — those must be dropped from the warm start,
+        // not rejected as InvalidInitialAssignment
+        let mut p = NoveltyPipeline::new(
+            DecayParams::from_spans(7.0, 14.0).unwrap(),
+            ClusteringConfig {
+                k: 16,
+                seed: 3,
+                ..ClusteringConfig::default()
+            },
+        );
+        // 13 early single-topic docs, then 3 late arrivals on fresh topics
+        for i in 0..13u64 {
+            p.ingest(DocId(i), Timestamp(0.0), tf(&[(i as u32, 2.0)]))
+                .unwrap();
+        }
+        for i in 13..16u64 {
+            p.ingest(DocId(i), Timestamp(4.0), tf(&[(i as u32, 2.0)]))
+                .unwrap();
+        }
+        // 16 live docs → effective K = 16, one cluster per doc
+        let first = p.recluster_incremental().unwrap();
+        let prev = first.assignment();
+        assert!(
+            prev.iter().any(|(d, c)| d.0 >= 13 && *c >= 3),
+            "construction must leave a survivor on a high cluster slot"
+        );
+        // day 15: the early docs (age 15 > 14d span) expire, the 3 late
+        // ones survive, so the effective K collapses from 16 to 3
+        p.advance_to(Timestamp(15.0)).unwrap();
+        let c = p.recluster_incremental().unwrap();
+        assert_eq!(c.assigned_docs() + c.outliers().len(), 3);
+    }
+
+    #[test]
+    fn expire_returns_sorted_ids_by_construction() {
+        let mut p = pipeline();
+        // insert in descending id order so sortedness cannot come from
+        // insertion order alone
+        for id in (0..16u64).rev() {
+            p.ingest(DocId(id), Timestamp(0.0), tf(&[(0, 1.0)]))
+                .unwrap();
+        }
+        p.advance_to(Timestamp(20.0)).unwrap(); // past the 14-day life span
+        let dead = p.expire();
+        assert_eq!(dead.len(), 16);
+        assert!(
+            dead.windows(2).all(|w| w[0] < w[1]),
+            "expire() must return strictly ascending DocIds, got {dead:?}"
+        );
     }
 }

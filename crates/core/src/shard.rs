@@ -1,0 +1,584 @@
+//! Stream sharding: many independent pipelines, one query-time view.
+//!
+//! PR 1 parallelised *within* one window's hot paths; this module shards
+//! *across* the stream. Each [`StreamShard`] owns a full
+//! [`NoveltyPipeline`] — its own forgetting [`Repository`], warm-start
+//! assignment, and last clustering — and a [`ShardedPipeline`] fans
+//! `ingest_batch` / `advance_to` / `expire` / `recluster_*` out across the
+//! shards via `nidc-parallel`, merging the per-shard results into a
+//! [`MergedClustering`] on demand.
+//!
+//! Sharding is sound under the paper's model because every forgetting
+//! statistic of §3 (`tdw`, the `S_k` numerators, `Pr(d)`, `Pr(t_k)`) is a
+//! sum over documents, so the §5.1 incremental updates are valid per shard
+//! and the global values are recovered exactly by
+//! [`nidc_forgetting::sharding`]. Expiration (`dw < ε`, §5.2) is a
+//! per-document predicate and needs no coordination at all.
+//!
+//! # Determinism
+//!
+//! Routing is a pure function of the [`DocId`] (or an explicit stream key),
+//! so a fixed shard count always produces the same partition; each shard's
+//! pipeline is bit-identical for any thread count (the PR 1 contract); and
+//! the merge walks shards in index order. Hence a sharded run is
+//! bit-identical across `threads ∈ {0, 1, 2, 4, 7, …}`, and `shards = 1`
+//! routes everything to one pipeline, reproducing the unsharded pipeline
+//! bit for bit.
+
+use nidc_forgetting::{DecayParams, Repository, RepositoryStats, Timestamp};
+use nidc_obs::{buckets, LazyCounter, LazyHistogram};
+use nidc_textproc::{DocId, SparseVector, TermId};
+
+use crate::merge::MergedClustering;
+use crate::{Clustering, ClusteringConfig, Error, NoveltyPipeline, Result};
+
+/// Documents routed through the sharded ingest paths.
+static INGESTED_DOCS: LazyCounter = LazyCounter::new("nidc_sharded_ingest_docs_total");
+/// Documents expired across all shards via the sharded expire path.
+static EXPIRED_DOCS: LazyCounter = LazyCounter::new("nidc_sharded_expired_docs_total");
+/// Sharded re-clustering requests (incremental and from-scratch combined).
+static RECLUSTERS: LazyCounter = LazyCounter::new("nidc_sharded_reclusters_total");
+/// Wall-clock seconds per sharded re-clustering (fan-out + per-shard work).
+static RECLUSTER_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_sharded_recluster_seconds", buckets::LATENCY_SECONDS);
+/// Wall-clock seconds assembling the merged query-time view.
+static MERGE_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_sharded_merge_seconds", buckets::LATENCY_SECONDS);
+/// Live documents per shard, observed at every re-clustering (a balance
+/// check on the router: a skewed distribution shows up as a wide spread).
+static DOCS_PER_SHARD: LazyHistogram =
+    LazyHistogram::new("nidc_sharded_docs_per_shard", buckets::SIZES);
+
+/// Registers every sharded metric at zero so per-window snapshots carry the
+/// full schema. Called at construction and again at each re-clustering:
+/// recording may have been enabled only after the pipeline was built, and
+/// registration while disabled is a no-op.
+fn register_sharded_metrics() {
+    INGESTED_DOCS.add(0);
+    EXPIRED_DOCS.add(0);
+    RECLUSTERS.add(0);
+    RECLUSTER_SECONDS.touch();
+    MERGE_SECONDS.touch();
+    DOCS_PER_SHARD.touch();
+}
+
+/// SplitMix64 finaliser — a well-mixed, platform-independent permutation of
+/// `u64`, so shard assignment is stable across runs, machines, and shardings
+/// of adjacent id ranges (sequential `DocId`s spread uniformly).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic document → shard routing.
+///
+/// The default route hashes the [`DocId`]; callers with a natural partition
+/// key (a feed id, a tenant, a language) can route on an explicit key via
+/// [`ShardRouter::route_key`] instead — any scheme works as long as a given
+/// document always lands on the same shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards.
+    ///
+    /// # Errors
+    /// [`Error::ZeroShards`] when `shards` is zero.
+    pub fn new(shards: usize) -> Result<Self> {
+        if shards == 0 {
+            return Err(Error::ZeroShards);
+        }
+        Ok(Self { shards })
+    }
+
+    /// The number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning document `id` (stable hash of the id).
+    pub fn route(&self, id: DocId) -> usize {
+        self.route_key(id.0)
+    }
+
+    /// The shard for an explicit stream key.
+    pub fn route_key(&self, key: u64) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        (splitmix64(key) % self.shards as u64) as usize
+    }
+}
+
+/// One shard of the stream: a full pipeline over the documents the router
+/// assigns here — its own repository, warm-start assignment, and last
+/// clustering.
+#[derive(Debug, Clone)]
+pub struct StreamShard {
+    id: usize,
+    pipeline: NoveltyPipeline,
+}
+
+impl StreamShard {
+    pub(crate) fn new(id: usize, pipeline: NoveltyPipeline) -> Self {
+        Self { id, pipeline }
+    }
+
+    /// This shard's index (the `shard` half of a
+    /// [`crate::GlobalClusterId`]).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The shard's pipeline.
+    pub fn pipeline(&self) -> &NoveltyPipeline {
+        &self.pipeline
+    }
+
+    pub(crate) fn pipeline_mut(&mut self) -> &mut NoveltyPipeline {
+        &mut self.pipeline
+    }
+
+    /// The shard's repository.
+    pub fn repository(&self) -> &Repository {
+        self.pipeline.repository()
+    }
+
+    /// The shard's most recent clustering, if any.
+    pub fn last(&self) -> Option<&Clustering> {
+        self.pipeline.last()
+    }
+
+    /// Live documents on this shard.
+    pub fn num_docs(&self) -> usize {
+        self.pipeline.repository().len()
+    }
+}
+
+/// The sharded on-line pipeline: N independent [`StreamShard`]s behind a
+/// deterministic [`ShardRouter`], with every lifecycle operation fanned out
+/// via `nidc-parallel` and clusterings merged at query time.
+///
+/// `shards = 1` is today's behaviour — one pipeline, bit-identical to
+/// [`NoveltyPipeline`] driven directly.
+#[derive(Debug, Clone)]
+pub struct ShardedPipeline {
+    shards: Vec<StreamShard>,
+    router: ShardRouter,
+    config: ClusteringConfig,
+}
+
+impl ShardedPipeline {
+    /// Creates an empty sharded pipeline: `shards` pipelines sharing the
+    /// same decay parameters and clustering configuration.
+    ///
+    /// # Errors
+    /// [`Error::ZeroShards`] when `shards` is zero.
+    pub fn new(decay: DecayParams, config: ClusteringConfig, shards: usize) -> Result<Self> {
+        let pipelines = (0..shards)
+            .map(|_| NoveltyPipeline::new(decay, config.clone()))
+            .collect();
+        Self::from_shard_pipelines(pipelines, config)
+    }
+
+    /// Reassembles a sharded pipeline from per-shard pipelines (used by
+    /// state restoration; shard index = position).
+    ///
+    /// # Errors
+    /// [`Error::ZeroShards`] when `pipelines` is empty.
+    pub fn from_shard_pipelines(
+        pipelines: Vec<NoveltyPipeline>,
+        config: ClusteringConfig,
+    ) -> Result<Self> {
+        let router = ShardRouter::new(pipelines.len())?;
+        register_sharded_metrics();
+        Ok(Self {
+            shards: pipelines
+                .into_iter()
+                .enumerate()
+                .map(|(id, p)| StreamShard::new(id, p))
+                .collect(),
+            router,
+            config,
+        })
+    }
+
+    /// The router in use.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The clustering configuration (shared by every shard).
+    pub fn config(&self) -> &ClusteringConfig {
+        &self.config
+    }
+
+    /// The shards, in index order.
+    pub fn shards(&self) -> &[StreamShard] {
+        &self.shards
+    }
+
+    /// One shard.
+    pub fn shard(&self, s: usize) -> &StreamShard {
+        &self.shards[s]
+    }
+
+    /// Live documents across all shards.
+    pub fn num_docs(&self) -> usize {
+        self.shards.iter().map(StreamShard::num_docs).sum()
+    }
+
+    /// Whether no shard holds any document.
+    pub fn is_empty(&self) -> bool {
+        self.num_docs() == 0
+    }
+
+    /// The latest shard clock (all clocks agree after a fan-out
+    /// [`ShardedPipeline::advance_to`]).
+    pub fn now(&self) -> Timestamp {
+        self.shards
+            .iter()
+            .map(|s| s.repository().now())
+            .fold(Timestamp::EPOCH, Timestamp::max)
+    }
+
+    /// Whether any shard stores `id`.
+    pub fn contains(&self, id: DocId) -> bool {
+        self.shards.iter().any(|s| s.repository().contains(id))
+    }
+
+    /// Merged repository statistics over all shards
+    /// ([`nidc_forgetting::sharding::merge_stats`]).
+    pub fn stats(&self) -> RepositoryStats {
+        let stats: Vec<RepositoryStats> =
+            self.shards.iter().map(|s| s.repository().stats()).collect();
+        nidc_forgetting::sharding::merge_stats(&stats)
+    }
+
+    /// The global term occurrence probability `Pr(t_k)` (eq. 10) over the
+    /// union of all shards ([`nidc_forgetting::sharding::merged_pr_term`]).
+    pub fn pr_term(&self, term: TermId) -> f64 {
+        let repos: Vec<&Repository> = self.shards.iter().map(StreamShard::repository).collect();
+        nidc_forgetting::sharding::merged_pr_term(&repos, term)
+    }
+
+    /// Ingests one document, routed by its id.
+    pub fn ingest(&mut self, id: DocId, t: Timestamp, tf: SparseVector) -> Result<()> {
+        INGESTED_DOCS.inc();
+        let s = self.router.route(id);
+        self.shards[s].pipeline.ingest(id, t, tf)
+    }
+
+    /// Ingests one document under an explicit stream key (feed, tenant,
+    /// language, …). The caller must use the same key for a given document
+    /// every time — the shards only detect duplicates they own.
+    pub fn ingest_with_key(
+        &mut self,
+        key: u64,
+        id: DocId,
+        t: Timestamp,
+        tf: SparseVector,
+    ) -> Result<()> {
+        INGESTED_DOCS.inc();
+        let s = self.router.route_key(key);
+        self.shards[s].pipeline.ingest(id, t, tf)
+    }
+
+    /// Ingests a batch that arrived at `t`: partitions it by the router
+    /// (preserving arrival order within each shard) and fans the per-shard
+    /// sub-batches out in parallel.
+    ///
+    /// On error the first failing shard's error (in shard order) is
+    /// returned; sub-batches on other shards may still have been applied —
+    /// the same partial-application semantics as
+    /// [`NoveltyPipeline::ingest_batch`] within one shard.
+    pub fn ingest_batch<I>(&mut self, t: Timestamp, docs: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (DocId, SparseVector)>,
+    {
+        let mut batches: Vec<Vec<(DocId, SparseVector)>> = vec![Vec::new(); self.shards.len()];
+        let mut total = 0u64;
+        for (id, tf) in docs {
+            batches[self.router.route(id)].push((id, tf));
+            total += 1;
+        }
+        INGESTED_DOCS.add(total);
+        let threads = self.config.threads;
+        let mut work: Vec<(&mut StreamShard, Vec<(DocId, SparseVector)>)> =
+            self.shards.iter_mut().zip(batches).collect();
+        nidc_parallel::par_map_mut(&mut work, threads, |(shard, batch)| {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            shard.pipeline_mut().ingest_batch(t, std::mem::take(batch))
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Advances every shard's clock to `t` (pure decay, fanned out).
+    pub fn advance_to(&mut self, t: Timestamp) -> Result<()> {
+        let threads = self.config.threads;
+        nidc_parallel::par_map_mut(&mut self.shards, threads, |s| {
+            s.pipeline_mut().advance_to(t)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Expires documents below `ε = λ^γ` on every shard (fanned out) and
+    /// returns the union, sorted ascending.
+    pub fn expire(&mut self) -> Vec<DocId> {
+        let threads = self.config.threads;
+        let per_shard =
+            nidc_parallel::par_map_mut(&mut self.shards, threads, |s| s.pipeline_mut().expire());
+        let mut all: Vec<DocId> = per_shard.into_iter().flatten().collect();
+        EXPIRED_DOCS.add(all.len() as u64);
+        all.sort_unstable();
+        all
+    }
+
+    /// Incremental re-clustering on every shard (fanned out; each shard
+    /// expires, rebuilds its φ vectors, and warm-starts its extended
+    /// K-means), merged into one query-time view.
+    pub fn recluster_incremental(&mut self) -> Result<MergedClustering> {
+        self.recluster_with(|p| p.recluster_incremental())
+    }
+
+    /// Non-incremental re-clustering on every shard (statistics rebuilt
+    /// from scratch, random seeding), merged into one query-time view.
+    pub fn recluster_from_scratch(&mut self) -> Result<MergedClustering> {
+        self.recluster_with(|p| p.recluster_from_scratch())
+    }
+
+    fn recluster_with<F>(&mut self, f: F) -> Result<MergedClustering>
+    where
+        F: Fn(&mut NoveltyPipeline) -> Result<Clustering> + Sync,
+    {
+        register_sharded_metrics();
+        let timer = RECLUSTER_SECONDS.start_timer();
+        RECLUSTERS.inc();
+        let threads = self.config.threads;
+        let results = nidc_parallel::par_map_mut(&mut self.shards, threads, |s| {
+            DOCS_PER_SHARD.observe(s.num_docs() as f64);
+            f(s.pipeline_mut())
+        });
+        let mut clusterings = Vec::with_capacity(results.len());
+        for r in results {
+            clusterings.push(r?);
+        }
+        timer.stop();
+        let _merge_timer = MERGE_SECONDS.start_timer();
+        Ok(MergedClustering::new(clusterings))
+    }
+
+    /// The merged view of every shard's most recent clustering, or `None`
+    /// until all shards have clustered at least once (every `recluster_*`
+    /// call clusters all shards, so after the first one this is `Some`).
+    pub fn last_merged(&self) -> Option<MergedClustering> {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            shards.push(s.last()?.clone());
+        }
+        Some(MergedClustering::new(shards))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    fn decay() -> DecayParams {
+        DecayParams::from_spans(7.0, 14.0).unwrap()
+    }
+
+    fn config() -> ClusteringConfig {
+        ClusteringConfig {
+            k: 2,
+            seed: 1,
+            ..ClusteringConfig::default()
+        }
+    }
+
+    fn seed_two_topics(p: &mut ShardedPipeline, start_day: f64, id_base: u64) {
+        for i in 0..4u64 {
+            p.ingest(
+                DocId(id_base + i),
+                Timestamp(start_day + 0.01 * i as f64),
+                tf(&[(0, 3.0), (1, 1.0 + (i % 2) as f64)]),
+            )
+            .unwrap();
+        }
+        for i in 4..8u64 {
+            p.ingest(
+                DocId(id_base + i),
+                Timestamp(start_day + 0.01 * i as f64),
+                tf(&[(8, 3.0), (9, 1.0 + (i % 2) as f64)]),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert_eq!(ShardRouter::new(0), Err(Error::ZeroShards));
+        assert!(matches!(
+            ShardedPipeline::new(decay(), config(), 0),
+            Err(Error::ZeroShards)
+        ));
+    }
+
+    #[test]
+    fn router_is_stable_and_covers_all_shards() {
+        let r = ShardRouter::new(4).unwrap();
+        let mut hit = [false; 4];
+        for id in 0..256u64 {
+            let s = r.route(DocId(id));
+            assert!(s < 4);
+            assert_eq!(s, r.route(DocId(id)), "routing must be a pure function");
+            hit[s] = true;
+        }
+        assert!(
+            hit.iter().all(|&h| h),
+            "256 sequential ids must spread over 4 shards"
+        );
+        // one shard short-circuits
+        let one = ShardRouter::new(1).unwrap();
+        for id in 0..32u64 {
+            assert_eq!(one.route(DocId(id)), 0);
+        }
+        // explicit keys route independently of the DocId
+        let by_key = r.route_key(7);
+        assert_eq!(by_key, r.route_key(7));
+    }
+
+    #[test]
+    fn documents_land_on_their_routed_shard() {
+        let mut p = ShardedPipeline::new(decay(), config(), 3).unwrap();
+        seed_two_topics(&mut p, 0.0, 0);
+        assert_eq!(p.num_docs(), 8);
+        for id in 0..8u64 {
+            let s = p.router().route(DocId(id));
+            assert!(p.shard(s).repository().contains(DocId(id)));
+            assert!(p.contains(DocId(id)));
+        }
+        assert!(!p.contains(DocId(99)));
+    }
+
+    #[test]
+    fn explicit_key_overrides_id_routing() {
+        let mut p = ShardedPipeline::new(decay(), config(), 4).unwrap();
+        let key = 42u64;
+        let target = p.router().route_key(key);
+        for id in 0..8u64 {
+            p.ingest_with_key(key, DocId(id), Timestamp(0.0), tf(&[(0, 1.0)]))
+                .unwrap();
+        }
+        assert_eq!(p.shard(target).num_docs(), 8);
+    }
+
+    #[test]
+    fn batch_ingest_matches_single_ingest() {
+        let mut a = ShardedPipeline::new(decay(), config(), 3).unwrap();
+        seed_two_topics(&mut a, 0.0, 0);
+
+        let mut b = ShardedPipeline::new(decay(), config(), 3).unwrap();
+        // same docs, all stamped per-doc times — batch uses one timestamp,
+        // so replicate with two batches at the two distinct instants used
+        for i in 0..8u64 {
+            let terms: Vec<(u32, f64)> = if i < 4 {
+                vec![(0, 3.0), (1, 1.0 + (i % 2) as f64)]
+            } else {
+                vec![(8, 3.0), (9, 1.0 + (i % 2) as f64)]
+            };
+            b.ingest_batch(Timestamp(0.01 * i as f64), vec![(DocId(i), tf(&terms))])
+                .unwrap();
+        }
+        assert_eq!(a.num_docs(), b.num_docs());
+        let ca = a.recluster_incremental().unwrap();
+        let cb = b.recluster_incremental().unwrap();
+        assert_eq!(ca.member_lists(), cb.member_lists());
+    }
+
+    #[test]
+    fn duplicate_in_batch_surfaces_as_error() {
+        let mut p = ShardedPipeline::new(decay(), config(), 2).unwrap();
+        p.ingest(DocId(0), Timestamp(0.0), tf(&[(0, 1.0)])).unwrap();
+        assert!(p
+            .ingest_batch(Timestamp(1.0), vec![(DocId(0), tf(&[(0, 1.0)]))])
+            .is_err());
+    }
+
+    #[test]
+    fn recluster_merges_every_document_or_outlier() {
+        let mut p = ShardedPipeline::new(decay(), config(), 2).unwrap();
+        seed_two_topics(&mut p, 0.0, 0);
+        let m = p.recluster_incremental().unwrap();
+        assert_eq!(m.shard_count(), 2);
+        let assigned = m.assignment().len();
+        let outliers = m.outliers().len();
+        assert_eq!(assigned + outliers, 8);
+        // the merged view is also available as last_merged
+        let again = p.last_merged().unwrap();
+        assert_eq!(again.member_lists(), m.member_lists());
+        assert_eq!(again.g(), m.g());
+    }
+
+    #[test]
+    fn last_merged_is_none_before_first_recluster() {
+        let mut p = ShardedPipeline::new(decay(), config(), 2).unwrap();
+        assert!(p.last_merged().is_none());
+        seed_two_topics(&mut p, 0.0, 0);
+        assert!(p.last_merged().is_none());
+        p.recluster_incremental().unwrap();
+        assert!(p.last_merged().is_some());
+    }
+
+    #[test]
+    fn expire_is_globally_sorted_and_prunes_all_shards() {
+        let mut p = ShardedPipeline::new(decay(), config(), 3).unwrap();
+        seed_two_topics(&mut p, 0.0, 0);
+        p.advance_to(Timestamp(20.0)).unwrap(); // past the 14-day life span
+        let dead = p.expire();
+        assert_eq!(dead.len(), 8);
+        let mut sorted = dead.clone();
+        sorted.sort_unstable();
+        assert_eq!(dead, sorted, "expired ids must come back sorted");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn merged_stats_and_pr_term_are_partition_invariant() {
+        let mut one = ShardedPipeline::new(decay(), config(), 1).unwrap();
+        let mut four = ShardedPipeline::new(decay(), config(), 4).unwrap();
+        for p in [&mut one, &mut four] {
+            seed_two_topics(p, 0.0, 0);
+            p.advance_to(Timestamp(2.0)).unwrap();
+        }
+        let (a, b) = (one.stats(), four.stats());
+        assert_eq!(a.num_docs, b.num_docs);
+        assert_eq!(a.vocab_dim, b.vocab_dim);
+        assert_eq!(a.now, b.now);
+        assert!((a.tdw - b.tdw).abs() < 1e-12);
+        assert_eq!(one.now(), four.now());
+        for k in 0..10u32 {
+            assert!(
+                (one.pr_term(TermId(k)) - four.pr_term(TermId(k))).abs() < 1e-12,
+                "term {k}"
+            );
+        }
+    }
+}

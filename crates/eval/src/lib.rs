@@ -41,10 +41,12 @@
 mod contingency;
 mod extra;
 mod marking;
+mod sharded;
 
 pub use contingency::Contingency;
 pub use extra::{ari, nmi, purity};
 pub use marking::{evaluate, ClusterReport, Evaluation, Labeling};
+pub use sharded::{evaluate_sharded, ShardedEvaluation};
 
 /// The paper's cluster-marking precision threshold (§6.2.3).
 pub const MARKING_THRESHOLD: f64 = 0.60;

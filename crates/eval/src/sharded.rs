@@ -1,0 +1,99 @@
+//! Evaluation of sharded clusterings: merged micro/macro-F1 over the union
+//! of all shards' clusters, plus per-shard breakdowns.
+//!
+//! A sharded deployment clusters each shard independently; for evaluation
+//! the per-shard clusterings are simply concatenated (shards partition the
+//! document space, so clusters never share documents) and marked against
+//! the ground truth exactly like a monolithic clustering. The per-shard
+//! evaluations show how much each shard contributes and whether the
+//! router's partition starves any shard of a topic.
+
+use std::hash::Hash;
+
+use nidc_textproc::DocId;
+
+use crate::marking::{evaluate, Evaluation, Labeling};
+
+/// The evaluation of a sharded clustering.
+#[derive(Debug, Clone)]
+pub struct ShardedEvaluation<L> {
+    /// The merged evaluation over every shard's clusters — the headline
+    /// micro/macro-F1 of the sharded system.
+    pub merged: Evaluation<L>,
+    /// One evaluation per shard, in shard order.
+    pub per_shard: Vec<Evaluation<L>>,
+}
+
+/// Evaluates per-shard member lists (`shards[s][local] = members`) against
+/// `labels`: the merged figures are computed over the concatenation of all
+/// shards' clusters (shard-major, matching
+/// `MergedClustering::member_lists` in `nidc-core`), and each shard is also
+/// evaluated on its own.
+pub fn evaluate_sharded<L: Copy + Ord + Hash>(
+    shards: &[Vec<Vec<DocId>>],
+    labels: &Labeling<L>,
+    threshold: f64,
+) -> ShardedEvaluation<L> {
+    let merged_clusters: Vec<Vec<DocId>> = shards.iter().flatten().cloned().collect();
+    ShardedEvaluation {
+        merged: evaluate(&merged_clusters, labels, threshold),
+        per_shard: shards
+            .iter()
+            .map(|s| evaluate(s, labels, threshold))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Labeling<u32> {
+        // topic 1: docs 0-5; topic 2: docs 6-9
+        (0..10)
+            .map(|i| (DocId(i), if i < 6 { 1 } else { 2 }))
+            .collect()
+    }
+
+    #[test]
+    fn one_shard_equals_monolithic_evaluation() {
+        let clusters = vec![
+            (0..6).map(DocId).collect::<Vec<_>>(),
+            (6..10).map(DocId).collect(),
+        ];
+        let mono = evaluate(&clusters, &labels(), 0.6);
+        let sharded = evaluate_sharded(&[clusters], &labels(), 0.6);
+        assert_eq!(sharded.per_shard.len(), 1);
+        assert_eq!(sharded.merged.micro_f1.to_bits(), mono.micro_f1.to_bits());
+        assert_eq!(sharded.merged.macro_f1.to_bits(), mono.macro_f1.to_bits());
+        assert_eq!(sharded.merged.detected_topics, mono.detected_topics);
+    }
+
+    #[test]
+    fn merged_concatenation_matches_flat_evaluation() {
+        // topic 1 split across two shards, topic 2 whole on shard 1
+        let shard0 = vec![(0..3).map(DocId).collect::<Vec<_>>()];
+        let shard1 = vec![
+            (3..6).map(DocId).collect::<Vec<_>>(),
+            (6..10).map(DocId).collect(),
+        ];
+        let flat: Vec<Vec<DocId>> = shard0.iter().chain(&shard1).cloned().collect();
+        let mono = evaluate(&flat, &labels(), 0.6);
+        let sharded = evaluate_sharded(&[shard0, shard1], &labels(), 0.6);
+        assert_eq!(sharded.merged.micro_f1.to_bits(), mono.micro_f1.to_bits());
+        assert_eq!(sharded.merged.macro_f1.to_bits(), mono.macro_f1.to_bits());
+        // per-shard views only see their own clusters
+        assert_eq!(sharded.per_shard[0].clusters.len(), 1);
+        assert_eq!(sharded.per_shard[1].clusters.len(), 2);
+        // shard 0 detects only topic 1, shard 1 detects both it holds
+        assert_eq!(sharded.per_shard[0].detected_topics, vec![1]);
+        assert_eq!(sharded.per_shard[1].detected_topics, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_shard_list_scores_zero() {
+        let e = evaluate_sharded::<u32>(&[], &labels(), 0.6);
+        assert_eq!(e.merged.micro_f1, 0.0);
+        assert!(e.per_shard.is_empty());
+    }
+}

@@ -58,6 +58,7 @@ mod error;
 pub mod linear;
 mod persist;
 mod repository;
+pub mod sharding;
 mod snapshot;
 mod time;
 

@@ -1,0 +1,165 @@
+//! Merging forgetting-model statistics across independent repositories
+//! (one per stream shard).
+//!
+//! Sharding the stream is sound because every statistic of §3 is a **sum
+//! over documents**: `tdw = Σ_i dw_i` (eq. 3) and the per-term numerators
+//! `S_k = Σ_i dw_i·Pr(t_k|d_i)` both split exactly over any partition of
+//! the document set, and the §5.1 incremental updates (scale by `λ^Δτ`,
+//! add the newcomers) commute with that partition. A shard therefore
+//! maintains its partial sums independently, and the global quantities are
+//! recovered at query time:
+//!
+//! ```text
+//! tdw        = Σ_s tdw_s
+//! Pr(t_k)    = Σ_s S_k,s / Σ_s tdw_s  =  Σ_s Pr_s(t_k)·tdw_s / Σ_s tdw_s
+//! Pr(d_i)    = dw_i / Σ_s tdw_s
+//! ```
+//!
+//! Expiration (`dw < ε`, §5.2 step 2) is a per-document predicate and needs
+//! no cross-shard information at all.
+
+use nidc_textproc::{DocId, TermId};
+
+use crate::repository::{Repository, RepositoryStats};
+use crate::Timestamp;
+
+/// Merges per-shard aggregate statistics into the global view.
+///
+/// `num_docs` and `tdw` are sums over the (disjoint) shards; `vocab_dim` is
+/// the widest term table (shards share one interned vocabulary, so term ids
+/// are globally comparable); `now` is the latest shard clock (after a
+/// fan-out `advance_to` all clocks agree, but shards that have not seen a
+/// document since their last advance may lag).
+pub fn merge_stats(stats: &[RepositoryStats]) -> RepositoryStats {
+    RepositoryStats {
+        num_docs: stats.iter().map(|s| s.num_docs).sum(),
+        vocab_dim: stats.iter().map(|s| s.vocab_dim).max().unwrap_or(0),
+        tdw: stats.iter().map(|s| s.tdw).sum(),
+        now: stats
+            .iter()
+            .map(|s| s.now)
+            .fold(Timestamp::EPOCH, |a, b| if b > a { b } else { a }),
+    }
+}
+
+/// The global term occurrence probability `Pr(t_k)` (eq. 10) over the union
+/// of the shards' documents:
+///
+/// ```text
+/// Pr(t_k) = Σ_s Pr_s(t_k)·tdw_s / Σ_s tdw_s
+/// ```
+///
+/// (each shard's `Pr_s(t_k)` is `S_k,s/tdw_s`, so the weighted mean
+/// reconstitutes `Σ S_k,s / Σ tdw_s` exactly). Returns 0 when no shard
+/// holds any weight.
+pub fn merged_pr_term(repos: &[&Repository], term: TermId) -> f64 {
+    let tdw: f64 = repos.iter().map(|r| r.tdw()).sum();
+    if tdw <= 0.0 {
+        return 0.0;
+    }
+    let num: f64 = repos.iter().map(|r| r.pr_term(term) * r.tdw()).sum();
+    num / tdw
+}
+
+/// The global selection probability `Pr(d_i) = dw_i / Σ_s tdw_s` (eq. 4)
+/// for a document living in one of the shards. Returns `None` when no shard
+/// stores `id`.
+pub fn merged_pr_doc(repos: &[&Repository], id: DocId) -> Option<f64> {
+    let tdw: f64 = repos.iter().map(|r| r.tdw()).sum();
+    let w = repos.iter().find_map(|r| r.doc_weight(id).ok())?;
+    Some(if tdw > 0.0 { w / tdw } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecayParams;
+    use nidc_textproc::SparseVector;
+
+    fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+    }
+
+    fn params() -> DecayParams {
+        DecayParams::from_spans(7.0, 14.0).unwrap()
+    }
+
+    /// Builds the same document set once monolithically and once split
+    /// across two shards (even/odd ids).
+    fn monolith_and_shards() -> (Repository, Repository, Repository) {
+        let docs: Vec<(u64, f64, SparseVector)> = vec![
+            (0, 0.0, tf(&[(0, 2.0), (1, 1.0)])),
+            (1, 0.5, tf(&[(0, 1.0), (2, 3.0)])),
+            (2, 1.0, tf(&[(1, 1.0), (3, 1.0)])),
+            (3, 2.0, tf(&[(2, 2.0)])),
+            (4, 3.0, tf(&[(0, 1.0), (3, 2.0)])),
+        ];
+        let mut all = Repository::new(params());
+        let mut even = Repository::new(params());
+        let mut odd = Repository::new(params());
+        for (id, day, tf) in docs {
+            all.insert(DocId(id), Timestamp(day), tf.clone()).unwrap();
+            let shard = if id % 2 == 0 { &mut even } else { &mut odd };
+            shard.insert(DocId(id), Timestamp(day), tf).unwrap();
+        }
+        for r in [&mut all, &mut even, &mut odd] {
+            r.advance_to(Timestamp(5.0)).unwrap();
+        }
+        (all, even, odd)
+    }
+
+    #[test]
+    fn merged_stats_equal_monolithic_stats() {
+        let (all, even, odd) = monolith_and_shards();
+        let merged = merge_stats(&[even.stats(), odd.stats()]);
+        let reference = all.stats();
+        assert_eq!(merged.num_docs, reference.num_docs);
+        assert_eq!(merged.vocab_dim, reference.vocab_dim);
+        assert_eq!(merged.now, reference.now);
+        assert!((merged.tdw - reference.tdw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_pr_term_equals_monolithic_pr_term() {
+        let (all, even, odd) = monolith_and_shards();
+        let shards = [&even, &odd];
+        for k in 0..all.vocab_dim() as u32 {
+            let t = TermId(k);
+            assert!(
+                (merged_pr_term(&shards, t) - all.pr_term(t)).abs() < 1e-12,
+                "term {k}"
+            );
+        }
+        // unknown terms stay 0
+        assert_eq!(merged_pr_term(&shards, TermId(99)), 0.0);
+        // merged probabilities still sum to 1 over the vocabulary
+        let total: f64 = (0..all.vocab_dim() as u32)
+            .map(|k| merged_pr_term(&shards, TermId(k)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_pr_doc_equals_monolithic_pr_doc() {
+        let (all, even, odd) = monolith_and_shards();
+        let shards = [&even, &odd];
+        for id in 0..5u64 {
+            let d = DocId(id);
+            assert!(
+                (merged_pr_doc(&shards, d).unwrap() - all.pr_doc(d).unwrap()).abs() < 1e-12,
+                "doc {id}"
+            );
+        }
+        assert!(merged_pr_doc(&shards, DocId(42)).is_none());
+    }
+
+    #[test]
+    fn empty_shard_set_is_well_behaved() {
+        assert_eq!(merged_pr_term(&[], TermId(0)), 0.0);
+        assert!(merged_pr_doc(&[], DocId(0)).is_none());
+        let s = merge_stats(&[]);
+        assert_eq!(s.num_docs, 0);
+        assert_eq!(s.tdw, 0.0);
+        assert_eq!(s.now, Timestamp::EPOCH);
+    }
+}

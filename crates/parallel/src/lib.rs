@@ -143,6 +143,67 @@ where
     par_map_indices(items.len(), threads, |i| f(&items[i]))
 }
 
+/// Maps `f` over a mutable slice in parallel; `results[i] == f(&mut
+/// items[i])` exactly as in the sequential loop, for any thread count.
+///
+/// The slice is split into contiguous `chunks_mut` regions, one scoped
+/// worker per region, so each worker holds an exclusive borrow of its items
+/// — mutation needs no locks and no `unsafe`. Unlike the read-only helpers,
+/// this one fans out whenever `threads > 1` and there are at least two
+/// items: it exists for **coarse-grained** units of work (one pipeline
+/// shard, one partition) where even two items are worth two workers, not
+/// for fine-grained item loops (those should keep using [`par_map`] and its
+/// `len >= 2·threads` gate).
+pub fn par_map_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let threads = resolve_threads(threads);
+    let len = items.len();
+    // Register the fan-out metrics at the decision point, as should_fan_out
+    // does for the read-only helpers.
+    FANOUTS.add(0);
+    SEQUENTIAL.add(0);
+    CHUNKS.add(0);
+    CHUNK_SECONDS.touch();
+    if threads <= 1 || len <= 1 {
+        SEQUENTIAL.inc();
+        return items
+            .iter_mut()
+            .map(|item| {
+                CHUNKS.inc();
+                let _timer = CHUNK_SECONDS.start_timer();
+                f(item)
+            })
+            .collect();
+    }
+    FANOUTS.inc();
+    let ranges = chunk_ranges(len, threads);
+    let mut results: Vec<Option<Vec<R>>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut offset = 0;
+        for (slot, range) in results.iter_mut().zip(&ranges) {
+            let (chunk, tail) = rest.split_at_mut(range.end - offset);
+            offset = range.end;
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || {
+                CHUNKS.inc();
+                let _timer = CHUNK_SECONDS.start_timer();
+                *slot = Some(chunk.iter_mut().map(f).collect());
+            });
+        }
+    });
+    results
+        .into_iter()
+        .flat_map(|r| r.expect("worker filled its slot"))
+        .collect()
+}
+
 /// Folds each chunk of `0..len` sequentially with `fold`, then combines
 /// the per-chunk accumulators **in chunk order** with `merge`.
 ///
@@ -239,6 +300,42 @@ mod tests {
         // len < 2*threads takes the sequential path
         assert_eq!(par_map(&[1, 2, 3], 8, |x| x + 1), vec![2, 3, 4]);
         assert_eq!(par_map::<u32, u32, _>(&[], 4, |x| *x), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn par_map_mut_matches_sequential_for_any_thread_count() {
+        let reference: Vec<u64> = (0..37).map(|x: u64| x * 2 + 1).collect();
+        for threads in [0usize, 1, 2, 4, 7] {
+            let mut items: Vec<u64> = (0..37).collect();
+            let returned = par_map_mut(&mut items, threads, |x| {
+                *x = *x * 2 + 1;
+                *x
+            });
+            assert_eq!(items, reference, "threads={threads}");
+            assert_eq!(returned, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_mut_fans_out_even_with_few_items() {
+        // two items, two threads: the coarse-grained helper must not fall
+        // back to sequential (and must still be order-exact)
+        let mut items = vec![10u64, 20];
+        let got = par_map_mut(&mut items, 2, |x| {
+            *x += 1;
+            *x
+        });
+        assert_eq!(got, vec![11, 21]);
+        assert_eq!(items, vec![11, 21]);
+    }
+
+    #[test]
+    fn par_map_mut_handles_empty_and_single() {
+        let mut empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map_mut(&mut empty, 4, |x| *x), Vec::<u32>::new());
+        let mut one = vec![7u32];
+        assert_eq!(par_map_mut(&mut one, 4, |x| *x + 1), vec![8]);
+        assert_eq!(one, vec![7]); // closure read, did not assign
     }
 
     #[test]

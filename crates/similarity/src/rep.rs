@@ -329,6 +329,59 @@ impl ClusterRep {
         }
     }
 
+    /// Merges another representative into this one — the cross-shard merge
+    /// primitive: `C_p ∪ C_q` for **disjoint** member sets, maintaining all
+    /// cached quantities without touching any member φ vector:
+    ///
+    /// ```text
+    /// |c⃗_p + c⃗_q|² = cr_sim(C_p,C_p) + 2·cr_sim(C_p,C_q) + cr_sim(C_q,C_q)
+    /// ss(C_p ∪ C_q) = ss(C_p) + ss(C_q)
+    /// ```
+    ///
+    /// (the eq. 21/25 identity validated by the `merge_formula_eq25` test).
+    /// Cost: one rep↔rep dot plus one vector add — O(nnz_p + nnz_q) sparse,
+    /// O(|V|) dense. The merged rep keeps `self`'s backend; merging across
+    /// backends accumulates `other`'s stored entries in ascending term order,
+    /// so the result is bit-identical to a same-backend merge.
+    ///
+    /// The caller must ensure the two clusters share no member; overlapping
+    /// sets double-count the shared documents in every statistic.
+    pub fn merge_from(&mut self, other: &ClusterRep) {
+        let dot = self.dot_rep(other);
+        self.cr_self += 2.0 * dot + other.cr_self;
+        self.ss += other.ss;
+        self.size += other.size;
+        match (&mut self.storage, &other.storage) {
+            (Storage::Dense(a), Storage::Dense(b)) => {
+                if b.len() > a.len() {
+                    a.resize(b.len(), 0.0);
+                }
+                for (slot, w) in a.iter_mut().zip(b.iter()) {
+                    *slot += w;
+                }
+            }
+            (Storage::Sparse(a), Storage::Sparse(b)) => a.axpy_in_place(b, 1.0),
+            (Storage::Sparse(a), Storage::Dense(b)) => {
+                let entries: Vec<(TermId, f64)> = b
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &w)| w != 0.0)
+                    .map(|(i, &w)| (TermId(i as u32), w))
+                    .collect();
+                a.axpy_in_place(&SparseVector::from_sorted(entries), 1.0);
+            }
+            (Storage::Dense(a), Storage::Sparse(b)) => {
+                for (t, w) in b.iter() {
+                    let idx = t.index();
+                    if idx >= a.len() {
+                        a.resize(idx + 1, 0.0);
+                    }
+                    a[idx] += w;
+                }
+            }
+        }
+    }
+
     /// `avg_sim(C_p)` — the intra-cluster similarity, via eq. 24:
     ///
     /// ```text
@@ -618,6 +671,81 @@ mod tests {
                 (merged_avg - brute_avg_sim(&all)).abs() < 1e-12,
                 "{backend}"
             );
+        }
+    }
+
+    #[test]
+    fn merge_from_matches_from_members_on_both_backends() {
+        for backend in BACKENDS {
+            let p_members = vec![phi(&[(0, 0.4)]), phi(&[(0, 0.2), (1, 0.5)])];
+            let q_members = vec![phi(&[(1, 0.3), (2, 0.2)]), phi(&[(2, 0.6)])];
+            let mut merged = ClusterRep::from_members_with(backend, p_members.iter());
+            let q = ClusterRep::from_members_with(backend, q_members.iter());
+            merged.merge_from(&q);
+            let mut all = p_members;
+            all.extend(q_members);
+            let reference = ClusterRep::from_members_with(backend, all.iter());
+            assert_eq!(merged.size(), reference.size(), "{backend}");
+            assert!(
+                (merged.cr_self() - reference.cr_self()).abs() < 1e-12,
+                "{backend}"
+            );
+            assert_eq!(merged.ss(), reference.ss(), "{backend}");
+            assert!(
+                (merged.avg_sim() - brute_avg_sim(&all)).abs() < 1e-12,
+                "{backend}"
+            );
+            // the merged vector itself matches term by term
+            let probe = phi(&[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)]);
+            assert!((merged.dot_doc(&probe) - reference.dot_doc(&probe)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_from_across_backends_matches_same_backend() {
+        let p_members = sample_members();
+        let q_members = [phi(&[(1, 0.3), (5, 0.2)]), phi(&[(2, 0.6)])];
+        for self_backend in BACKENDS {
+            let reference = {
+                let mut r = ClusterRep::from_members_with(self_backend, p_members.iter());
+                r.merge_from(&ClusterRep::from_members_with(
+                    self_backend,
+                    q_members.iter(),
+                ));
+                r
+            };
+            for other_backend in BACKENDS {
+                let mut merged = ClusterRep::from_members_with(self_backend, p_members.iter());
+                merged.merge_from(&ClusterRep::from_members_with(
+                    other_backend,
+                    q_members.iter(),
+                ));
+                assert_eq!(merged.backend(), self_backend, "keeps self's backend");
+                assert_eq!(merged.size(), reference.size());
+                assert_eq!(merged.cr_self(), reference.cr_self());
+                assert_eq!(merged.ss(), reference.ss());
+                let probe = phi(&[(0, 0.2), (1, 0.4), (2, 0.1), (5, 0.9)]);
+                assert_eq!(merged.dot_doc(&probe), reference.dot_doc(&probe));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_from_empty_is_identity_and_into_empty_is_copy() {
+        for backend in BACKENDS {
+            let members = sample_members();
+            let rep = ClusterRep::from_members_with(backend, members.iter());
+            let mut with_empty = rep.clone();
+            with_empty.merge_from(&ClusterRep::new_with(backend));
+            assert_eq!(with_empty.size(), rep.size());
+            assert_eq!(with_empty.cr_self(), rep.cr_self());
+            assert_eq!(with_empty.ss(), rep.ss());
+
+            let mut from_empty = ClusterRep::new_with(backend);
+            from_empty.merge_from(&rep);
+            assert_eq!(from_empty.size(), rep.size());
+            assert_eq!(from_empty.cr_self(), rep.cr_self());
+            assert_eq!(from_empty.ss(), rep.ss());
         }
     }
 

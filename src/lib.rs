@@ -16,7 +16,9 @@
 //! * [`similarity`] — the novelty-based similarity `sim(d_i,d_j)` and the
 //!   O(1)-update cluster representatives of the paper's §4.4;
 //! * [`core`] — the extended K-means with clustering index `G`, outlier
-//!   handling, and the incremental [`core::NoveltyPipeline`];
+//!   handling, the incremental [`core::NoveltyPipeline`], and the
+//!   multi-stream [`core::ShardedPipeline`] (deterministic DocId routing,
+//!   query-time merge);
 //! * [`baselines`] — cosine K-means, single-pass INCR, bucketed GAC;
 //! * [`f2icm`] — F²ICM, the paper's predecessor method (ECDL 2001), with
 //!   C²ICM cover-coefficient seed selection and K estimation;
@@ -77,10 +79,14 @@ pub use nidc_textproc as textproc;
 pub mod prelude {
     pub use nidc_core::{
         cluster_batch, cluster_with_initial, Cluster, Clustering, ClusteringConfig, Criterion,
-        InitialState, NoveltyPipeline, RepBackend,
+        GlobalClusterId, InitialState, MergedClustering, NoveltyPipeline, RepBackend, ShardRouter,
+        ShardedPipeline, StreamShard,
     };
     pub use nidc_corpus::{Article, Corpus, Generator, GeneratorConfig, TopicId};
-    pub use nidc_eval::{ari, evaluate, nmi, purity, Labeling, MARKING_THRESHOLD};
+    pub use nidc_eval::{
+        ari, evaluate, evaluate_sharded, nmi, purity, Labeling, ShardedEvaluation,
+        MARKING_THRESHOLD,
+    };
     pub use nidc_forgetting::{DecayParams, Repository, StatsSnapshot, Timestamp};
     pub use nidc_similarity::{ClusterIndex, ClusterRep, DocVectors};
     pub use nidc_textproc::{

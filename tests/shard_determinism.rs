@@ -1,0 +1,164 @@
+//! The determinism contract of the sharded pipeline (`ShardedPipeline`):
+//!
+//! * **1 shard is the pipeline** — with `shards = 1` the sharded pipeline is
+//!   bit-identical to a plain `NoveltyPipeline` driven with the same stream,
+//!   for both cluster-representative backends;
+//! * **thread-count invariance** — for any fixed shard count the merged
+//!   result is bit-identical across inner thread counts (the shard fan-out
+//!   and each pipeline's internal parallelism may only change wall-clock,
+//!   never bits);
+//! * **checkpoint transparency** — saving mid-stream, loading, and
+//!   continuing produces exactly the run that never stopped.
+
+use khy2006::prelude::*;
+use khy2006::textproc::{SparseVector, TermId};
+
+const THREAD_COUNTS: [usize; 5] = [0, 1, 2, 4, 7];
+
+fn tf(pairs: &[(u32, f64)]) -> SparseVector {
+    SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
+}
+
+/// A deterministic 3-topic stream: `(id, day, tf)` for 30 days × 3 docs/day,
+/// with enough term drift that re-clusterings actually move documents.
+fn stream() -> Vec<(DocId, f64, SparseVector)> {
+    let mut docs = Vec::new();
+    let mut id = 0u64;
+    for day in 0..30u32 {
+        for topic in 0..3u32 {
+            let t = tf(&[
+                (topic * 8, 3.0),
+                (topic * 8 + 1 + day % 3, 2.0),
+                (24 + (id % 5) as u32, 1.0),
+            ]);
+            docs.push((DocId(id), day as f64, t));
+            id += 1;
+        }
+    }
+    docs
+}
+
+fn config(threads: usize, rep_backend: RepBackend) -> ClusteringConfig {
+    ClusteringConfig {
+        k: 4,
+        seed: 7,
+        threads,
+        rep_backend,
+        ..ClusteringConfig::default()
+    }
+}
+
+/// The observable outcome of a run, compared bit for bit.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    members: Vec<Vec<DocId>>,
+    outliers: Vec<DocId>,
+    g_bits: u64,
+    num_docs: usize,
+}
+
+/// Replays `docs` through a sharded pipeline, re-clustering every 5 days,
+/// and returns the final merged result.
+fn drive_sharded(pipeline: &mut ShardedPipeline, docs: &[(DocId, f64, SparseVector)]) -> Outcome {
+    let mut merged = None;
+    for (id, day, tf) in docs {
+        pipeline.ingest(*id, Timestamp(*day), tf.clone()).unwrap();
+        if id.0 % 15 == 14 {
+            merged = Some(pipeline.recluster_incremental().unwrap());
+        }
+    }
+    let merged = merged.expect("at least one window ran");
+    Outcome {
+        members: merged.member_lists(),
+        outliers: merged.outliers(),
+        g_bits: merged.g().to_bits(),
+        num_docs: pipeline.num_docs(),
+    }
+}
+
+fn decay() -> DecayParams {
+    DecayParams::from_spans(7.0, 21.0).unwrap()
+}
+
+#[test]
+fn one_shard_is_bit_identical_to_the_unsharded_pipeline() {
+    for rep in [RepBackend::Sparse, RepBackend::Dense] {
+        let docs = stream();
+
+        let mut plain = NoveltyPipeline::new(decay(), config(0, rep));
+        let mut last = None;
+        for (id, day, tf) in &docs {
+            plain.ingest(*id, Timestamp(*day), tf.clone()).unwrap();
+            if id.0 % 15 == 14 {
+                last = Some(plain.recluster_incremental().unwrap());
+            }
+        }
+        let last = last.unwrap();
+
+        let mut sharded = ShardedPipeline::new(decay(), config(0, rep), 1).unwrap();
+        let outcome = drive_sharded(&mut sharded, &docs);
+
+        assert_eq!(outcome.members, last.member_lists(), "rep={rep:?}");
+        // the merged view canonicalises outliers into sorted order
+        let mut plain_outliers = last.outliers().to_vec();
+        plain_outliers.sort_unstable();
+        assert_eq!(outcome.outliers, plain_outliers, "rep={rep:?}");
+        assert_eq!(outcome.g_bits, last.g().to_bits(), "rep={rep:?}");
+        assert_eq!(outcome.num_docs, plain.repository().len(), "rep={rep:?}");
+    }
+}
+
+#[test]
+fn fixed_shard_count_is_thread_count_invariant() {
+    for shards in [2usize, 3] {
+        let docs = stream();
+        let mut reference: Option<Outcome> = None;
+        for threads in THREAD_COUNTS {
+            let mut pipeline =
+                ShardedPipeline::new(decay(), config(threads, RepBackend::Sparse), shards).unwrap();
+            let outcome = drive_sharded(&mut pipeline, &docs);
+            match &reference {
+                None => reference = Some(outcome),
+                Some(r) => assert_eq!(&outcome, r, "shards={shards} threads={threads} diverged"),
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpoint_save_load_continue_matches_the_uninterrupted_run() {
+    let docs = stream();
+    let (first, second) = docs.split_at(docs.len() / 2);
+
+    // the run that never stops
+    let mut straight = ShardedPipeline::new(decay(), config(0, RepBackend::Sparse), 3).unwrap();
+    for (id, day, tf) in first {
+        straight.ingest(*id, Timestamp(*day), tf.clone()).unwrap();
+    }
+    straight.recluster_incremental().unwrap();
+
+    // checkpoint right after the mid-stream re-clustering, then reload
+    let mut json = Vec::new();
+    straight.save_json(&mut json).unwrap();
+    let mut resumed = ShardedPipeline::load_json(&json[..]).unwrap();
+    assert_eq!(resumed.num_shards(), 3);
+    assert_eq!(resumed.num_docs(), straight.num_docs());
+
+    let finish = |pipeline: &mut ShardedPipeline| {
+        for (id, day, tf) in second {
+            pipeline.ingest(*id, Timestamp(*day), tf.clone()).unwrap();
+        }
+        let merged = pipeline.recluster_incremental().unwrap();
+        (
+            merged.member_lists(),
+            merged.outliers(),
+            merged.g().to_bits(),
+        )
+    };
+    let expected = finish(&mut straight);
+    let actual = finish(&mut resumed);
+    assert_eq!(
+        actual, expected,
+        "resumed run diverged from uninterrupted run"
+    );
+}
