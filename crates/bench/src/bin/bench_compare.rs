@@ -1,0 +1,57 @@
+//! **Bench report differ** — compares two BENCH JSON reports metric by
+//! metric and exits non-zero when any directional metric regressed past the
+//! threshold. The CI `bench-baseline` job runs this against the committed
+//! `results/` baselines; it is equally usable by hand when tuning:
+//!
+//! ```text
+//! bench_compare old.json new.json [--threshold 0.10]
+//! ```
+//!
+//! Directions are inferred from field-name suffixes (`_ms`/`_bytes` lower
+//! is better, `_per_sec`/`speedup`/`_f1` higher is better, everything else
+//! informational); see `nidc_bench::compare` for the exact rules.
+
+use std::process::ExitCode;
+
+use nidc_bench::compare::compare;
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.10;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                let v = args.get(i).ok_or("--threshold requires a value")?;
+                threshold = v
+                    .parse()
+                    .map_err(|_| format!("--threshold: '{v}' is not a number"))?;
+            }
+            p => paths.push(p.to_owned()),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err("usage: bench_compare OLD.json NEW.json [--threshold 0.10]".into());
+    };
+    let load = |p: &str| -> Result<serde_json::Value, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{p}: invalid JSON: {e}"))
+    };
+    let c = compare(&load(old_path)?, &load(new_path)?, threshold);
+    print!("{c}");
+    Ok(c.has_regressions())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_compare: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

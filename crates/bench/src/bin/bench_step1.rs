@@ -22,7 +22,9 @@
 
 use std::time::{Duration, Instant};
 
-use nidc_bench::{metrics_from_args, scale_from_env, write_json_report, PreparedCorpus};
+use nidc_bench::{
+    metrics_from_args, scale_from_env, trace_from_args, write_json_report, PreparedCorpus,
+};
 use nidc_core::{cluster_batch, ClusteringConfig, RepBackend};
 use nidc_forgetting::{DecayParams, Timestamp};
 use nidc_similarity::{ClusterIndex, ClusterRep, DocVectors};
@@ -35,6 +37,7 @@ fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
 
 fn main() {
     let mut exporter = metrics_from_args();
+    let trace = trace_from_args();
     let scale = scale_from_env(1.0);
     let sweeps: usize = std::env::var("NIDC_SWEEPS")
         .ok()
@@ -211,6 +214,11 @@ fn main() {
     if let Some(m) = exporter.as_mut() {
         m.record_window(&[("scale", scale)])
             .expect("write metrics snapshot");
+        m.finish().expect("flush metrics export");
+    }
+    if let Some(t) = trace {
+        t.finish(&mut std::io::stdout())
+            .expect("write trace output");
     }
 
     let payload = serde_json::json!({

@@ -1,0 +1,233 @@
+//! **Trace validator** — CI's guard that `--trace` output stays loadable.
+//! Reads a Chrome trace-event JSON file (the `--trace` output of the CLI or
+//! an experiment binary) and exits non-zero unless the stream is
+//! well-formed:
+//!
+//! * the file is valid JSON with a `traceEvents` array;
+//! * per `tid`, every `B` has a matching `E` in LIFO order (matched on
+//!   `args.id` — a lane is a stack of spans, which is what Perfetto
+//!   renders);
+//! * per `tid`, timestamps never go backwards (events are written
+//!   time-sorted);
+//! * every nonzero `args.parent` refers to a span id that exists.
+//!
+//! Usage: `check_trace --trace FILE`
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::ExitCode;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+#[derive(Debug)]
+struct TraceSummary {
+    spans: usize,
+    lanes: usize,
+    named_lanes: usize,
+}
+
+fn validate(doc: &serde_json::Value) -> Result<TraceSummary, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .ok_or("no traceEvents array")?;
+
+    let mut stacks: BTreeMap<u64, Vec<u64>> = BTreeMap::new(); // tid → open span ids
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut span_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut parents: Vec<(u64, u64)> = Vec::new(); // (span, parent)
+    let mut named_lanes = 0usize;
+    let mut spans = 0usize;
+
+    for (i, ev) in events.iter().enumerate() {
+        let at = |msg: &str| format!("event {i}: {msg}");
+        let ph = ev
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| at("missing ph"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(|t| t.as_u64())
+            .ok_or_else(|| at("missing tid"))?;
+        if ph == "M" {
+            if ev.get("name").and_then(|n| n.as_str()) == Some("thread_name") {
+                named_lanes += 1;
+            }
+            continue;
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(|t| t.as_f64())
+            .ok_or_else(|| at("missing ts"))?;
+        let prev = last_ts.entry(tid).or_insert(ts);
+        if ts < *prev {
+            return Err(at(&format!("tid {tid}: ts went backwards ({ts} < {prev})")));
+        }
+        *prev = ts;
+        let id = ev
+            .get("args")
+            .and_then(|a| a.get("id"))
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| at("missing args.id"))?;
+        match ph {
+            "B" => {
+                spans += 1;
+                if !span_ids.insert(id) {
+                    return Err(at(&format!("span id {id} begun twice")));
+                }
+                if let Some(parent) = ev
+                    .get("args")
+                    .and_then(|a| a.get("parent"))
+                    .and_then(|v| v.as_u64())
+                {
+                    if parent != 0 {
+                        parents.push((id, parent));
+                    }
+                }
+                stacks.entry(tid).or_default().push(id);
+            }
+            "E" => {
+                let stack = stacks.entry(tid).or_default();
+                match stack.pop() {
+                    Some(open) if open == id => {}
+                    Some(open) => {
+                        return Err(at(&format!(
+                            "tid {tid}: E for span {id} but span {open} is open (not LIFO)"
+                        )))
+                    }
+                    None => {
+                        return Err(at(&format!("tid {tid}: E for span {id} with no open span")))
+                    }
+                }
+            }
+            other => return Err(at(&format!("unknown phase {other:?}"))),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} span(s) never ended: {stack:?}",
+                stack.len()
+            ));
+        }
+    }
+    for (span, parent) in &parents {
+        if !span_ids.contains(parent) {
+            return Err(format!("span {span}: parent {parent} does not exist"));
+        }
+    }
+    Ok(TraceSummary {
+        spans,
+        lanes: last_ts.len(),
+        named_lanes,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let path = arg_value("--trace").ok_or("usage: check_trace --trace FILE")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let s = validate(&doc)?;
+    if s.spans == 0 {
+        return Err(format!("{path}: no spans recorded"));
+    }
+    println!(
+        "check_trace: {path} OK — {} spans over {} lane(s) ({} named)",
+        s.spans, s.lanes, s.named_lanes
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("check_trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn doc(events: serde_json::Value) -> serde_json::Value {
+        json!({"displayTimeUnit": "ms", "traceEvents": events})
+    }
+
+    fn b(tid: u64, ts: f64, id: u64, parent: u64) -> serde_json::Value {
+        let args = json!({"id": id, "parent": parent, "thread": tid});
+        json!({"ph": "B", "pid": 1, "tid": tid, "ts": ts, "name": "s", "args": args})
+    }
+
+    fn e(tid: u64, ts: f64, id: u64) -> serde_json::Value {
+        let args = json!({"id": id, "thread": tid});
+        json!({"ph": "E", "pid": 1, "tid": tid, "ts": ts, "name": "s", "args": args})
+    }
+
+    fn meta(tid: u64, name: &str, label: &str) -> serde_json::Value {
+        let args = json!({ "name": label });
+        json!({"ph": "M", "pid": 1, "tid": tid, "name": name, "args": args})
+    }
+
+    #[test]
+    fn accepts_nested_spans_and_metadata() {
+        let d = doc(json!([
+            meta(0, "thread_name", "main"),
+            b(0, 1.0, 1, 0),
+            b(0, 2.0, 2, 1),
+            e(0, 3.0, 2),
+            e(0, 4.0, 1),
+            b(1, 2.5, 3, 1),
+            e(1, 2.9, 3),
+        ]));
+        let s = validate(&d).unwrap();
+        assert_eq!(s.spans, 3);
+        assert_eq!(s.lanes, 2);
+        assert_eq!(s.named_lanes, 1);
+    }
+
+    #[test]
+    fn rejects_unbalanced_begin() {
+        let d = doc(json!([b(0, 1.0, 1, 0)]));
+        assert!(validate(&d).unwrap_err().contains("never ended"));
+    }
+
+    #[test]
+    fn rejects_non_lifo_ends() {
+        let d = doc(json!([
+            b(0, 1.0, 1, 0),
+            b(0, 2.0, 2, 1),
+            e(0, 3.0, 1),
+            e(0, 4.0, 2)
+        ]));
+        assert!(validate(&d).unwrap_err().contains("not LIFO"));
+    }
+
+    #[test]
+    fn rejects_backwards_timestamps() {
+        let d = doc(json!([b(0, 5.0, 1, 0), e(0, 1.0, 1)]));
+        assert!(validate(&d).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn rejects_dangling_parent() {
+        let d = doc(json!([b(0, 1.0, 1, 99), e(0, 2.0, 1)]));
+        assert!(validate(&d).unwrap_err().contains("does not exist"));
+    }
+
+    #[test]
+    fn rejects_missing_trace_events() {
+        assert!(validate(&json!({"nope": []})).is_err());
+    }
+}

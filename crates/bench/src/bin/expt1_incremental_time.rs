@@ -27,7 +27,9 @@
 
 use std::time::{Duration, Instant};
 
-use nidc_bench::{fmt_duration, metrics_from_args, scale_from_env, write_json_report};
+use nidc_bench::{
+    fmt_duration, metrics_from_args, scale_from_env, trace_from_args, write_json_report,
+};
 use nidc_core::{cluster_with_initial, ClusteringConfig, InitialState};
 use nidc_corpus::Generator;
 use nidc_forgetting::{DecayParams, Repository, Timestamp};
@@ -36,6 +38,7 @@ use nidc_textproc::{DocId, Pipeline, SparseVector, Vocabulary};
 
 fn main() {
     let mut exporter = metrics_from_args();
+    let trace = trace_from_args();
     let scale = scale_from_env(1.0);
     let per_day = (288.0 * scale).round().max(1.0) as u32; // ≈ 4327 docs over 15 days
     let days = 15u32;
@@ -150,6 +153,11 @@ fn main() {
     if let Some(m) = exporter.as_mut() {
         m.record_window(&[("scale", scale)])
             .expect("write metrics snapshot");
+        m.finish().expect("flush metrics export");
+    }
+    if let Some(t) = trace {
+        t.finish(&mut std::io::stdout())
+            .expect("write trace output");
     }
 
     {

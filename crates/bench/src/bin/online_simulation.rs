@@ -16,11 +16,15 @@
 //! also writes the aggregate timings as BENCH JSON. With `--metrics <path>`
 //! (`--metrics-format jsonl|prom`), exports one instrumentation snapshot
 //! per re-clustering window — the canonical producer for
-//! `metrics_manifest.txt`.
+//! `metrics_manifest.txt`. With `--trace <path>` (`--trace-summary`),
+//! records spans across the whole replay and writes Chrome trace-event
+//! JSON — the canonical producer for `check_trace`.
 
 use std::time::Instant;
 
-use nidc_bench::{metrics_from_args, scale_from_env, write_json_report, PreparedCorpus};
+use nidc_bench::{
+    metrics_from_args, scale_from_env, trace_from_args, write_json_report, PreparedCorpus,
+};
 use nidc_core::{ClusteringConfig, ShardedPipeline};
 use nidc_eval::{evaluate, Labeling, MARKING_THRESHOLD};
 use nidc_forgetting::{DecayParams, Timestamp};
@@ -45,6 +49,7 @@ fn main() {
     };
     let mut pipeline = ShardedPipeline::new(decay, config, shards).expect("shards ≥ 1");
     let mut exporter = metrics_from_args();
+    let trace = trace_from_args();
 
     println!(
         "on-line simulation: {} articles over 178 days, re-clustering every {every} days, {shards} shard(s)",
@@ -118,6 +123,14 @@ fn main() {
     total_stats_ms += s;
     total_cluster_ms += c;
     rounds += 1;
+
+    if let Some(m) = exporter.as_mut() {
+        m.finish().expect("flush metrics export");
+    }
+    if let Some(t) = trace {
+        t.finish(&mut std::io::stdout())
+            .expect("write trace output");
+    }
 
     println!(
         "\n{rounds} re-clusterings; mean statistics update {:.1} ms, mean clustering {:.1} ms per round",

@@ -1,0 +1,307 @@
+//! Diffing two BENCH JSON reports: the library behind the `bench_compare`
+//! binary and the CI `bench-baseline` job.
+//!
+//! Both reports are flattened to `path → value` maps (dotted keys; array
+//! elements keyed by their `"name"` field when they have one, by index
+//! otherwise; the `host` block and the `bench` tag are skipped — hardware
+//! identity is context, not a metric). Each shared numeric path gets a
+//! relative delta `(new − old) / |old|` and a direction inferred from its
+//! suffix, and counts as a **regression** when it moved against its
+//! direction by more than the configured threshold. Paths whose suffix
+//! implies no direction (`docs`, `k`, `rounds`, …) are reported as
+//! informational and never regress.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which way a metric is supposed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Timings, byte counts: growth is a regression.
+    LowerIsBetter,
+    /// Throughputs, speedups, scores: shrinkage is a regression.
+    HigherIsBetter,
+    /// Shape descriptors (document counts, K, rounds): never a regression.
+    Informational,
+}
+
+/// Infers a metric's direction from its path suffix — the BENCH schema
+/// encodes units in field names, so the suffix is the unit.
+pub fn direction_of(path: &str) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    const LOWER: &[&str] = &["_ms", "_seconds", "_ns", "_bytes"];
+    const HIGHER: &[&str] = &["_per_sec", "_speedup", "_reduction", "_f1", "_purity"];
+    if LOWER.iter().any(|s| leaf.ends_with(s)) {
+        return Direction::LowerIsBetter;
+    }
+    if HIGHER.iter().any(|s| leaf.ends_with(s)) || leaf == "speedup" || leaf == "purity" {
+        return Direction::HigherIsBetter;
+    }
+    Direction::Informational
+}
+
+/// One metric present in both reports.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Dotted path of the metric (e.g. `results.k8.index_sweep_ms`).
+    pub path: String,
+    /// Value in the old (baseline) report.
+    pub old: f64,
+    /// Value in the new (candidate) report.
+    pub new: f64,
+    /// `(new − old) / |old|`; `0.0` when both are zero, `±inf` when only
+    /// the old value is zero.
+    pub rel_delta: f64,
+    /// The inferred direction.
+    pub direction: Direction,
+    /// Whether this metric breached the threshold against its direction.
+    pub regressed: bool,
+}
+
+/// The full diff of two BENCH reports.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Per-metric deltas for every numeric path present in both reports,
+    /// in path order.
+    pub deltas: Vec<MetricDelta>,
+    /// Numeric paths only the baseline has (metric dropped).
+    pub only_old: Vec<String>,
+    /// Numeric paths only the candidate has (metric added).
+    pub only_new: Vec<String>,
+    /// The relative-change threshold regressions were judged against.
+    pub threshold: f64,
+}
+
+impl Comparison {
+    /// The regressed subset of [`Comparison::deltas`].
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Whether any directional metric breached the threshold.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<44} {:>14} {:>14} {:>9}  verdict",
+            "metric", "old", "new", "delta"
+        )?;
+        for d in &self.deltas {
+            let verdict = match (d.direction, d.regressed) {
+                (Direction::Informational, _) => "info",
+                (_, true) => "REGRESSED",
+                (_, false) => "ok",
+            };
+            writeln!(
+                f,
+                "{:<44} {:>14.6} {:>14.6} {:>+8.1}%  {verdict}",
+                d.path,
+                d.old,
+                d.new,
+                d.rel_delta * 100.0
+            )?;
+        }
+        for p in &self.only_old {
+            writeln!(f, "{p:<44} only in baseline")?;
+        }
+        for p in &self.only_new {
+            writeln!(f, "{p:<44} only in candidate")?;
+        }
+        let n = self.regressions().len();
+        writeln!(
+            f,
+            "{n} regression(s) at threshold {:.0}%",
+            self.threshold * 100.0
+        )
+    }
+}
+
+/// Flattens a BENCH JSON document to `dotted path → numeric value`.
+///
+/// The `bench` tag and the `host` block are skipped. Array elements are
+/// keyed by their `"name"` field when it is a string (so reordered result
+/// lists still line up), by index otherwise.
+pub fn flatten(doc: &serde_json::Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    if let Some(map) = doc.as_object() {
+        for (k, v) in map {
+            if k == "bench" || k == "host" {
+                continue;
+            }
+            flatten_into(v, k.clone(), &mut out);
+        }
+    }
+    out
+}
+
+fn flatten_into(v: &serde_json::Value, path: String, out: &mut BTreeMap<String, f64>) {
+    match v {
+        serde_json::Value::Number(n) => {
+            out.insert(path, n.as_f64());
+        }
+        serde_json::Value::Object(map) => {
+            for (k, child) in map {
+                flatten_into(child, format!("{path}.{k}"), out);
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let key = child
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| i.to_string());
+                flatten_into(child, format!("{path}.{key}"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Diffs two flattened-able BENCH documents at `threshold` (relative
+/// change, e.g. `0.10` = 10%).
+pub fn compare(old: &serde_json::Value, new: &serde_json::Value, threshold: f64) -> Comparison {
+    let old = flatten(old);
+    let new = flatten(new);
+    let mut deltas = Vec::new();
+    let mut only_old = Vec::new();
+    let mut only_new: Vec<String> = new
+        .keys()
+        .filter(|k| !old.contains_key(*k))
+        .cloned()
+        .collect();
+    only_new.sort();
+    for (path, &o) in &old {
+        let Some(&n) = new.get(path) else {
+            only_old.push(path.clone());
+            continue;
+        };
+        let rel_delta = if o == n {
+            0.0
+        } else if o == 0.0 {
+            f64::INFINITY.copysign(n)
+        } else {
+            (n - o) / o.abs()
+        };
+        let direction = direction_of(path);
+        let regressed = match direction {
+            Direction::LowerIsBetter => rel_delta > threshold,
+            Direction::HigherIsBetter => rel_delta < -threshold,
+            Direction::Informational => false,
+        };
+        deltas.push(MetricDelta {
+            path: path.clone(),
+            old: o,
+            new: n,
+            rel_delta,
+            direction,
+            regressed,
+        });
+    }
+    Comparison {
+        deltas,
+        only_old,
+        only_new,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn report(sweep_ms: f64, speedup: f64) -> serde_json::Value {
+        json!({
+            "bench": "step1_sweep",
+            "host": {"available_parallelism": 64},
+            "scale": 1.0,
+            "results": [
+                {"name": "k8", "docs": 7579, "index_sweep_ms": sweep_ms,
+                 "sweep_speedup": speedup}
+            ]
+        })
+    }
+
+    #[test]
+    fn flatten_keys_by_name_and_skips_host() {
+        let flat = flatten(&report(48.0, 1.2));
+        assert_eq!(flat.get("results.k8.index_sweep_ms"), Some(&48.0));
+        assert_eq!(flat.get("results.k8.docs"), Some(&7579.0));
+        assert_eq!(flat.get("scale"), Some(&1.0));
+        assert!(!flat.keys().any(|k| k.contains("host")));
+        assert!(!flat.contains_key("bench"));
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let a = report(48.0, 1.2);
+        let c = compare(&a, &a, 0.10);
+        assert!(!c.has_regressions());
+        assert!(c.only_old.is_empty() && c.only_new.is_empty());
+        assert!(c.deltas.iter().all(|d| d.rel_delta == 0.0));
+    }
+
+    #[test]
+    fn slower_timing_regresses_and_faster_does_not() {
+        let base = report(100.0, 1.2);
+        let slower = compare(&base, &report(115.0, 1.2), 0.10);
+        assert!(slower.has_regressions());
+        assert_eq!(slower.regressions()[0].path, "results.k8.index_sweep_ms");
+        let faster = compare(&base, &report(50.0, 1.2), 0.10);
+        assert!(!faster.has_regressions());
+        let within = compare(&base, &report(105.0, 1.2), 0.10);
+        assert!(!within.has_regressions(), "5% < 10% threshold");
+    }
+
+    #[test]
+    fn dropped_speedup_regresses() {
+        let c = compare(&report(100.0, 2.0), &report(100.0, 1.0), 0.10);
+        assert!(c.has_regressions());
+        assert_eq!(c.regressions()[0].path, "results.k8.sweep_speedup");
+        assert_eq!(c.regressions()[0].direction, Direction::HigherIsBetter);
+    }
+
+    #[test]
+    fn informational_fields_never_regress() {
+        // docs collapsed and scale halved: shape descriptors, info only
+        let old = json!({"scale": 1.0, "docs": 7579.0, "a_ms": 100.0});
+        let new = json!({"scale": 0.5, "docs": 1.0, "a_ms": 100.0});
+        let c = compare(&old, &new, 0.10);
+        assert!(!c.has_regressions());
+        assert_eq!(c.deltas.len(), 3);
+    }
+
+    #[test]
+    fn added_and_dropped_metrics_are_listed_not_regressed() {
+        let old = json!({"a_ms": 1.0, "gone_ms": 2.0});
+        let new = json!({"a_ms": 1.0, "fresh_ms": 3.0});
+        let c = compare(&old, &new, 0.10);
+        assert_eq!(c.only_old, vec!["gone_ms".to_string()]);
+        assert_eq!(c.only_new, vec!["fresh_ms".to_string()]);
+        assert!(!c.has_regressions());
+    }
+
+    #[test]
+    fn display_marks_regressions() {
+        let c = compare(&report(100.0, 1.2), &report(150.0, 1.2), 0.10);
+        let text = c.to_string();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("1 regression(s) at threshold 10%"), "{text}");
+    }
+
+    #[test]
+    fn direction_suffixes() {
+        assert_eq!(direction_of("x.wall_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("x.rep_bytes"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("x.docs_per_sec"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("x.speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("x.micro_f1"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("x.docs"), Direction::Informational);
+    }
+}

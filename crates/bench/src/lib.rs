@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
+
 use std::time::{Duration, Instant};
 
 use nidc_core::{cluster_batch, Clustering, ClusteringConfig};
@@ -238,6 +240,25 @@ pub fn metrics_from_args() -> Option<nidc_obs::MetricsExporter> {
     let exporter =
         nidc_obs::MetricsExporter::create(path?, format).expect("create metrics export file");
     Some(exporter)
+}
+
+/// The `--trace <path>` / `--trace-summary` arguments of an experiment
+/// binary, as a started [`nidc_obs::TraceSession`] recording spans for the
+/// rest of the run. `None` when neither was given — spans then cost one
+/// relaxed load each. Callers must hand the session to
+/// [`nidc_obs::TraceSession::finish`] when their measured work is done.
+pub fn trace_from_args() -> Option<nidc_obs::TraceSession> {
+    let mut path: Option<std::path::PathBuf> = None;
+    let mut summary = false;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => path = args.next().map(std::path::PathBuf::from),
+            "--trace-summary" => summary = true,
+            _ => {}
+        }
+    }
+    nidc_obs::TraceSession::start(path, summary).expect("create trace output file")
 }
 
 /// Writes a BENCH JSON file: `{ "bench": name, "host": {...}, ...payload }`.

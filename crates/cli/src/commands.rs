@@ -17,6 +17,18 @@ use crate::{CliError, ParsedArgs, Result};
 
 /// Dispatches a parsed command line, writing human output to `out`.
 pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
+    // Observability state is process-global. When this invocation configures
+    // any observability surface, start from a clean slate so a previous
+    // in-process run (the library use case — and an aborted `--trace` run
+    // that never reached its session's finish) cannot leak enabled flags,
+    // buffered spans, or accumulated values into this one.
+    if args.get("metrics").is_some()
+        || args.get("trace").is_some()
+        || args.flag("trace-summary")
+        || args.get("log-level").is_some()
+    {
+        nidc_obs::reset_all();
+    }
     // `--log-level off|info|debug`: structured stderr tracing for every
     // subcommand (replaces ad-hoc progress prints).
     if let Some(level) = args.get("log-level") {
@@ -53,6 +65,18 @@ fn metrics_exporter(args: &ParsedArgs) -> Result<Option<nidc_obs::MetricsExporte
         Some(s) => s.parse().map_err(CliError::Usage)?,
     };
     Ok(Some(nidc_obs::MetricsExporter::create(path, format)?))
+}
+
+/// `--trace FILE [--trace-summary]`: starts a span-recording session that
+/// writes Chrome trace-event JSON to FILE and/or prints a hierarchical
+/// profile (per-span call count, total/self time) when the command finishes.
+/// `None` when neither was requested — spans then cost one relaxed load.
+fn trace_session(args: &ParsedArgs) -> Result<Option<nidc_obs::TraceSession>> {
+    let path = args.get("trace").map(std::path::PathBuf::from);
+    Ok(nidc_obs::TraceSession::start(
+        path,
+        args.flag("trace-summary"),
+    )?)
 }
 
 fn load_corpus(args: &ParsedArgs) -> Result<Corpus> {
@@ -183,6 +207,7 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     };
     let top = args.get_usize("top", 10)?;
     let mut exporter = metrics_exporter(args)?;
+    let trace = trace_session(args)?;
 
     let mut repo = Repository::new(decay);
     let mut topic_of = BTreeMap::new();
@@ -204,6 +229,10 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     let clustering = cluster_batch(&vecs, &config).map_err(|e| CliError::Other(e.to_string()))?;
     if let Some(m) = exporter.as_mut() {
         m.record_window(&[("from", from), ("to", to)])?;
+        m.finish()?;
+    }
+    if let Some(s) = trace {
+        s.finish(out)?;
     }
 
     if args.flag("json") {
@@ -269,6 +298,7 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         ..ClusteringConfig::default()
     };
     let mut exporter = metrics_exporter(args)?;
+    let trace = trace_session(args)?;
     // --shards N: independent stream shards behind the deterministic
     // router (1 = today's single-pipeline behaviour, bit for bit).
     let shards = args.get_usize("shards", 1)?;
@@ -371,6 +401,10 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
             ("day", pipeline.now().days()),
             ("docs", pipeline.num_docs() as f64),
         ])?;
+        m.finish()?;
+    }
+    if let Some(s) = trace {
+        s.finish(out)?;
     }
     if let Some(p) = &state_path {
         pipeline.save_json(File::create(p)?)?;
@@ -399,6 +433,7 @@ fn eval<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         ..ClusteringConfig::default()
     };
     let mut exporter = metrics_exporter(args)?;
+    let trace = trace_session(args)?;
     let mut repo = Repository::new(decay);
     for &i in &w.article_indices {
         let a = &corpus.articles()[i];
@@ -411,6 +446,10 @@ fn eval<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     let clustering = cluster_batch(&vecs, &config).map_err(|e| CliError::Other(e.to_string()))?;
     if let Some(m) = exporter.as_mut() {
         m.record_window(&[("window", window_no as f64)])?;
+        m.finish()?;
+    }
+    if let Some(s) = trace {
+        s.finish(out)?;
     }
     let labels: Labeling<u32> = w
         .article_indices

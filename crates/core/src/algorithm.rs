@@ -34,6 +34,15 @@ static OUTLIER_DOCS: LazyCounter = LazyCounter::new("nidc_kmeans_outlier_docs_to
 /// dense-equivalent `K·rows` work bound. Compare against
 /// `nidc_index_postings_touched_total` for the inverted-index saving.
 static STEP1_CANDIDATES: LazyCounter = LazyCounter::new("nidc_kmeans_step1_candidates_total");
+/// Wall time of one step-1 assignment sweep (parallel preview + sequential
+/// apply), per repetition. Fine buckets: a converged warm-start sweep over a
+/// small window sits well under a millisecond.
+static STEP1_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_kmeans_step1_seconds", buckets::FINE_SECONDS);
+/// Wall time of one full repetition (sweep + representative rebuild +
+/// convergence test).
+static ITERATION_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_kmeans_iteration_seconds", buckets::FINE_SECONDS);
 
 /// How the repetition process is initialised.
 #[derive(Debug, Clone)]
@@ -148,6 +157,7 @@ pub fn cluster_with_initial(
     }
     let k = config.k.min(ids.len());
     RUNS.inc();
+    let _run_span = nidc_obs::span!("kmeans.run");
 
     // --- Initial process -------------------------------------------------
     let mut reps: Vec<ClusterRep> = (0..k)
@@ -221,6 +231,10 @@ pub fn cluster_with_initial(
     let mut scratch = vec![0.0; k];
     loop {
         iterations += 1;
+        // Span first, timer second: drop order closes the span *after* the
+        // timer has observed, so the span fully covers the measured work.
+        let _iter_span = nidc_obs::span!("kmeans.iteration");
+        let _iter_timer = ITERATION_SECONDS.start_timer();
         outliers.clear();
         // Per-iteration tallies, published once at the bottom of the loop so
         // the sweep itself never touches an atomic.
@@ -236,6 +250,8 @@ pub fn cluster_with_initial(
         // `current == Some(q)` branch previewed here is the one the apply
         // loop takes. On converged iterations nothing moves and every score
         // comes from the preview — the common case for warm restarts (§5.2).
+        let step1_span = nidc_obs::span!("kmeans.step1");
+        let step1_timer = STEP1_SECONDS.start_timer();
         let preview: Option<Vec<Vec<f64>>> = nidc_parallel::should_fan_out(ids.len(), threads)
             .then(|| {
                 let assign = &assign;
@@ -353,6 +369,8 @@ pub fn cluster_with_initial(
                 }
             }
         }
+        step1_timer.stop();
+        drop(step1_span);
 
         // steps 2–3: representatives are maintained online; rebuild exactly
         // to clear floating-point drift, then recompute G

@@ -11,17 +11,18 @@ use nidc_textproc::{DocId, SparseVector};
 use crate::{cluster_with_initial, Clustering, ClusteringConfig, InitialState, Result};
 
 /// Wall-clock seconds per `ingest`/`ingest_batch` call (§5.1 incremental
-/// statistics update).
+/// statistics update). Single-document ingests run in microseconds, so
+/// this sits on the sub-millisecond bucket family.
 static INGEST_SECONDS: LazyHistogram =
-    LazyHistogram::new("nidc_pipeline_ingest_seconds", buckets::LATENCY_SECONDS);
+    LazyHistogram::new("nidc_pipeline_ingest_seconds", buckets::FINE_SECONDS);
 /// Documents handed to the pipeline (single and batch ingests combined).
 static INGESTED_DOCS: LazyCounter = LazyCounter::new("nidc_pipeline_ingested_docs_total");
-/// Wall-clock seconds per pure-decay `advance_to` call.
+/// Wall-clock seconds per pure-decay `advance_to` call (sub-ms buckets).
 static ADVANCE_SECONDS: LazyHistogram =
-    LazyHistogram::new("nidc_pipeline_advance_seconds", buckets::LATENCY_SECONDS);
-/// Wall-clock seconds per `expire` pass (§5.2 step 2).
+    LazyHistogram::new("nidc_pipeline_advance_seconds", buckets::FINE_SECONDS);
+/// Wall-clock seconds per `expire` pass (§5.2 step 2; sub-ms buckets).
 static EXPIRE_SECONDS: LazyHistogram =
-    LazyHistogram::new("nidc_pipeline_expire_seconds", buckets::LATENCY_SECONDS);
+    LazyHistogram::new("nidc_pipeline_expire_seconds", buckets::FINE_SECONDS);
 /// Documents expired below `ε = λ^γ`.
 static EXPIRED_DOCS: LazyCounter = LazyCounter::new("nidc_pipeline_expired_docs_total");
 /// Wall-clock seconds per re-clustering (expire + vector build + K-means).
@@ -95,6 +96,7 @@ impl NoveltyPipeline {
     /// Ingests one document acquired at `t` (statistics update is
     /// incremental, §5.1).
     pub fn ingest(&mut self, id: DocId, t: Timestamp, tf: SparseVector) -> Result<()> {
+        let _span = nidc_obs::span!("pipeline.ingest");
         let _timer = INGEST_SECONDS.start_timer();
         self.repo.insert(id, t, tf)?;
         INGESTED_DOCS.inc();
@@ -112,6 +114,7 @@ impl NoveltyPipeline {
     where
         I: IntoIterator<Item = (DocId, SparseVector)>,
     {
+        let _span = nidc_obs::span!("pipeline.ingest_batch");
         let _timer = INGEST_SECONDS.start_timer();
         let (inserted, result) = self.ingest_batch_counted(t, docs);
         INGESTED_DOCS.add(inserted);
@@ -136,6 +139,7 @@ impl NoveltyPipeline {
 
     /// Advances the clock without ingesting (pure decay).
     pub fn advance_to(&mut self, t: Timestamp) -> Result<()> {
+        let _span = nidc_obs::span!("pipeline.advance");
         let _timer = ADVANCE_SECONDS.start_timer();
         self.repo.advance_to(t)?;
         Ok(())
@@ -153,6 +157,7 @@ impl NoveltyPipeline {
     /// (checkpoint diffs, cross-shard merges, logs) see a stable order even
     /// if the repository's document storage changes.
     pub fn expire(&mut self) -> Vec<DocId> {
+        let _span = nidc_obs::span!("pipeline.expire");
         let _timer = EXPIRE_SECONDS.start_timer();
         let previous = &mut self.previous;
         let mut dead = Vec::new();
@@ -173,10 +178,14 @@ impl NoveltyPipeline {
     /// extended K-means from the previous clustering's assignment. Falls
     /// back to random seeding the first time.
     pub fn recluster_incremental(&mut self) -> Result<Clustering> {
+        let span = nidc_obs::span!("pipeline.recluster");
         let timer = RECLUSTER_SECONDS.start_timer();
         RECLUSTERS.inc();
         self.expire();
-        let vecs = DocVectors::build_parallel(&self.repo, self.config.threads);
+        let vecs = {
+            let _span = nidc_obs::span!("pipeline.build_vectors");
+            DocVectors::build_parallel(&self.repo, self.config.threads)
+        };
         // the effective K shrinks with the live population (K = min(k, n));
         // after heavy expiration the previous assignment may reference
         // cluster slots that no longer exist — those documents re-enter as
@@ -197,6 +206,7 @@ impl NoveltyPipeline {
         self.previous = Some(clustering.assignment());
         self.last = Some(clustering.clone());
         timer.stop();
+        drop(span);
         self.log_recluster("incremental", &clustering);
         Ok(clustering)
     }
@@ -205,15 +215,20 @@ impl NoveltyPipeline {
     /// rebuilds every statistic from scratch and seeds randomly, ignoring
     /// any previous clustering.
     pub fn recluster_from_scratch(&mut self) -> Result<Clustering> {
+        let span = nidc_obs::span!("pipeline.recluster");
         let timer = RECLUSTER_SECONDS.start_timer();
         RECLUSTERS.inc();
         self.expire();
         self.repo.recompute_from_scratch_with(self.config.threads);
-        let vecs = DocVectors::build_parallel(&self.repo, self.config.threads);
+        let vecs = {
+            let _span = nidc_obs::span!("pipeline.build_vectors");
+            DocVectors::build_parallel(&self.repo, self.config.threads)
+        };
         let clustering = cluster_with_initial(&vecs, &self.config, InitialState::Random)?;
         self.previous = Some(clustering.assignment());
         self.last = Some(clustering.clone());
         timer.stop();
+        drop(span);
         self.log_recluster("from_scratch", &clustering);
         Ok(clustering)
     }

@@ -62,6 +62,25 @@ fn register_sharded_metrics() {
     DOCS_PER_SHARD.touch();
 }
 
+/// The trace track carrying shard `id`'s spans. Track 0 is the calling
+/// thread's lane ("main"), so shard `s` renders on lane `s + 1` in Perfetto —
+/// one lane per shard regardless of which worker thread ran it.
+fn shard_track(id: usize) -> u32 {
+    id as u32 + 1
+}
+
+/// Labels every shard's trace lane. A no-op (one relaxed load) while tracing
+/// is off; idempotent while on, so the fan-out paths can call it every
+/// window — a session enabled mid-stream still gets named lanes.
+fn label_shard_tracks(n: usize) {
+    if !nidc_obs::trace::trace_enabled() {
+        return;
+    }
+    for s in 0..n {
+        nidc_obs::trace::set_track_label(shard_track(s), &format!("shard {s}"));
+    }
+}
+
 /// SplitMix64 finaliser — a well-mixed, platform-independent permutation of
 /// `u64`, so shard assignment is stable across runs, machines, and shardings
 /// of adjacent id ranges (sequential `DocId`s spread uniformly).
@@ -312,6 +331,8 @@ impl ShardedPipeline {
             total += 1;
         }
         INGESTED_DOCS.add(total);
+        let _span = nidc_obs::span!("sharded.ingest_batch");
+        label_shard_tracks(self.shards.len());
         let threads = self.config.threads;
         let mut work: Vec<(&mut StreamShard, Vec<(DocId, SparseVector)>)> =
             self.shards.iter_mut().zip(batches).collect();
@@ -319,6 +340,8 @@ impl ShardedPipeline {
             if batch.is_empty() {
                 return Ok(());
             }
+            let _track = nidc_obs::trace::with_track(shard_track(shard.id));
+            let _s = nidc_obs::span!("shard.ingest");
             shard.pipeline_mut().ingest_batch(t, std::mem::take(batch))
         })
         .into_iter()
@@ -327,8 +350,12 @@ impl ShardedPipeline {
 
     /// Advances every shard's clock to `t` (pure decay, fanned out).
     pub fn advance_to(&mut self, t: Timestamp) -> Result<()> {
+        let _span = nidc_obs::span!("sharded.advance");
+        label_shard_tracks(self.shards.len());
         let threads = self.config.threads;
         nidc_parallel::par_map_mut(&mut self.shards, threads, |s| {
+            let _track = nidc_obs::trace::with_track(shard_track(s.id));
+            let _s = nidc_obs::span!("shard.advance");
             s.pipeline_mut().advance_to(t)
         })
         .into_iter()
@@ -338,9 +365,14 @@ impl ShardedPipeline {
     /// Expires documents below `ε = λ^γ` on every shard (fanned out) and
     /// returns the union, sorted ascending.
     pub fn expire(&mut self) -> Vec<DocId> {
+        let _span = nidc_obs::span!("sharded.expire");
+        label_shard_tracks(self.shards.len());
         let threads = self.config.threads;
-        let per_shard =
-            nidc_parallel::par_map_mut(&mut self.shards, threads, |s| s.pipeline_mut().expire());
+        let per_shard = nidc_parallel::par_map_mut(&mut self.shards, threads, |s| {
+            let _track = nidc_obs::trace::with_track(shard_track(s.id));
+            let _s = nidc_obs::span!("shard.expire");
+            s.pipeline_mut().expire()
+        });
         let mut all: Vec<DocId> = per_shard.into_iter().flatten().collect();
         EXPIRED_DOCS.add(all.len() as u64);
         all.sort_unstable();
@@ -365,11 +397,17 @@ impl ShardedPipeline {
         F: Fn(&mut NoveltyPipeline) -> Result<Clustering> + Sync,
     {
         register_sharded_metrics();
+        let span = nidc_obs::span!("sharded.recluster");
+        label_shard_tracks(self.shards.len());
         let timer = RECLUSTER_SECONDS.start_timer();
         RECLUSTERS.inc();
         let threads = self.config.threads;
         let results = nidc_parallel::par_map_mut(&mut self.shards, threads, |s| {
             DOCS_PER_SHARD.observe(s.num_docs() as f64);
+            // Everything the shard does — its window phases, its K-means
+            // iterations — nests under this span on the shard's own lane.
+            let _track = nidc_obs::trace::with_track(shard_track(s.id));
+            let _s = nidc_obs::span!("shard.recluster");
             f(s.pipeline_mut())
         });
         let mut clusterings = Vec::with_capacity(results.len());
@@ -377,6 +415,8 @@ impl ShardedPipeline {
             clusterings.push(r?);
         }
         timer.stop();
+        drop(span);
+        let _merge_span = nidc_obs::span!("sharded.merge");
         let _merge_timer = MERGE_SECONDS.start_timer();
         Ok(MergedClustering::new(clusterings))
     }

@@ -212,6 +212,9 @@ impl Repository {
         if delta == 0.0 {
             return Ok(());
         }
+        // Span after the zero-delta early return: only real decay passes
+        // show up in a trace.
+        let _span = nidc_obs::span!("repo.advance");
         let _timer = ADVANCE_SECONDS.start_timer();
         let factor = self.params.decay_over(delta);
         for entry in self.docs.values_mut() {
@@ -351,6 +354,7 @@ impl Repository {
     /// Cost: O(total tokens). Also removes accumulated floating-point drift
     /// from long chains of incremental updates.
     pub fn recompute_from_scratch(&mut self) {
+        let _span = nidc_obs::span!("repo.recompute");
         let _timer = RECOMPUTE_SECONDS.start_timer();
         let mut tdw = 0.0;
         for s in &mut self.term_num {
@@ -395,6 +399,7 @@ impl Repository {
             // The sequential fallback carries its own RECOMPUTE_SECONDS timer.
             return self.recompute_from_scratch();
         }
+        let _span = nidc_obs::span!("repo.recompute");
         let _timer = RECOMPUTE_SECONDS.start_timer();
         let lambda = self.params;
         let now = self.now;

@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::fs::{self, File};
-use std::io::{self, BufWriter, Write};
+use std::io::{self, LineWriter, Write};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 
@@ -49,13 +49,21 @@ impl fmt::Display for MetricsFormat {
 ///
 /// Creating an exporter also calls [`crate::set_enabled`]`(true)` — an
 /// export target implies the intent to record.
+///
+/// The JSON-lines writer is **line-buffered**: every completed window line
+/// reaches the file as soon as its newline is written, so a run that dies
+/// mid-stream (panic, abort between windows) leaves a file of whole,
+/// parseable lines — never a truncated one. Call
+/// [`MetricsExporter::finish`] at the end of a run to flush and surface
+/// any pending I/O error; dropping the exporter flushes too, but swallows
+/// errors as `Drop` must.
 #[derive(Debug)]
 pub struct MetricsExporter {
     path: PathBuf,
     format: MetricsFormat,
-    /// Open append handle for JSON-lines; `None` for Prometheus, which
-    /// rewrites the whole file each export.
-    writer: Option<BufWriter<File>>,
+    /// Open line-buffered append handle for JSON-lines; `None` for
+    /// Prometheus, which rewrites the whole file each export.
+    writer: Option<LineWriter<File>>,
 }
 
 impl MetricsExporter {
@@ -69,7 +77,7 @@ impl MetricsExporter {
             }
         }
         let writer = match format {
-            MetricsFormat::Jsonl => Some(BufWriter::new(File::create(&path)?)),
+            MetricsFormat::Jsonl => Some(LineWriter::new(File::create(&path)?)),
             MetricsFormat::Prom => {
                 File::create(&path)?; // fail early if the path is unwritable
                 None
@@ -110,14 +118,28 @@ impl MetricsExporter {
         match self.format {
             MetricsFormat::Jsonl => {
                 let w = self.writer.as_mut().expect("jsonl exporter has a writer");
-                w.write_all(snap.to_json_line(meta).as_bytes())?;
-                w.write_all(b"\n")?;
-                w.flush()?;
+                // One write per line: `LineWriter` pushes the whole line to
+                // the file when it sees the trailing newline, so the file
+                // only ever grows by complete lines.
+                let mut line = snap.to_json_line(meta);
+                line.push('\n');
+                w.write_all(line.as_bytes())?;
                 crate::reset();
             }
             MetricsFormat::Prom => {
                 fs::write(&self.path, snap.to_prometheus())?;
             }
+        }
+        Ok(())
+    }
+
+    /// Flushes anything still buffered (a final line written without its
+    /// newline cannot happen through [`MetricsExporter::export`], but the
+    /// flush also surfaces deferred I/O errors a `Drop` would swallow).
+    /// Call once at the end of a run.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if let Some(w) = &mut self.writer {
+            w.flush()?;
         }
         Ok(())
     }
@@ -192,6 +214,58 @@ mod tests {
             1,
             "rewritten, not appended"
         );
+        crate::set_enabled(false);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_lines_survive_a_writer_killed_mid_stream() {
+        let _guard = global_lock();
+        let path = tmpdir("kill").join("killed.jsonl");
+        let windows = 3u64;
+        let writer = std::thread::spawn({
+            let path = path.clone();
+            move || {
+                let mut exp = MetricsExporter::create(&path, MetricsFormat::Jsonl).unwrap();
+                for w in 0..windows {
+                    crate::add("export_kill_total", w + 1);
+                    exp.record_window(&[("window", w as f64)]).unwrap();
+                }
+                // Die without finish() or Drop — as an aborted process
+                // would. Line buffering means every recorded window must
+                // already be on disk.
+                std::mem::forget(exp);
+                panic!("killed mid-stream");
+            }
+        });
+        assert!(writer.join().is_err(), "writer thread must have died");
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), windows as usize, "no window lost: {text:?}");
+        for (i, line) in lines.iter().enumerate() {
+            let v: serde_json::Value =
+                serde_json::from_str(line).unwrap_or_else(|e| panic!("line {i} unparseable: {e}"));
+            assert_eq!(v["window"], serde_json::json!(i));
+            assert_eq!(v["counters"]["export_kill_total"], serde_json::json!(i + 1));
+        }
+        crate::set_enabled(false);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn finish_flushes_and_reports_errors_eagerly() {
+        let _guard = global_lock();
+        let path = tmpdir("finish").join("finish.jsonl");
+        let mut exp = MetricsExporter::create(&path, MetricsFormat::Jsonl).unwrap();
+        crate::add("export_finish_total", 1);
+        exp.record_window(&[]).unwrap();
+        exp.finish().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        // Prometheus exporters have no buffered writer; finish is a no-op.
+        let mut prom =
+            MetricsExporter::create(tmpdir("finish").join("m.prom"), MetricsFormat::Prom).unwrap();
+        prom.finish().unwrap();
         crate::set_enabled(false);
         fs::remove_file(&path).ok();
     }

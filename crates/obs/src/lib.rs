@@ -54,15 +54,20 @@ mod export;
 mod handles;
 mod log;
 mod metrics;
+pub mod profile;
 mod recorder;
 mod snapshot;
+pub mod trace;
+mod trace_export;
 
 pub use export::{MetricsExporter, MetricsFormat};
 pub use handles::{LazyCounter, LazyHistogram, PhaseTimer};
 pub use log::{debug, info, log, log_level, log_on, set_log_level, Level};
 pub use metrics::{buckets, Counter, Histogram};
+pub use profile::{Profile, ProfileNode};
 pub use recorder::{NoopRecorder, Recorder, Registry};
 pub use snapshot::{HistogramSnapshot, Snapshot};
+pub use trace_export::{write_chrome_trace, TraceSession};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -138,8 +143,29 @@ pub fn snapshot() -> Snapshot {
 /// snapshot taken right after a reset reports every previously-touched
 /// metric with zero values — this is what makes per-window JSON-lines
 /// deltas possible without invalidating `LazyCounter` sites.
+///
+/// **Scope is values only, by design**: the enable flag, log level, and
+/// trace state are untouched, because the JSON-lines exporter calls this
+/// after every window and must keep recording the next one. Use
+/// [`reset_all`] between independent runs in one process.
 pub fn reset() {
     GLOBAL.reset();
+}
+
+/// Returns the process to the recorder-off ground state: metric values
+/// zeroed in place (like [`reset`]), metric recording and tracing disabled,
+/// buffered trace events and track labels discarded, and the log level
+/// back to [`Level::Off`].
+///
+/// This is the boundary between independent runs sharing one process (the
+/// CLI calls it at the top of every command dispatch), so an earlier run's
+/// `--metrics`/`--log-level`/`--trace` cannot leak into the next.
+pub fn reset_all() {
+    GLOBAL.reset();
+    set_enabled(false);
+    set_log_level(Level::Off);
+    trace::set_trace_enabled(false);
+    trace::clear();
 }
 
 #[cfg(test)]
@@ -176,6 +202,36 @@ mod tests {
         assert_eq!(snap.counter(name), Some(2));
         assert_eq!(snap.histogram("lib_test_gate_seconds").unwrap().count, 1);
         set_enabled(false);
+    }
+
+    #[test]
+    fn reset_keeps_flags_but_reset_all_clears_them() {
+        let _guard = test_support::global_lock();
+        set_enabled(true);
+        set_log_level(Level::Debug);
+        trace::set_trace_enabled(true);
+        add("lib_test_reset_total", 7);
+        {
+            let _s = span!("lib_test_reset_span");
+        }
+
+        // `reset` zeroes values only: every flag survives (the JSONL
+        // exporter depends on this between windows).
+        reset();
+        assert_eq!(snapshot().counter("lib_test_reset_total"), Some(0));
+        assert!(enabled());
+        assert_eq!(log_level(), Level::Debug);
+        assert!(trace::trace_enabled());
+
+        // `reset_all` is the between-runs boundary: flags off, buffers gone.
+        add("lib_test_reset_total", 3);
+        reset_all();
+        assert_eq!(snapshot().counter("lib_test_reset_total"), Some(0));
+        assert!(!enabled());
+        assert_eq!(log_level(), Level::Off);
+        assert!(!trace::trace_enabled());
+        assert!(trace::drain().is_empty(), "buffered spans discarded");
+        assert!(trace::track_labels().is_empty());
     }
 
     #[test]

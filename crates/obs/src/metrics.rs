@@ -13,6 +13,18 @@ pub mod buckets {
         1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
     ];
 
+    /// Sub-millisecond micro-op latencies in seconds, 25ns – 100ms.
+    ///
+    /// [`LATENCY_SECONDS`] collapses everything under 1µs into one bucket,
+    /// which hides the distributions that matter for the step-1 sweep,
+    /// `ClusterIndex` maintenance, and per-document ingest: those run in
+    /// tens of nanoseconds to tens of microseconds. This family trades the
+    /// multi-second tail for 2.5×/4× steps through the ns/µs decades.
+    pub const FINE_SECONDS: &[f64] = &[
+        2.5e-8, 1e-7, 2.5e-7, 1e-6, 2.5e-6, 1e-5, 2.5e-5, 1e-4, 2.5e-4, 1e-3, 2.5e-3, 1e-2, 2.5e-2,
+        0.1,
+    ];
+
     /// Size-like quantities (documents, postings, chunk lengths).
     pub const SIZES: &[f64] = &[
         1.0,
@@ -243,6 +255,7 @@ mod tests {
     fn preset_bucket_layouts_ascend() {
         for bounds in [
             buckets::LATENCY_SECONDS,
+            buckets::FINE_SECONDS,
             buckets::SIZES,
             buckets::ITERATIONS,
             buckets::OBJECTIVE_G,

@@ -1,0 +1,321 @@
+//! In-process hierarchical profiling over drained trace events.
+//!
+//! [`Profile::from_events`] matches begin/end pairs, follows parent links
+//! (across threads — a shard worker's spans aggregate under the fan-out
+//! span that spawned it), and merges spans with the same *name path* into
+//! one node: `pipeline.recluster → kmeans.run → kmeans.iteration` is a
+//! single row however many windows and iterations ran. Each node carries a
+//! call count, total wall time, and self time (total minus the time spent
+//! in child spans), rendered as a tree-indented text report by
+//! [`Profile::to_text`] — the `--trace-summary` output.
+
+use std::collections::BTreeMap;
+
+use crate::trace::{TraceEvent, TracePhase};
+
+/// One aggregated node of the profile tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    /// Span name (shared by every span merged into this node).
+    pub name: &'static str,
+    /// How many spans merged here.
+    pub calls: u64,
+    /// Σ span durations.
+    pub total_ns: u64,
+    /// Σ (span duration − child span durations); time spent in this node's
+    /// own code rather than in instrumented children.
+    pub self_ns: u64,
+    /// Child nodes, sorted by descending total time.
+    pub children: Vec<ProfileNode>,
+}
+
+/// An aggregated span tree; see the module docs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// Root nodes (spans with no recorded parent), sorted by descending
+    /// total time.
+    pub roots: Vec<ProfileNode>,
+}
+
+/// Aggregation arena node, flattened to [`ProfileNode`] at the end.
+#[derive(Default)]
+struct Agg {
+    calls: u64,
+    total_ns: u64,
+    self_ns: u64,
+    children: BTreeMap<&'static str, usize>,
+}
+
+impl Profile {
+    /// Builds the aggregated tree from a drained event stream. Spans
+    /// missing an end event (which [`crate::trace::validate_events`] would
+    /// reject) are skipped.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        // Match begin/end pairs into (name, parent, duration) records.
+        struct Rec {
+            name: &'static str,
+            parent: u64,
+            dur_ns: u64,
+            child_ns: u64,
+        }
+        let mut recs: BTreeMap<u64, Rec> = BTreeMap::new();
+        for ev in events {
+            match ev.phase {
+                TracePhase::Begin => {
+                    recs.insert(
+                        ev.id,
+                        Rec {
+                            name: ev.name,
+                            parent: ev.parent,
+                            dur_ns: ev.ts_ns, // begin ts until the end arrives
+                            child_ns: 0,
+                        },
+                    );
+                }
+                TracePhase::End => {
+                    if let Some(r) = recs.get_mut(&ev.id) {
+                        r.dur_ns = ev.ts_ns.saturating_sub(r.dur_ns);
+                    }
+                }
+            }
+        }
+        // Drop unmatched begins: their dur_ns still holds a raw timestamp.
+        let mut ended: BTreeMap<u64, bool> = BTreeMap::new();
+        for ev in events {
+            if ev.phase == TracePhase::End {
+                ended.insert(ev.id, true);
+            }
+        }
+        recs.retain(|id, _| ended.contains_key(id));
+
+        // Charge each span's duration to its parent's child-time tally.
+        let child_sums: Vec<(u64, u64)> = recs
+            .values()
+            .filter(|r| r.parent != 0)
+            .map(|r| (r.parent, r.dur_ns))
+            .collect();
+        for (parent, dur) in child_sums {
+            if let Some(p) = recs.get_mut(&parent) {
+                p.child_ns += dur;
+            }
+        }
+
+        // Aggregate by name path. `path_of` memoises span id → arena index.
+        let mut arena: Vec<Agg> = Vec::new();
+        let mut root_index: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut node_of: BTreeMap<u64, usize> = BTreeMap::new();
+        // Ids in ascending order: a span's id is always greater than its
+        // parent's (allocation order), so parents resolve before children.
+        let ids: Vec<u64> = recs.keys().copied().collect();
+        for id in ids {
+            let (name, parent) = {
+                let r = &recs[&id];
+                (r.name, r.parent)
+            };
+            let slot = match node_of.get(&parent) {
+                Some(&p_idx) => {
+                    if let Some(&idx) = arena[p_idx].children.get(name) {
+                        idx
+                    } else {
+                        arena.push(Agg::default());
+                        let idx = arena.len() - 1;
+                        arena[p_idx].children.insert(name, idx);
+                        idx
+                    }
+                }
+                // Parent 0 or a parent that never ended: treat as a root.
+                None => *root_index.entry(name).or_insert_with(|| {
+                    arena.push(Agg::default());
+                    arena.len() - 1
+                }),
+            };
+            node_of.insert(id, slot);
+            let r = &recs[&id];
+            arena[slot].calls += 1;
+            arena[slot].total_ns += r.dur_ns;
+            arena[slot].self_ns += r.dur_ns.saturating_sub(r.child_ns);
+        }
+
+        fn build(name: &'static str, idx: usize, arena: &[Agg]) -> ProfileNode {
+            let a = &arena[idx];
+            let mut children: Vec<ProfileNode> = a
+                .children
+                .iter()
+                .map(|(n, i)| build(n, *i, arena))
+                .collect();
+            children.sort_by(|x, y| y.total_ns.cmp(&x.total_ns).then(x.name.cmp(y.name)));
+            ProfileNode {
+                name,
+                calls: a.calls,
+                total_ns: a.total_ns,
+                self_ns: a.self_ns,
+                children,
+            }
+        }
+        let mut roots: Vec<ProfileNode> = root_index
+            .iter()
+            .map(|(name, idx)| build(name, *idx, &arena))
+            .collect();
+        roots.sort_by(|x, y| y.total_ns.cmp(&x.total_ns).then(x.name.cmp(y.name)));
+        Self { roots }
+    }
+
+    /// Total number of aggregated nodes.
+    pub fn node_count(&self) -> usize {
+        fn count(n: &ProfileNode) -> usize {
+            1 + n.children.iter().map(count).sum::<usize>()
+        }
+        self.roots.iter().map(count).sum()
+    }
+
+    /// The tree-indented text report, e.g.:
+    ///
+    /// ```text
+    /// span                                      calls      total       self
+    /// pipeline.recluster                            4    38.21ms     1.02ms
+    ///   kmeans.run                                  4    35.70ms     0.41ms
+    ///     kmeans.iteration                         19    35.29ms    20.11ms
+    ///       kmeans.step1                           19    15.18ms    15.18ms
+    /// ```
+    pub fn to_text(&self) -> String {
+        const NAME_WIDTH: usize = 40;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<NAME_WIDTH$} {:>6} {:>10} {:>10}\n",
+            "span", "calls", "total", "self"
+        ));
+        fn walk(node: &ProfileNode, depth: usize, out: &mut String) {
+            let label = format!("{}{}", "  ".repeat(depth), node.name);
+            out.push_str(&format!(
+                "{:<NAME_WIDTH$} {:>6} {:>10} {:>10}\n",
+                label,
+                node.calls,
+                fmt_ns(node.total_ns),
+                fmt_ns(node.self_ns),
+            ));
+            for child in &node.children {
+                walk(child, depth + 1, out);
+            }
+        }
+        for root in &self.roots {
+            walk(root, 0, &mut out);
+        }
+        out
+    }
+}
+
+/// `12.34µs` / `5.67ms` / `8.90s` — fixed two decimals, unit by magnitude.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, id: u64, parent: u64, phase: TracePhase, ts_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            id,
+            parent,
+            track: 0,
+            thread: 0,
+            phase,
+            ts_ns,
+        }
+    }
+
+    #[test]
+    fn aggregates_same_path_and_computes_self_time() {
+        use TracePhase::{Begin, End};
+        // window(0..100) { kmeans(10..90) { iter(20..40), iter(50..80) } }
+        let events = vec![
+            ev("window", 1, 0, Begin, 0),
+            ev("kmeans", 2, 1, Begin, 10),
+            ev("iter", 3, 2, Begin, 20),
+            ev("iter", 3, 2, End, 40),
+            ev("iter", 4, 2, Begin, 50),
+            ev("iter", 4, 2, End, 80),
+            ev("kmeans", 2, 1, End, 90),
+            ev("window", 1, 0, End, 100),
+        ];
+        let p = Profile::from_events(&events);
+        assert_eq!(p.roots.len(), 1);
+        let window = &p.roots[0];
+        assert_eq!(
+            (window.name, window.calls, window.total_ns),
+            ("window", 1, 100)
+        );
+        assert_eq!(window.self_ns, 20, "100 total − 80 in kmeans");
+        let kmeans = &window.children[0];
+        assert_eq!(
+            (kmeans.name, kmeans.calls, kmeans.total_ns),
+            ("kmeans", 1, 80)
+        );
+        assert_eq!(kmeans.self_ns, 30, "80 − (20 + 30) in iters");
+        let iter = &kmeans.children[0];
+        assert_eq!((iter.name, iter.calls, iter.total_ns), ("iter", 2, 50));
+        assert_eq!(iter.self_ns, 50);
+        assert_eq!(p.node_count(), 3);
+    }
+
+    #[test]
+    fn cross_thread_children_attach_to_their_parent() {
+        use TracePhase::{Begin, End};
+        let mut events = vec![ev("fanout", 1, 0, Begin, 0)];
+        let mut worker = ev("chunk", 2, 1, Begin, 5);
+        worker.thread = 3;
+        events.push(worker);
+        let mut worker_end = ev("chunk", 2, 1, End, 15);
+        worker_end.thread = 3;
+        events.push(worker_end);
+        events.push(ev("fanout", 1, 0, End, 20));
+        let p = Profile::from_events(&events);
+        assert_eq!(p.roots.len(), 1);
+        assert_eq!(p.roots[0].children[0].name, "chunk");
+        assert_eq!(p.roots[0].self_ns, 10);
+    }
+
+    #[test]
+    fn text_report_is_tree_indented() {
+        use TracePhase::{Begin, End};
+        let events = vec![
+            ev("outer", 1, 0, Begin, 0),
+            ev("inner", 2, 1, Begin, 1_000),
+            ev("inner", 2, 1, End, 2_500_000),
+            ev("outer", 1, 0, End, 3_000_000),
+        ];
+        let text = Profile::from_events(&events).to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("span"));
+        assert!(lines[1].starts_with("outer"));
+        assert!(lines[2].starts_with("  inner"), "indented: {:?}", lines[2]);
+        assert!(lines[1].contains("3.00ms"));
+        assert!(lines[2].contains("2.50ms"));
+    }
+
+    #[test]
+    fn unmatched_begins_are_skipped() {
+        use TracePhase::Begin;
+        let events = vec![ev("dangling", 1, 0, Begin, 5)];
+        let p = Profile::from_events(&events);
+        assert!(p.roots.is_empty());
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(12_340), "12.34µs");
+        assert_eq!(fmt_ns(5_670_000), "5.67ms");
+        assert_eq!(fmt_ns(8_900_000_000), "8.90s");
+    }
+}

@@ -22,9 +22,10 @@ static FANOUTS: LazyCounter = LazyCounter::new("nidc_parallel_fanouts_total");
 static SEQUENTIAL: LazyCounter = LazyCounter::new("nidc_parallel_sequential_total");
 /// Chunks processed (sequential calls count as one chunk).
 static CHUNKS: LazyCounter = LazyCounter::new("nidc_parallel_chunks_total");
-/// Wall-clock seconds each chunk's closure ran for.
+/// Wall-clock seconds each chunk's closure ran for. Chunks routinely finish
+/// in microseconds, so this sits on the sub-millisecond bucket family.
 static CHUNK_SECONDS: LazyHistogram =
-    LazyHistogram::new("nidc_parallel_chunk_seconds", buckets::LATENCY_SECONDS);
+    LazyHistogram::new("nidc_parallel_chunk_seconds", buckets::FINE_SECONDS);
 
 /// The number of hardware threads, falling back to 1 when unknown.
 pub fn available_threads() -> usize {
@@ -101,6 +102,11 @@ where
     }
     FANOUTS.inc();
     SEQUENTIAL.add(0);
+    // Workers are fresh threads with no current span; capture the caller's
+    // trace context (inside a span covering the whole fan-out) and attach
+    // it in each worker so spans opened by `f` parent under this call.
+    let _fan_span = nidc_obs::span!("parallel.fan_out");
+    let ctx = nidc_obs::trace::current_context();
     let ranges = chunk_ranges(len, threads);
     let mut results: Vec<Option<R>> = Vec::new();
     results.resize_with(ranges.len(), || None);
@@ -108,6 +114,11 @@ where
         for (slot, range) in results.iter_mut().zip(ranges) {
             let f = &f;
             scope.spawn(move || {
+                // Declared first so it drops last: the flush must follow
+                // every span close, and must run even if `f` panics, so the
+                // spawner's drain sees this worker's events after the join.
+                let _flush = nidc_obs::trace::flush_on_exit();
+                let _ctx = ctx.attach();
                 CHUNKS.inc();
                 let _timer = CHUNK_SECONDS.start_timer();
                 *slot = Some(f(range));
@@ -180,6 +191,11 @@ where
             .collect();
     }
     FANOUTS.inc();
+    // Same trace-context handoff as `par_chunks`: shard/partition closures
+    // open spans of their own, and those must parent under this call site
+    // (and inherit its track) rather than dangle as roots.
+    let _fan_span = nidc_obs::span!("parallel.fan_out_mut");
+    let ctx = nidc_obs::trace::current_context();
     let ranges = chunk_ranges(len, threads);
     let mut results: Vec<Option<Vec<R>>> = Vec::new();
     results.resize_with(ranges.len(), || None);
@@ -192,6 +208,9 @@ where
             rest = tail;
             let f = &f;
             scope.spawn(move || {
+                // First so it drops last; see the par_chunks worker.
+                let _flush = nidc_obs::trace::flush_on_exit();
+                let _ctx = ctx.attach();
                 CHUNKS.inc();
                 let _timer = CHUNK_SECONDS.start_timer();
                 *slot = Some(chunk.iter_mut().map(f).collect());

@@ -21,7 +21,7 @@
 //! per-cluster dot products, which is what preserves the workspace's
 //! thread-count determinism contract end to end.
 
-use nidc_obs::LazyCounter;
+use nidc_obs::{buckets, LazyCounter, LazyHistogram};
 use nidc_textproc::{SparseVector, TermId};
 
 use crate::ClusterRep;
@@ -37,6 +37,11 @@ static ADD_OPS: LazyCounter = LazyCounter::new("nidc_index_add_ops_total");
 static REMOVE_OPS: LazyCounter = LazyCounter::new("nidc_index_remove_ops_total");
 /// Full rebuilds from the representatives (once per K-means iteration).
 static REBUILDS: LazyCounter = LazyCounter::new("nidc_index_rebuilds_total");
+/// Wall time of one full rebuild — re-mirroring every representative entry
+/// into the postings spine. Fine buckets: a rebuild over a window-sized
+/// vocabulary runs in microseconds.
+static REBUILD_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_index_rebuild_seconds", buckets::FINE_SECONDS);
 
 /// An inverted postings map `TermId → [(cluster, weight)]` mirroring the
 /// sparse representatives of K clusters.
@@ -159,6 +164,8 @@ impl ClusterIndex {
     /// index and reps stay bit-identical mirrors of each other).
     pub fn rebuild(&mut self, reps: &[ClusterRep]) {
         REBUILDS.inc();
+        let _span = nidc_obs::span!("index.rebuild");
+        let _timer = REBUILD_SECONDS.start_timer();
         self.k = reps.len();
         // keep the spine and list allocations; the K-means loop rebuilds
         // once per iteration

@@ -177,6 +177,36 @@ fn enabled_run_covers_all_instrumented_layers() {
     assert_eq!(Some(starts), snap.counter("nidc_kmeans_runs_total"));
 }
 
+/// Tracing is held to the same pure-observer contract as the metrics
+/// recorder: recording spans (begin/end events, ids, parent links,
+/// timestamps) across every instrumented layer must not change a single bit
+/// of any clustering result — and the trace the run leaves behind must be
+/// well-formed (balanced, monotone per thread, parents resolving).
+#[test]
+fn tracing_on_off_results_are_bit_identical() {
+    let _guard = flag_lock();
+    for backend in [RepBackend::Sparse, RepBackend::Dense] {
+        for threads in THREAD_COUNTS {
+            khy2006::obs::trace::set_trace_enabled(false);
+            khy2006::obs::trace::clear();
+            let off = run_pipeline(backend, threads);
+
+            khy2006::obs::trace::set_trace_enabled(true);
+            let on = run_pipeline(backend, threads);
+            khy2006::obs::trace::set_trace_enabled(false);
+            let events = khy2006::obs::trace::drain();
+
+            let stats = khy2006::obs::trace::validate_events(&events)
+                .expect("the traced run leaves a well-formed event stream");
+            assert!(stats.spans > 0, "the traced run recorded spans");
+            assert_eq!(
+                off, on,
+                "tracing flipped the result at backend {backend:?}, threads {threads}"
+            );
+        }
+    }
+}
+
 /// Warm-start bookkeeping survives the recorder: running the same
 /// assignment twice through `cluster_with_initial` with metrics on yields
 /// the same clustering as with metrics off.
