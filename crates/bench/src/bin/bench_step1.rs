@@ -18,7 +18,9 @@
 //! `nidc_index_postings_touched_total` vs `nidc_kmeans_step1_candidates_total`
 //! pair quantifies the inverted-index saving directly. Env: `NIDC_SCALE`
 //! scales the corpus (default 1.0 ≈ the paper's 7,578-document subset),
-//! `NIDC_SWEEPS` the number of timed sweep repetitions (default 5).
+//! `NIDC_SWEEPS` the number of timed sweep repetitions (default 5),
+//! `NIDC_BATCH_REPS` the best-of-N repetitions of the end-to-end
+//! `cluster_batch` timings (default 3).
 
 use std::time::{Duration, Instant};
 
@@ -35,6 +37,21 @@ fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
     (r, t.elapsed())
 }
 
+/// Best-of-`reps` timing: repeats `f` and keeps the fastest wall-clock.
+/// The minimum is the standard estimator for "how fast does this code run"
+/// on a noisy shared host — scheduler preemption only ever adds time.
+fn time_best<R>(reps: usize, f: impl Fn() -> R) -> (R, Duration) {
+    let (mut best_r, mut best_t) = time(&f);
+    for _ in 1..reps {
+        let (r, t) = time(&f);
+        if t < best_t {
+            best_r = r;
+            best_t = t;
+        }
+    }
+    (best_r, best_t)
+}
+
 fn main() {
     let mut exporter = metrics_from_args();
     let trace = trace_from_args();
@@ -43,6 +60,11 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
+    let batch_reps: usize = std::env::var("NIDC_BATCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
 
     println!("step-1 sweep: dense reps vs sparse reps + inverted index (expt1 workload)");
     println!(
@@ -131,7 +153,8 @@ fn main() {
         assert_eq!(dense_acc, index_acc, "sweep accumulators must agree");
 
         // end-to-end: the whole extended K-means under each backend
-        let (c_dense, t_batch_dense) = time(|| {
+        // (best-of-N so one scheduler hiccup cannot fake a regression)
+        let (c_dense, t_batch_dense) = time_best(batch_reps, || {
             cluster_batch(
                 &vecs,
                 &ClusteringConfig {
@@ -141,7 +164,7 @@ fn main() {
             )
             .unwrap()
         });
-        let (c_sparse, t_batch_sparse) = time(|| {
+        let (c_sparse, t_batch_sparse) = time_best(batch_reps, || {
             cluster_batch(
                 &vecs,
                 &ClusteringConfig {

@@ -9,7 +9,10 @@
 //!   renders);
 //! * per `tid`, timestamps never go backwards (events are written
 //!   time-sorted);
-//! * every nonzero `args.parent` refers to a span id that exists.
+//! * every nonzero `args.parent` refers to a span id that exists;
+//! * every `sharded.stitch` span nests directly under a `sharded.merge`
+//!   span — the stitching pass is part of the query-time merge, and a
+//!   stitch span floating anywhere else means the pipeline wiring broke.
 //!
 //! Usage: `check_trace --trace FILE`
 
@@ -42,7 +45,9 @@ fn validate(doc: &serde_json::Value) -> Result<TraceSummary, String> {
     let mut stacks: BTreeMap<u64, Vec<u64>> = BTreeMap::new(); // tid → open span ids
     let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
     let mut span_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut span_names: BTreeMap<u64, String> = BTreeMap::new();
     let mut parents: Vec<(u64, u64)> = Vec::new(); // (span, parent)
+    let mut stitch_spans: Vec<(u64, u64)> = Vec::new(); // (span, parent)
     let mut named_lanes = 0usize;
     let mut spans = 0usize;
 
@@ -82,14 +87,18 @@ fn validate(doc: &serde_json::Value) -> Result<TraceSummary, String> {
                 if !span_ids.insert(id) {
                     return Err(at(&format!("span id {id} begun twice")));
                 }
-                if let Some(parent) = ev
+                let name = ev.get("name").and_then(|n| n.as_str()).unwrap_or("");
+                span_names.insert(id, name.to_owned());
+                let parent = ev
                     .get("args")
                     .and_then(|a| a.get("parent"))
                     .and_then(|v| v.as_u64())
-                {
-                    if parent != 0 {
-                        parents.push((id, parent));
-                    }
+                    .unwrap_or(0);
+                if parent != 0 {
+                    parents.push((id, parent));
+                }
+                if name == "sharded.stitch" {
+                    stitch_spans.push((id, parent));
                 }
                 stacks.entry(tid).or_default().push(id);
             }
@@ -121,6 +130,18 @@ fn validate(doc: &serde_json::Value) -> Result<TraceSummary, String> {
     for (span, parent) in &parents {
         if !span_ids.contains(parent) {
             return Err(format!("span {span}: parent {parent} does not exist"));
+        }
+    }
+    for (span, parent) in &stitch_spans {
+        let parent_name = span_names.get(parent).map(String::as_str);
+        if parent_name != Some("sharded.merge") {
+            return Err(format!(
+                "sharded.stitch span {span}: parent is {}, expected a sharded.merge span",
+                match parent_name {
+                    Some(n) => format!("{n:?} (span {parent})"),
+                    None => "missing".to_owned(),
+                }
+            ));
         }
     }
     Ok(TraceSummary {
@@ -166,8 +187,12 @@ mod tests {
     }
 
     fn b(tid: u64, ts: f64, id: u64, parent: u64) -> serde_json::Value {
+        bn(tid, ts, id, parent, "s")
+    }
+
+    fn bn(tid: u64, ts: f64, id: u64, parent: u64, name: &str) -> serde_json::Value {
         let args = json!({"id": id, "parent": parent, "thread": tid});
-        json!({"ph": "B", "pid": 1, "tid": tid, "ts": ts, "name": "s", "args": args})
+        json!({"ph": "B", "pid": 1, "tid": tid, "ts": ts, "name": name, "args": args})
     }
 
     fn e(tid: u64, ts: f64, id: u64) -> serde_json::Value {
@@ -229,5 +254,36 @@ mod tests {
     #[test]
     fn rejects_missing_trace_events() {
         assert!(validate(&json!({"nope": []})).is_err());
+    }
+
+    #[test]
+    fn accepts_stitch_nested_under_merge() {
+        let d = doc(json!([
+            bn(0, 1.0, 1, 0, "sharded.merge"),
+            bn(0, 2.0, 2, 1, "sharded.stitch"),
+            e(0, 3.0, 2),
+            e(0, 4.0, 1),
+        ]));
+        assert_eq!(validate(&d).unwrap().spans, 2);
+    }
+
+    #[test]
+    fn rejects_orphan_stitch_span() {
+        let d = doc(json!([bn(0, 1.0, 1, 0, "sharded.stitch"), e(0, 2.0, 1)]));
+        let err = validate(&d).unwrap_err();
+        assert!(err.contains("sharded.stitch"), "{err}");
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_stitch_under_wrong_parent() {
+        let d = doc(json!([
+            bn(0, 1.0, 1, 0, "kmeans.run"),
+            bn(0, 2.0, 2, 1, "sharded.stitch"),
+            e(0, 3.0, 2),
+            e(0, 4.0, 1),
+        ]));
+        let err = validate(&d).unwrap_err();
+        assert!(err.contains("expected a sharded.merge"), "{err}");
     }
 }

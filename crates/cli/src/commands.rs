@@ -8,7 +8,7 @@ use nidc_core::{
     cluster_batch, Cluster, ClusteringConfig, MergedClustering, RepBackend, ShardedPipeline,
 };
 use nidc_corpus::{Corpus, Generator, GeneratorConfig, TopicId};
-use nidc_eval::{evaluate, purity, Labeling, MARKING_THRESHOLD};
+use nidc_eval::{evaluate, evaluate_sharded, purity, Labeling, MARKING_THRESHOLD};
 use nidc_forgetting::{DecayParams, Repository, Timestamp};
 use nidc_similarity::DocVectors;
 use nidc_textproc::{DocId, Pipeline, SparseVector, Vocabulary};
@@ -50,6 +50,33 @@ fn rep_backend_from(args: &ParsedArgs) -> Result<RepBackend> {
         None => Ok(RepBackend::default()),
         Some(s) => s.parse().map_err(CliError::Usage),
     }
+}
+
+/// `--stitch on|off [--stitch-threshold T]`: the query-time stitching pass
+/// over a sharded clustering. `None` means stitching is disabled;
+/// `Some(threshold)` enables it (the default, at
+/// [`nidc_core::DEFAULT_STITCH_THRESHOLD`]). A single shard is never
+/// stitched regardless — the pipeline gates on `shards > 1`.
+fn stitch_from(args: &ParsedArgs) -> Result<Option<f64>> {
+    let on = match args.get("stitch") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--stitch must be 'on' or 'off', got '{other}'"
+            )))
+        }
+    };
+    if !on {
+        return Ok(None);
+    }
+    let tau = args.get_f64("stitch-threshold", nidc_core::DEFAULT_STITCH_THRESHOLD)?;
+    if !tau.is_finite() || tau < 0.0 {
+        return Err(CliError::Usage(
+            "--stitch-threshold must be a finite non-negative number".into(),
+        ));
+    }
+    Ok(Some(tau))
 }
 
 /// `--metrics FILE [--metrics-format jsonl|prom]`: builds the snapshot
@@ -329,6 +356,9 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         _ => ShardedPipeline::new(decay, config, shards)
             .map_err(|e| CliError::Usage(e.to_string()))?,
     };
+    // --stitch on|off / --stitch-threshold: applies to fresh and restored
+    // pipelines alike (stitching is a query-time view, not pipeline state).
+    pipeline.set_stitch(stitch_from(args)?);
     let resume_day = pipeline.now().days();
     let mut topic_of = BTreeMap::new();
     let mut next_report = (resume_day / every).floor() * every + every;
@@ -350,9 +380,21 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
                 .partial_cmp(&a.rep().g_term())
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
+        // When the query-time stitch ran (shards > 1, --stitch on), show
+        // how many topics survive after cross-shard fragments are reunited.
+        let stitched_note = clustering
+            .stitched()
+            .map(|s| {
+                format!(
+                    " | stitched: {} clusters ({} merges)",
+                    s.non_empty_clusters(),
+                    s.merges()
+                )
+            })
+            .unwrap_or_default();
         writeln!(
             out,
-            "day {:>5.1}  {:>5} live docs | top: {}",
+            "day {:>5.1}  {:>5} live docs | top: {}{stitched_note}",
             day,
             pipeline.num_docs(),
             ranked
@@ -434,6 +476,86 @@ fn eval<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     };
     let mut exporter = metrics_exporter(args)?;
     let trace = trace_session(args)?;
+    let labels: Labeling<u32> = w
+        .article_indices
+        .iter()
+        .map(|&i| {
+            let a = &corpus.articles()[i];
+            (DocId(a.id), a.topic.0)
+        })
+        .collect();
+    // --shards N: score the window as a sharded deployment would see it —
+    // merged (fragmented), stitched, and per-shard figures side by side.
+    let shards = args.get_usize("shards", 1)?;
+    if shards > 1 {
+        let mut pipeline = ShardedPipeline::new(decay, config, shards)
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+        pipeline.set_stitch(stitch_from(args)?);
+        for &i in &w.article_indices {
+            let a = &corpus.articles()[i];
+            pipeline
+                .ingest(DocId(a.id), Timestamp(a.day), tfs[i].clone())
+                .map_err(|e| CliError::Other(e.to_string()))?;
+        }
+        pipeline
+            .advance_to(Timestamp(w.end))
+            .map_err(|e| CliError::Other(e.to_string()))?;
+        let merged = pipeline
+            .recluster_from_scratch()
+            .map_err(|e| CliError::Other(e.to_string()))?;
+        if let Some(m) = exporter.as_mut() {
+            m.record_window(&[("window", window_no as f64), ("shards", shards as f64)])?;
+            m.finish()?;
+        }
+        if let Some(s) = trace {
+            s.finish(out)?;
+        }
+        let per_shard: Vec<Vec<Vec<DocId>>> =
+            merged.shards().iter().map(|c| c.member_lists()).collect();
+        let stitched_lists = merged.stitched().map(|s| s.member_lists());
+        let e = evaluate_sharded(
+            &per_shard,
+            stitched_lists.as_deref(),
+            &labels,
+            MARKING_THRESHOLD,
+        );
+        writeln!(
+            out,
+            "window {} ({}): {} docs across {} shards",
+            window_no,
+            w.label,
+            w.len(),
+            shards
+        )?;
+        writeln!(
+            out,
+            "merged   micro F1 {:.3}   macro F1 {:.3}   outliers {}",
+            e.merged.micro_f1,
+            e.merged.macro_f1,
+            merged.outliers().len()
+        )?;
+        if let (Some(se), Some(sv)) = (&e.stitched, merged.stitched()) {
+            writeln!(
+                out,
+                "stitched micro F1 {:.3}   macro F1 {:.3}   clusters {}   merges {}   threshold {}",
+                se.micro_f1,
+                se.macro_f1,
+                sv.non_empty_clusters(),
+                sv.merges(),
+                sv.threshold()
+            )?;
+        }
+        for (s, pe) in e.per_shard.iter().enumerate() {
+            writeln!(
+                out,
+                "shard {s}  micro F1 {:.3}   macro F1 {:.3}   detected topics {}",
+                pe.micro_f1,
+                pe.macro_f1,
+                pe.detected_topics.len()
+            )?;
+        }
+        return Ok(());
+    }
     let mut repo = Repository::new(decay);
     for &i in &w.article_indices {
         let a = &corpus.articles()[i];
@@ -451,14 +573,6 @@ fn eval<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     if let Some(s) = trace {
         s.finish(out)?;
     }
-    let labels: Labeling<u32> = w
-        .article_indices
-        .iter()
-        .map(|&i| {
-            let a = &corpus.articles()[i];
-            (DocId(a.id), a.topic.0)
-        })
-        .collect();
     let e = evaluate(&clustering.member_lists(), &labels, MARKING_THRESHOLD);
     writeln!(out, "window {} ({}): {} docs", window_no, w.label, w.len())?;
     writeln!(
@@ -587,6 +701,71 @@ mod tests {
         run(&args, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("live docs"), "{text}");
+    }
+
+    #[test]
+    fn sharded_stream_reports_stitched_clusters() {
+        let path = generate_corpus("g12.jsonl");
+        let args = ParsedArgs::parse([
+            "stream", "--input", &path, "--every", "30", "--k", "8", "--shards", "3",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // stitching defaults to on for shards > 1
+        assert!(text.contains("stitched:"), "{text}");
+        assert!(text.contains("merges)"), "{text}");
+    }
+
+    #[test]
+    fn stitch_off_suppresses_the_stitched_view() {
+        let path = generate_corpus("g13.jsonl");
+        let args = ParsedArgs::parse([
+            "stream", "--input", &path, "--every", "30", "--k", "8", "--shards", "3", "--stitch",
+            "off",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("stitched:"), "{text}");
+    }
+
+    #[test]
+    fn bad_stitch_value_is_usage_error() {
+        let path = generate_corpus("g14.jsonl");
+        for bad in [
+            ["--stitch", "maybe"],
+            ["--stitch-threshold", "-1"],
+            ["--stitch-threshold", "inf"],
+        ] {
+            let mut argv = vec!["stream", "--input", &path, "--every", "60"];
+            argv.extend(bad);
+            let args = ParsedArgs::parse(argv).unwrap();
+            let mut out = Vec::new();
+            assert!(
+                matches!(run(&args, &mut out), Err(CliError::Usage(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_with_shards_reports_merged_stitched_and_per_shard_scores() {
+        let path = generate_corpus("g15.jsonl");
+        let args = ParsedArgs::parse([
+            "eval", "--input", &path, "--window", "1", "--k", "8", "--shards", "3",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("across 3 shards"), "{text}");
+        assert!(text.contains("merged   micro F1"), "{text}");
+        assert!(text.contains("stitched micro F1"), "{text}");
+        assert!(text.contains("shard 0"), "{text}");
+        assert!(text.contains("shard 2"), "{text}");
     }
 
     #[test]

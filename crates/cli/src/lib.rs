@@ -67,20 +67,28 @@ COMMANDS:
     stream     replay the corpus incrementally, printing overviews
                --input FILE [--k N=16] [--beta DAYS=7] [--gamma DAYS=21]
                [--every DAYS=5] [--state FILE] [--shards N=1]
+               [--stitch on|off] [--stitch-threshold T]
                [--threads N=0] [--rep sparse|dense] [--metrics FILE]
                (--state: resume from / checkpoint to a pipeline state file)
     eval       cluster a window and score it against the labels
                --input FILE --window N(1-6) [--k N=24] [--beta DAYS=7]
                [--gamma DAYS=30] [--seed N] [--threads N=0]
+               [--shards N=1] [--stitch on|off] [--stitch-threshold T]
                [--rep sparse|dense] [--metrics FILE]
 
 --threads N: worker threads for the clustering hot paths (0 = all hardware
 threads, 1 = sequential). Results are identical for any value.
---shards N (stream): split the stream over N independent pipelines behind a
-deterministic DocId router, clustered in parallel and merged at query time.
-N=1 (default) is the single pipeline, bit for bit; any fixed N is
-bit-identical across thread counts. Checkpoints store the topology — on
+--shards N (stream, eval): split the stream over N independent pipelines
+behind a deterministic DocId router, clustered in parallel and merged at
+query time. N=1 (default) is the single pipeline, bit for bit; any fixed N
+is bit-identical across thread counts. Checkpoints store the topology — on
 resume the checkpoint's shard count wins over --shards.
+--stitch on|off (stream, eval): the query-time stitching pass that reunites
+cross-shard fragments of one topic (group-average agglomeration over the
+merged representatives at a normalized cr_sim threshold). Default on; a
+single shard has nothing to stitch, so it only takes effect with
+--shards > 1. --stitch-threshold T sets the threshold (default 0.2;
+higher = merge less).
 --rep sparse|dense: cluster-representative storage. `sparse` (default) also
 routes the step-1 scoring sweep through a term→cluster inverted index;
 `dense` keeps the original O(K·|V|) arrays. Results are bit-identical.

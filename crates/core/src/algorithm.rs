@@ -44,6 +44,45 @@ static STEP1_SECONDS: LazyHistogram =
 static ITERATION_SECONDS: LazyHistogram =
     LazyHistogram::new("nidc_kmeans_iteration_seconds", buckets::FINE_SECONDS);
 
+/// Minimum estimated dense-sweep work per document — `K · avg nnz(φ)`,
+/// in multiply-adds — below which the term→cluster inverted index does not
+/// pay for its maintenance (a rebuild per iteration plus postings churn on
+/// every move) and the step-1 sweep runs on dense representatives instead.
+///
+/// Calibrated on the standard benchmark corpus (`results/BENCH_step1.json`),
+/// where avg nnz(φ) ≈ 83 puts the work units at ≈ 670 / 1340 / 2000 for
+/// K = 8 / 16 / 24 and the measured sparse-vs-dense crossover sits between
+/// K = 16 and K = 32: the cutoff flips K ≤ 16 to the dense sweep and keeps
+/// K = 24 (the sharding bench) and up on the index.
+const INDEX_MIN_SWEEP_WORK: f64 = 1500.0;
+
+/// Which backend the in-run sweep should use. The sparse backend's inverted
+/// index wins only when the dense sweep would do enough work per document;
+/// for small `K · avg nnz(φ)` the run uses dense representatives internally
+/// — legal because the two backends are bit-identical by contract (see
+/// [`RepBackend`]) — and converts the final representatives back to the
+/// configured backend on exit.
+fn sweep_backend(
+    config: &ClusteringConfig,
+    vecs: &DocVectors,
+    ids: &[DocId],
+    k: usize,
+) -> RepBackend {
+    if config.rep_backend == RepBackend::Dense {
+        return RepBackend::Dense;
+    }
+    let total_nnz: usize = ids
+        .iter()
+        .map(|&d| vecs.phi(d).map_or(0, |phi| phi.nnz()))
+        .sum();
+    let avg_nnz = total_nnz as f64 / ids.len() as f64;
+    if (k as f64) * avg_nnz < INDEX_MIN_SWEEP_WORK {
+        RepBackend::Dense
+    } else {
+        RepBackend::Sparse
+    }
+}
+
 /// How the repetition process is initialised.
 #[derive(Debug, Clone)]
 pub enum InitialState {
@@ -160,9 +199,8 @@ pub fn cluster_with_initial(
     let _run_span = nidc_obs::span!("kmeans.run");
 
     // --- Initial process -------------------------------------------------
-    let mut reps: Vec<ClusterRep> = (0..k)
-        .map(|_| ClusterRep::new_with(config.rep_backend))
-        .collect();
+    let run_backend = sweep_backend(config, vecs, &ids, k);
+    let mut reps: Vec<ClusterRep> = (0..k).map(|_| ClusterRep::new_with(run_backend)).collect();
     let mut assign: BTreeMap<DocId, usize> = BTreeMap::new();
     let mut sizes = vec![0usize; k];
 
@@ -213,14 +251,18 @@ pub fn cluster_with_initial(
         sizes[p] += 1;
     }
 
-    // The sparse backend routes the step-1 sweep through a term→cluster
-    // inverted index mirroring the representatives; the dense backend keeps
-    // per-cluster dot products (no index to maintain).
-    let mut index: Option<ClusterIndex> = (config.rep_backend == RepBackend::Sparse).then(|| {
+    // The sparse sweep routes step 1 through a term→cluster inverted index
+    // mirroring the representatives; the dense sweep keeps per-cluster dot
+    // products (no index to maintain).
+    let mut index: Option<ClusterIndex> = (run_backend == RepBackend::Sparse).then(|| {
         let mut ix = ClusterIndex::new(k);
         ix.rebuild(&reps);
         ix
     });
+    if index.is_none() && config.rep_backend == RepBackend::Sparse {
+        // the heuristic skipped the index: keep the metric schema stable
+        ClusterIndex::register_metrics();
+    }
 
     let mut g_old: f64 = reps.iter().map(ClusterRep::g_term).sum();
 
@@ -425,7 +467,16 @@ pub fn cluster_with_initial(
             let clusters = members
                 .into_iter()
                 .zip(reps)
-                .map(|(m, rep)| Cluster::new(m, rep))
+                .map(|(m, rep)| {
+                    // re-home heuristic-chosen sweep backends onto the
+                    // configured one; a bit-exact copy (see to_backend)
+                    let rep = if rep.backend() == config.rep_backend {
+                        rep
+                    } else {
+                        rep.to_backend(config.rep_backend)
+                    };
+                    Cluster::new(m, rep)
+                })
                 .collect();
             return Ok(Clustering::new(clusters, outliers, g_new, iterations));
         }

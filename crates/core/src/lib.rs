@@ -80,7 +80,10 @@ pub use algorithm::{cluster_batch, cluster_with_initial, InitialState};
 pub use clustering::{Cluster, Clustering};
 pub use config::{ClusteringConfig, Criterion, RepBackend};
 pub use error::Error;
-pub use merge::{GlobalClusterId, MergedClustering};
+pub use merge::{
+    GlobalClusterId, MergedClustering, StitchedCluster, StitchedClustering,
+    DEFAULT_STITCH_THRESHOLD,
+};
 pub use persist::{ConfigState, PipelineState, ShardState, ShardedPipelineState};
 pub use pipeline::NoveltyPipeline;
 pub use shard::{ShardRouter, ShardedPipeline, StreamShard};

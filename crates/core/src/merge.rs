@@ -11,10 +11,43 @@
 
 use std::collections::BTreeMap;
 
+use nidc_obs::{buckets, LazyCounter, LazyHistogram};
 use nidc_similarity::{ClusterRep, RepBackend};
 use nidc_textproc::DocId;
 
 use crate::{Cluster, Clustering};
+
+/// Stitching passes executed (one per [`MergedClustering::stitch`] call).
+static STITCH_RUNS: LazyCounter = LazyCounter::new("nidc_stitch_runs_total");
+/// Cluster fragments folded into another cluster across all passes — the
+/// repair volume (0 on a well-separated or single-shard stream).
+static STITCH_MERGED_FRAGMENTS: LazyCounter =
+    LazyCounter::new("nidc_stitch_merged_fragments_total");
+/// Wall-clock seconds per stitching pass (dot matrix + agglomeration).
+static STITCH_SECONDS: LazyHistogram =
+    LazyHistogram::new("nidc_stitch_seconds", buckets::LATENCY_SECONDS);
+/// Non-empty clusters surviving each pass (compare against
+/// `nidc_stitch_merged_fragments_total` for the input count).
+static STITCH_OUTPUT_CLUSTERS: LazyHistogram =
+    LazyHistogram::new("nidc_stitch_output_clusters", buckets::SIZES);
+
+/// Registers the stitch metric family at zero so per-window snapshots carry
+/// the full schema even on runs that never stitch (e.g. one shard).
+pub(crate) fn register_stitch_metrics() {
+    STITCH_RUNS.add(0);
+    STITCH_MERGED_FRAGMENTS.add(0);
+    STITCH_SECONDS.touch();
+    STITCH_OUTPUT_CLUSTERS.touch();
+}
+
+/// The default normalized-`cr_sim` stitching threshold τ.
+///
+/// Fragments of one topic routed to different shards score far above this
+/// (they share the topic vocabulary), while distinct topics score near zero;
+/// the value is calibrated on the sharding benchmark
+/// (`results/BENCH_shards.json`), where it recovers ≥ 90% of the unsharded
+/// micro-F1 at 2–8 shards.
+pub const DEFAULT_STITCH_THRESHOLD: f64 = 0.2;
 
 /// Global identity of a cluster in a sharded deployment: which shard owns
 /// it, and its index inside that shard's K-slot clustering.
@@ -42,12 +75,16 @@ impl std::fmt::Display for GlobalClusterId {
 #[derive(Debug, Clone)]
 pub struct MergedClustering {
     shards: Vec<Clustering>,
+    stitched: Option<StitchedClustering>,
 }
 
 impl MergedClustering {
     /// Wraps per-shard clusterings (index = shard id).
     pub fn new(shards: Vec<Clustering>) -> Self {
-        Self { shards }
+        Self {
+            shards,
+            stitched: None,
+        }
     }
 
     /// Number of shards merged.
@@ -167,6 +204,315 @@ impl MergedClustering {
         }
         rep
     }
+
+    /// Runs the cross-shard stitching pass (see [`StitchedClustering`]) at
+    /// threshold τ and returns the result without attaching it.
+    pub fn stitch(&self, threshold: f64) -> StitchedClustering {
+        stitch_shards(&self.shards, threshold)
+    }
+
+    /// Runs the stitching pass and attaches the result, so query paths can
+    /// read it back via [`MergedClustering::stitched`].
+    pub fn stitch_in_place(&mut self, threshold: f64) {
+        self.stitched = Some(self.stitch(threshold));
+    }
+
+    /// The attached stitched view, if a stitching pass ran.
+    pub fn stitched(&self) -> Option<&StitchedClustering> {
+        self.stitched.as_ref()
+    }
+}
+
+/// One cluster of a [`StitchedClustering`]: the union of one or more
+/// per-shard cluster fragments.
+#[derive(Debug, Clone)]
+pub struct StitchedCluster {
+    id: GlobalClusterId,
+    sources: Vec<GlobalClusterId>,
+    members: Vec<DocId>,
+    rep: ClusterRep,
+}
+
+impl StitchedCluster {
+    /// The stable stitched id: the lowest (shard-major) global id among the
+    /// folded fragments — the slot that absorbed the others.
+    pub fn id(&self) -> GlobalClusterId {
+        self.id
+    }
+
+    /// Every folded fragment's global id, sorted ascending (shard-major).
+    /// A single-element list means the cluster passed through unstitched.
+    pub fn sources(&self) -> &[GlobalClusterId] {
+        &self.sources
+    }
+
+    /// Member documents, sorted ascending.
+    pub fn members(&self) -> &[DocId] {
+        &self.members
+    }
+
+    /// The merged representative over the union of the fragments' members —
+    /// exact, via [`ClusterRep::merge_from`] (eq. 21/25), and always on the
+    /// sparse backend.
+    pub fn rep(&self) -> &ClusterRep {
+        &self.rep
+    }
+
+    /// Number of member documents.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster (an empty preserved K-slot) has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// `avg_sim` over the union (eq. 24, exact).
+    pub fn avg_sim(&self) -> f64 {
+        self.rep.avg_sim()
+    }
+}
+
+/// The cross-shard stitched view: the repair pass for the sharding quality
+/// cliff.
+///
+/// The router partitions documents by id, so one topic's documents scatter
+/// across shards and each shard grows its own fragment of the topic's
+/// cluster. [`MergedClustering`] alone keeps those fragments separate, which
+/// is why the merged F1 collapses as shards grow. Stitching reunites them:
+/// group-average agglomeration over the merged representatives, merging the
+/// most similar pair while its **normalized `cr_sim`**
+///
+/// ```text
+/// sim(A, B) = cr_sim(A, B) / √(cr_sim(A,A) · cr_sim(B,B))      (eq. 21)
+/// ```
+///
+/// stays ≥ τ. The normalization makes τ scale-free: forgetting decays every
+/// φ's magnitude over time, but the representatives' *directions* — and so
+/// a fixed τ — stay meaningful across windows. Each merge folds fragments
+/// exactly via [`ClusterRep::merge_from`] (eq. 25), so every stitched
+/// cluster's `avg_sim`, and therefore the stitched `G` (eq. 17), is exact.
+///
+/// Ids are stable: every input K-slot (including empty ones) keeps its
+/// shard-major position, a merge folds the higher slot into the lower one,
+/// and the survivor keeps its [`GlobalClusterId`]. With a single shard the
+/// pass is the identity — there are no cross-shard fragments to reunite —
+/// and the stitched view is bit-identical to the unsharded clustering.
+/// With several shards, pairs from the *same* shard may also merge if they
+/// clear τ; the threshold, not the topology, governs.
+///
+/// Complexity: O(N²) representative dot products up front plus an O(N²)
+/// scan per merge, N = Σ_shards K. Merging `j` into `i` updates the cached
+/// dot row additively (`c⃗_{i∪j}·c⃗_x = c⃗_i·c⃗_x + c⃗_j·c⃗_x`), so no dot
+/// product is ever recomputed. The pass is sequential and therefore
+/// trivially thread-count invariant; representatives are folded onto the
+/// sparse backend first, so it is also bit-identical across
+/// [`RepBackend`]s.
+#[derive(Debug, Clone)]
+pub struct StitchedClustering {
+    clusters: Vec<StitchedCluster>,
+    outliers: Vec<DocId>,
+    g: f64,
+    threshold: f64,
+    input_clusters: usize,
+    merges: usize,
+}
+
+impl StitchedClustering {
+    /// The stitched clusters, shard-major by surviving slot (empty input
+    /// K-slots are preserved, so positions are stable across queries).
+    pub fn clusters(&self) -> &[StitchedCluster] {
+        &self.clusters
+    }
+
+    /// Looks up a stitched cluster by its (surviving) global id.
+    pub fn cluster(&self, id: GlobalClusterId) -> Option<&StitchedCluster> {
+        self.clusters.iter().find(|c| c.id == id)
+    }
+
+    /// All shards' outliers, merged and sorted ascending (stitching never
+    /// promotes or demotes outliers).
+    pub fn outliers(&self) -> &[DocId] {
+        &self.outliers
+    }
+
+    /// The exact stitched clustering index `G = Σ |C|·avg_sim(C)` (eq. 17)
+    /// over the stitched clusters.
+    pub fn g(&self) -> f64 {
+        self.g
+    }
+
+    /// The threshold τ the pass ran at.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Non-empty clusters fed into the pass.
+    pub fn input_clusters(&self) -> usize {
+        self.input_clusters
+    }
+
+    /// Fragments folded into another cluster (`input_clusters −
+    /// non_empty_clusters`).
+    pub fn merges(&self) -> usize {
+        self.merges
+    }
+
+    /// Number of non-empty stitched clusters.
+    pub fn non_empty_clusters(&self) -> usize {
+        self.clusters.iter().filter(|c| !c.is_empty()).count()
+    }
+
+    /// Total documents assigned to stitched clusters (excludes outliers).
+    pub fn assigned_docs(&self) -> usize {
+        self.clusters.iter().map(StitchedCluster::len).sum()
+    }
+
+    /// Member lists of every stitched cluster, in cluster order (includes
+    /// preserved empty K-slots) — the shape the evaluation code consumes.
+    pub fn member_lists(&self) -> Vec<Vec<DocId>> {
+        self.clusters.iter().map(|c| c.members.clone()).collect()
+    }
+
+    /// The stitched assignment map `DocId → stitched cluster id`.
+    pub fn assignment(&self) -> BTreeMap<DocId, GlobalClusterId> {
+        let mut map = BTreeMap::new();
+        for c in &self.clusters {
+            for &d in &c.members {
+                map.insert(d, c.id);
+            }
+        }
+        map
+    }
+}
+
+/// The stitching pass itself. Kept free so [`MergedClustering::stitch`] can
+/// borrow `self.shards` while the caller holds `&mut self`.
+fn stitch_shards(shards: &[Clustering], threshold: f64) -> StitchedClustering {
+    // Span first, timer second: drop order closes the span after the timer
+    // has observed. The span opens while `sharded.merge` is current on the
+    // re-clustering path, so it nests under the merge span in the trace.
+    let _span = nidc_obs::span!("sharded.stitch");
+    let _timer = STITCH_SECONDS.start_timer();
+    STITCH_RUNS.inc();
+
+    // Fold every input slot onto a fresh sparse rep: `merge_from` into an
+    // empty rep copies size/cr_self/ss bitwise, and all later dot products
+    // are sparse merge-joins regardless of the shards' configured backend.
+    let mut clusters: Vec<StitchedCluster> = Vec::new();
+    for (s, clustering) in shards.iter().enumerate() {
+        for (local, cl) in clustering.clusters().iter().enumerate() {
+            let id = GlobalClusterId { shard: s, local };
+            let mut rep = ClusterRep::new_with(RepBackend::Sparse);
+            rep.merge_from(cl.rep());
+            clusters.push(StitchedCluster {
+                id,
+                sources: vec![id],
+                members: cl.members().to_vec(),
+                rep,
+            });
+        }
+    }
+    let input_clusters = clusters.iter().filter(|c| !c.is_empty()).count();
+
+    let mut merges = 0usize;
+    if shards.len() > 1 {
+        let n = clusters.len();
+        let mut alive = vec![true; n];
+        // full dot matrix up front; empty slots never participate
+        let mut dot = vec![0.0f64; n * n];
+        for i in 0..n {
+            if clusters[i].is_empty() {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if clusters[j].is_empty() {
+                    continue;
+                }
+                let d = clusters[i].rep.dot_rep(&clusters[j].rep);
+                dot[i * n + j] = d;
+                dot[j * n + i] = d;
+            }
+        }
+        loop {
+            // best surviving pair, strict `>` in (i, j) scan order so ties
+            // resolve to the first pair — the GAC baseline's idiom
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..n {
+                if !alive[i] || clusters[i].is_empty() {
+                    continue;
+                }
+                let cr_i = clusters[i].rep.cr_self();
+                for j in (i + 1)..n {
+                    if !alive[j] || clusters[j].is_empty() {
+                        continue;
+                    }
+                    let denom = (cr_i * clusters[j].rep.cr_self()).sqrt();
+                    if denom <= 0.0 {
+                        continue;
+                    }
+                    let sim = dot[i * n + j] / denom;
+                    if best.is_none_or(|(_, _, b)| sim > b) {
+                        best = Some((i, j, sim));
+                    }
+                }
+            }
+            let Some((i, j, sim)) = best else { break };
+            if sim < threshold {
+                break;
+            }
+            // fold slot j into slot i (i < j: the survivor keeps the lower,
+            // therefore stable, global id)
+            let (left, right) = clusters.split_at_mut(j);
+            left[i].rep.merge_from(&right[0].rep);
+            let moved_members = std::mem::take(&mut right[0].members);
+            left[i].members.extend(moved_members);
+            let moved_sources = std::mem::take(&mut right[0].sources);
+            left[i].sources.extend(moved_sources);
+            // dot products are linear in the reps: c⃗_{i∪j}·c⃗_x = c⃗_i·c⃗_x
+            // + c⃗_j·c⃗_x — update row i additively, no recomputation
+            for x in 0..n {
+                if x == i || x == j {
+                    continue;
+                }
+                dot[i * n + x] += dot[j * n + x];
+                dot[x * n + i] = dot[i * n + x];
+            }
+            alive[j] = false;
+            merges += 1;
+        }
+        clusters = clusters
+            .into_iter()
+            .zip(alive)
+            .filter_map(|(c, keep)| keep.then_some(c))
+            .collect();
+    }
+    for c in &mut clusters {
+        c.members.sort_unstable();
+        c.sources.sort_unstable();
+    }
+
+    let mut outliers: Vec<DocId> = shards
+        .iter()
+        .flat_map(|c| c.outliers().iter().copied())
+        .collect();
+    outliers.sort_unstable();
+
+    // exact stitched G, summed in slot order — for a single shard this is
+    // the same accumulation sequence the K-means ran, hence bit-identical
+    let g: f64 = clusters.iter().map(|c| c.rep.g_term()).sum();
+
+    STITCH_MERGED_FRAGMENTS.add(merges as u64);
+    STITCH_OUTPUT_CLUSTERS.observe(clusters.iter().filter(|c| !c.is_empty()).count() as f64);
+    StitchedClustering {
+        clusters,
+        outliers,
+        g,
+        threshold,
+        input_clusters,
+        merges,
+    }
 }
 
 #[cfg(test)]
@@ -181,8 +527,9 @@ mod tests {
         SparseVector::from_entries(pairs.iter().map(|&(i, w)| (TermId(i), w)).collect())
     }
 
-    /// Two shards, each clustered over its own repository.
-    fn two_shard_merge() -> MergedClustering {
+    /// Two shards, each clustered over its own repository, with the φ
+    /// vectors each shard's clustering was built from.
+    fn two_shard_merge_with_vecs() -> (MergedClustering, Vec<DocVectors>) {
         let decay = DecayParams::from_spans(7.0, 14.0).unwrap();
         let config = ClusteringConfig {
             k: 2,
@@ -190,6 +537,7 @@ mod tests {
             ..ClusteringConfig::default()
         };
         let mut shards = Vec::new();
+        let mut all_vecs = Vec::new();
         for base in [0u64, 100u64] {
             let mut repo = Repository::new(decay);
             for i in 0..3 {
@@ -210,8 +558,13 @@ mod tests {
             }
             let vecs = DocVectors::build(&repo);
             shards.push(cluster_batch(&vecs, &config).unwrap());
+            all_vecs.push(vecs);
         }
-        MergedClustering::new(shards)
+        (MergedClustering::new(shards), all_vecs)
+    }
+
+    fn two_shard_merge() -> MergedClustering {
+        two_shard_merge_with_vecs().0
     }
 
     #[test]
@@ -283,6 +636,114 @@ mod tests {
         // unknown ids are skipped
         let same = m.merged_rep(&[ids[0], GlobalClusterId { shard: 9, local: 9 }]);
         assert_eq!(same.size(), m.cluster(ids[0]).unwrap().rep().size());
+    }
+
+    #[test]
+    fn stitch_tau_infinity_is_the_identity() {
+        // normalized cr_sim is ≤ ~1, so τ = ∞ can never merge anything
+        let m = two_shard_merge();
+        let s = m.stitch(f64::INFINITY);
+        assert_eq!(s.merges(), 0);
+        assert_eq!(s.member_lists(), m.member_lists());
+        assert_eq!(s.outliers(), m.outliers());
+        assert_eq!(s.non_empty_clusters(), m.non_empty_clusters());
+        assert!((s.g() - m.g()).abs() < 1e-12);
+        // ids pass through untouched, one source each
+        for (c, id) in s.clusters().iter().zip(m.cluster_ids()) {
+            assert_eq!(c.id(), id);
+            assert_eq!(c.sources(), [id]);
+        }
+    }
+
+    #[test]
+    fn stitch_tau_zero_collapses_to_a_single_cluster() {
+        // φ weights are nonnegative, so every pairwise normalized cr_sim is
+        // ≥ 0 and τ = 0 agglomerates every non-empty cluster into one
+        let m = two_shard_merge();
+        let s = m.stitch(0.0);
+        assert_eq!(s.non_empty_clusters(), 1);
+        let all: Vec<DocId> = s
+            .clusters()
+            .iter()
+            .flat_map(|c| c.members().iter().copied())
+            .collect();
+        assert_eq!(all.len(), m.assigned_docs());
+        assert_eq!(s.merges(), s.input_clusters() - 1);
+        // the survivor keeps the lowest global id
+        let survivor = s.clusters().iter().find(|c| !c.is_empty()).unwrap();
+        assert_eq!(survivor.id(), *survivor.sources().first().unwrap());
+    }
+
+    #[test]
+    fn stitch_reunites_cross_shard_fragments_of_one_topic() {
+        // each shard has a topic-A cluster (terms 0/1) and a topic-B cluster
+        // (terms 8/9); at a moderate τ the same-topic fragments merge across
+        // shards and the two topics stay apart
+        let m = two_shard_merge();
+        let s = m.stitch(0.5);
+        assert_eq!(s.non_empty_clusters(), 2);
+        assert_eq!(s.merges(), 2);
+        for c in s.clusters().iter().filter(|c| !c.is_empty()) {
+            assert_eq!(c.sources().len(), 2, "one fragment from each shard");
+            assert_eq!(c.len(), 6);
+            // stitched ids are stable: the lowest folded fragment's id
+            assert_eq!(c.id(), *c.sources().first().unwrap());
+            // members arrive sorted
+            let mut sorted = c.members().to_vec();
+            sorted.sort_unstable();
+            assert_eq!(c.members(), sorted);
+        }
+        // assignment maps every assigned doc to its stitched cluster
+        let assign = s.assignment();
+        assert_eq!(assign.len(), s.assigned_docs());
+        for (d, id) in &assign {
+            assert!(s.cluster(*id).unwrap().members().contains(d));
+        }
+    }
+
+    #[test]
+    fn stitched_rep_is_exact_versus_from_members_on_the_union() {
+        let (m, vecs) = two_shard_merge_with_vecs();
+        let s = m.stitch(0.5);
+        for c in s.clusters().iter().filter(|c| c.sources().len() > 1) {
+            let phis = c.members().iter().map(|d| {
+                let shard = usize::from(d.0 >= 100);
+                vecs[shard].phi(*d).expect("member has a vector")
+            });
+            let reference = ClusterRep::from_members(phis);
+            assert_eq!(c.rep().size(), reference.size());
+            // merge_from folds fragments in a different floating-point
+            // order than sequential adds; exact in value, not in bits
+            let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+            assert!(rel(c.rep().cr_self(), reference.cr_self()) < 1e-9);
+            assert!(rel(c.rep().ss(), reference.ss()) < 1e-9);
+            assert!(rel(c.avg_sim(), reference.avg_sim()) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stitch_single_shard_is_a_no_op_even_at_tau_zero() {
+        let (m, _) = two_shard_merge_with_vecs();
+        // re-wrap just the first shard as a 1-shard merged view
+        let single = MergedClustering::new(vec![m.shard(0).clone()]);
+        let s = single.stitch(0.0);
+        assert_eq!(s.merges(), 0);
+        assert_eq!(s.member_lists(), single.member_lists());
+        assert_eq!(s.outliers(), single.outliers());
+        assert_eq!(
+            s.g().to_bits(),
+            single.shard(0).g().to_bits(),
+            "single-shard stitched G must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn stitch_in_place_attaches_the_view() {
+        let mut m = two_shard_merge();
+        assert!(m.stitched().is_none());
+        m.stitch_in_place(0.5);
+        let s = m.stitched().expect("attached");
+        assert_eq!(s.threshold(), 0.5);
     }
 
     #[test]

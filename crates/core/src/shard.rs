@@ -60,6 +60,7 @@ fn register_sharded_metrics() {
     RECLUSTER_SECONDS.touch();
     MERGE_SECONDS.touch();
     DOCS_PER_SHARD.touch();
+    crate::merge::register_stitch_metrics();
 }
 
 /// The trace track carrying shard `id`'s spans. Track 0 is the calling
@@ -189,6 +190,10 @@ pub struct ShardedPipeline {
     shards: Vec<StreamShard>,
     router: ShardRouter,
     config: ClusteringConfig,
+    /// Stitching threshold τ for the query-time repair pass; `None`
+    /// disables stitching. Only takes effect with more than one shard —
+    /// a single shard has no cross-shard fragments to reunite.
+    stitch: Option<f64>,
 }
 
 impl ShardedPipeline {
@@ -223,7 +228,27 @@ impl ShardedPipeline {
                 .collect(),
             router,
             config,
+            stitch: Some(crate::merge::DEFAULT_STITCH_THRESHOLD),
         })
+    }
+
+    /// Sets the stitching threshold τ for the query-time repair pass:
+    /// `Some(τ)` stitches every merged view at τ, `None` disables
+    /// stitching. The default is `Some(DEFAULT_STITCH_THRESHOLD)`; with a
+    /// single shard the setting is ignored (nothing to stitch).
+    pub fn set_stitch(&mut self, threshold: Option<f64>) {
+        self.stitch = threshold;
+    }
+
+    /// The configured stitching threshold (`None` = disabled).
+    pub fn stitch_threshold(&self) -> Option<f64> {
+        self.stitch
+    }
+
+    /// The threshold the merge paths will actually stitch at: the
+    /// configured τ, gated on having more than one shard.
+    fn effective_stitch(&self) -> Option<f64> {
+        (self.shards.len() > 1).then_some(self.stitch).flatten()
     }
 
     /// The router in use.
@@ -418,7 +443,12 @@ impl ShardedPipeline {
         drop(span);
         let _merge_span = nidc_obs::span!("sharded.merge");
         let _merge_timer = MERGE_SECONDS.start_timer();
-        Ok(MergedClustering::new(clusterings))
+        let mut merged = MergedClustering::new(clusterings);
+        if let Some(tau) = self.effective_stitch() {
+            // inside the merge span, so `sharded.stitch` nests under it
+            merged.stitch_in_place(tau);
+        }
+        Ok(merged)
     }
 
     /// The merged view of every shard's most recent clustering, or `None`
@@ -429,7 +459,11 @@ impl ShardedPipeline {
         for s in &self.shards {
             shards.push(s.last()?.clone());
         }
-        Some(MergedClustering::new(shards))
+        let mut merged = MergedClustering::new(shards);
+        if let Some(tau) = self.effective_stitch() {
+            merged.stitch_in_place(tau);
+        }
+        Some(merged)
     }
 }
 

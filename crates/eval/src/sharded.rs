@@ -18,19 +18,27 @@ use crate::marking::{evaluate, Evaluation, Labeling};
 #[derive(Debug, Clone)]
 pub struct ShardedEvaluation<L> {
     /// The merged evaluation over every shard's clusters — the headline
-    /// micro/macro-F1 of the sharded system.
+    /// micro/macro-F1 of the *unstitched* sharded system.
     pub merged: Evaluation<L>,
     /// One evaluation per shard, in shard order.
     pub per_shard: Vec<Evaluation<L>>,
+    /// The evaluation of the stitched view (`StitchedClustering` in
+    /// `nidc-core`), when the caller ran the stitching pass — the headline
+    /// figures of the repaired system.
+    pub stitched: Option<Evaluation<L>>,
 }
 
 /// Evaluates per-shard member lists (`shards[s][local] = members`) against
 /// `labels`: the merged figures are computed over the concatenation of all
 /// shards' clusters (shard-major, matching
 /// `MergedClustering::member_lists` in `nidc-core`), and each shard is also
-/// evaluated on its own.
+/// evaluated on its own. Pass the stitched view's member lists as
+/// `stitched` (e.g. `StitchedClustering::member_lists`) to score the
+/// repaired clustering alongside; `None` leaves
+/// [`ShardedEvaluation::stitched`] unset.
 pub fn evaluate_sharded<L: Copy + Ord + Hash>(
     shards: &[Vec<Vec<DocId>>],
+    stitched: Option<&[Vec<DocId>]>,
     labels: &Labeling<L>,
     threshold: f64,
 ) -> ShardedEvaluation<L> {
@@ -41,6 +49,7 @@ pub fn evaluate_sharded<L: Copy + Ord + Hash>(
             .iter()
             .map(|s| evaluate(s, labels, threshold))
             .collect(),
+        stitched: stitched.map(|lists| evaluate(lists, labels, threshold)),
     }
 }
 
@@ -62,7 +71,7 @@ mod tests {
             (6..10).map(DocId).collect(),
         ];
         let mono = evaluate(&clusters, &labels(), 0.6);
-        let sharded = evaluate_sharded(&[clusters], &labels(), 0.6);
+        let sharded = evaluate_sharded(&[clusters], None, &labels(), 0.6);
         assert_eq!(sharded.per_shard.len(), 1);
         assert_eq!(sharded.merged.micro_f1.to_bits(), mono.micro_f1.to_bits());
         assert_eq!(sharded.merged.macro_f1.to_bits(), mono.macro_f1.to_bits());
@@ -79,7 +88,7 @@ mod tests {
         ];
         let flat: Vec<Vec<DocId>> = shard0.iter().chain(&shard1).cloned().collect();
         let mono = evaluate(&flat, &labels(), 0.6);
-        let sharded = evaluate_sharded(&[shard0, shard1], &labels(), 0.6);
+        let sharded = evaluate_sharded(&[shard0, shard1], None, &labels(), 0.6);
         assert_eq!(sharded.merged.micro_f1.to_bits(), mono.micro_f1.to_bits());
         assert_eq!(sharded.merged.macro_f1.to_bits(), mono.macro_f1.to_bits());
         // per-shard views only see their own clusters
@@ -92,8 +101,28 @@ mod tests {
 
     #[test]
     fn empty_shard_list_scores_zero() {
-        let e = evaluate_sharded::<u32>(&[], &labels(), 0.6);
+        let e = evaluate_sharded::<u32>(&[], None, &labels(), 0.6);
         assert_eq!(e.merged.micro_f1, 0.0);
         assert!(e.per_shard.is_empty());
+        assert!(e.stitched.is_none());
+    }
+
+    #[test]
+    fn stitched_lists_are_scored_like_a_monolithic_clustering() {
+        // topic 1 fragmented across shards, stitched back into one cluster
+        let shard0 = vec![(0..3).map(DocId).collect::<Vec<_>>()];
+        let shard1 = vec![
+            (3..6).map(DocId).collect::<Vec<_>>(),
+            (6..10).map(DocId).collect(),
+        ];
+        let stitched: Vec<Vec<DocId>> =
+            vec![(0..6).map(DocId).collect(), (6..10).map(DocId).collect()];
+        let mono = evaluate(&stitched, &labels(), 0.6);
+        let e = evaluate_sharded(&[shard0, shard1], Some(&stitched), &labels(), 0.6);
+        let s = e.stitched.expect("stitched view was passed");
+        assert_eq!(s.micro_f1.to_bits(), mono.micro_f1.to_bits());
+        assert_eq!(s.macro_f1.to_bits(), mono.macro_f1.to_bits());
+        // the repair shows: stitched beats the fragmented merged view
+        assert!(s.micro_f1 > e.merged.micro_f1);
     }
 }

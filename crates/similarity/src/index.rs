@@ -63,6 +63,18 @@ pub struct ClusterIndex {
 }
 
 impl ClusterIndex {
+    /// Registers the index metric family at its current value (zero on
+    /// first call), so runs that never build a `ClusterIndex` — e.g. when
+    /// the small-K sweep heuristic picks the dense path — still export the
+    /// full schema. `remove_ops` is deliberately excluded, mirroring the
+    /// metrics manifest (it is not guaranteed even on index-backed runs).
+    pub fn register_metrics() {
+        POSTINGS_TOUCHED.add(0);
+        ADD_OPS.add(0);
+        REBUILDS.add(0);
+        REBUILD_SECONDS.touch();
+    }
+
     /// An empty index over `k` cluster slots.
     pub fn new(k: usize) -> Self {
         Self {

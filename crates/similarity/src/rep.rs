@@ -382,6 +382,46 @@ impl ClusterRep {
         }
     }
 
+    /// Re-homes the representative onto `backend`, copying the stored
+    /// entries and every cached statistic verbatim.
+    ///
+    /// Because the two backends are exact bit-level mirrors of each other
+    /// (see [`RepBackend`]), the converted representative produces
+    /// bit-identical dot products and statistics — only the storage (and
+    /// its asymptotics) changes. Cost: O(nnz) sparse target, O(max term id)
+    /// dense target.
+    pub fn to_backend(&self, backend: RepBackend) -> ClusterRep {
+        if self.backend() == backend {
+            return self.clone();
+        }
+        let storage = match backend {
+            RepBackend::Dense => {
+                let mut v = Vec::new();
+                self.for_each_entry(|t, w| {
+                    let idx = t.index();
+                    if idx >= v.len() {
+                        v.resize(idx + 1, 0.0);
+                    }
+                    v[idx] = w;
+                });
+                Storage::Dense(v)
+            }
+            RepBackend::Sparse => {
+                let mut entries: Vec<(TermId, f64)> = Vec::with_capacity(self.nnz());
+                // for_each_entry yields ascending term order, so the entry
+                // list is sorted by construction
+                self.for_each_entry(|t, w| entries.push((t, w)));
+                Storage::Sparse(SparseVector::from_sorted(entries))
+            }
+        };
+        ClusterRep {
+            storage,
+            size: self.size,
+            cr_self: self.cr_self,
+            ss: self.ss,
+        }
+    }
+
     /// `avg_sim(C_p)` — the intra-cluster similarity, via eq. 24:
     ///
     /// ```text
@@ -925,6 +965,24 @@ mod tests {
             dense.avg_sim_if_added(&probe),
             sparse.avg_sim_if_added(&probe)
         );
+    }
+
+    #[test]
+    fn to_backend_is_bit_identical_in_every_direction() {
+        let members = sample_members();
+        let probe = phi(&[(0, 0.2), (1, 0.4), (2, 0.1), (3, 0.9)]);
+        for src in BACKENDS {
+            for dst in BACKENDS {
+                let rep = ClusterRep::from_members_with(src, members.iter());
+                let conv = rep.to_backend(dst);
+                assert_eq!(conv.backend(), dst, "{src}→{dst}");
+                assert_eq!(conv.size(), rep.size());
+                assert_eq!(conv.cr_self(), rep.cr_self(), "{src}→{dst}");
+                assert_eq!(conv.ss(), rep.ss());
+                assert_eq!(conv.nnz(), rep.nnz());
+                assert_eq!(conv.dot_doc(&probe), rep.dot_doc(&probe), "{src}→{dst}");
+            }
+        }
     }
 
     #[test]

@@ -80,7 +80,8 @@ pub mod prelude {
     pub use nidc_core::{
         cluster_batch, cluster_with_initial, Cluster, Clustering, ClusteringConfig, Criterion,
         GlobalClusterId, InitialState, MergedClustering, NoveltyPipeline, RepBackend, ShardRouter,
-        ShardedPipeline, StreamShard,
+        ShardedPipeline, StitchedCluster, StitchedClustering, StreamShard,
+        DEFAULT_STITCH_THRESHOLD,
     };
     pub use nidc_corpus::{Article, Corpus, Generator, GeneratorConfig, TopicId};
     pub use nidc_eval::{

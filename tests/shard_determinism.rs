@@ -48,13 +48,16 @@ fn config(threads: usize, rep_backend: RepBackend) -> ClusteringConfig {
     }
 }
 
-/// The observable outcome of a run, compared bit for bit.
+/// The observable outcome of a run, compared bit for bit. The stitched
+/// fields are `None` when no stitching pass ran (a single shard).
 #[derive(Debug, PartialEq)]
 struct Outcome {
     members: Vec<Vec<DocId>>,
     outliers: Vec<DocId>,
     g_bits: u64,
     num_docs: usize,
+    stitched_members: Option<Vec<Vec<DocId>>>,
+    stitched_g_bits: Option<u64>,
 }
 
 /// Replays `docs` through a sharded pipeline, re-clustering every 5 days,
@@ -73,6 +76,8 @@ fn drive_sharded(pipeline: &mut ShardedPipeline, docs: &[(DocId, f64, SparseVect
         outliers: merged.outliers(),
         g_bits: merged.g().to_bits(),
         num_docs: pipeline.num_docs(),
+        stitched_members: merged.stitched().map(|s| s.member_lists()),
+        stitched_g_bits: merged.stitched().map(|s| s.g().to_bits()),
     }
 }
 
@@ -105,21 +110,75 @@ fn one_shard_is_bit_identical_to_the_unsharded_pipeline() {
         assert_eq!(outcome.outliers, plain_outliers, "rep={rep:?}");
         assert_eq!(outcome.g_bits, last.g().to_bits(), "rep={rep:?}");
         assert_eq!(outcome.num_docs, plain.repository().len(), "rep={rep:?}");
+        // one shard has nothing to stitch: the pipeline skips the pass
+        assert_eq!(outcome.stitched_members, None, "rep={rep:?}");
     }
 }
 
 #[test]
-fn fixed_shard_count_is_thread_count_invariant() {
+fn one_shard_stitch_is_a_no_op_bit_identical_to_unsharded() {
+    for rep in [RepBackend::Sparse, RepBackend::Dense] {
+        let docs = stream();
+
+        let mut plain = NoveltyPipeline::new(decay(), config(0, rep));
+        let mut last = None;
+        for (id, day, tf) in &docs {
+            plain.ingest(*id, Timestamp(*day), tf.clone()).unwrap();
+            if id.0 % 15 == 14 {
+                last = Some(plain.recluster_incremental().unwrap());
+            }
+        }
+        let last = last.unwrap();
+
+        let mut sharded = ShardedPipeline::new(decay(), config(0, rep), 1).unwrap();
+        let mut merged = None;
+        for (id, day, tf) in &docs {
+            sharded.ingest(*id, Timestamp(*day), tf.clone()).unwrap();
+            if id.0 % 15 == 14 {
+                merged = Some(sharded.recluster_incremental().unwrap());
+            }
+        }
+        // force the pass explicitly (the pipeline skips it for one shard)
+        // at the most aggressive threshold: still the identity
+        let stitched = merged.unwrap().stitch(0.0);
+        assert_eq!(stitched.merges(), 0, "rep={rep:?}");
+        assert_eq!(stitched.member_lists(), last.member_lists(), "rep={rep:?}");
+        let mut plain_outliers = last.outliers().to_vec();
+        plain_outliers.sort_unstable();
+        assert_eq!(stitched.outliers(), plain_outliers, "rep={rep:?}");
+        assert_eq!(
+            stitched.g().to_bits(),
+            last.g().to_bits(),
+            "rep={rep:?}: single-shard stitched G must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn fixed_shard_count_is_thread_and_backend_invariant() {
+    // The merged AND stitched outcomes must be bit-identical across every
+    // inner thread count and both representative backends: stitching is
+    // sequential (thread counts cannot reorder it) and folds every rep onto
+    // the sparse backend first (backends cannot change its bits).
     for shards in [2usize, 3] {
         let docs = stream();
         let mut reference: Option<Outcome> = None;
-        for threads in THREAD_COUNTS {
-            let mut pipeline =
-                ShardedPipeline::new(decay(), config(threads, RepBackend::Sparse), shards).unwrap();
-            let outcome = drive_sharded(&mut pipeline, &docs);
-            match &reference {
-                None => reference = Some(outcome),
-                Some(r) => assert_eq!(&outcome, r, "shards={shards} threads={threads} diverged"),
+        for rep in [RepBackend::Sparse, RepBackend::Dense] {
+            for threads in THREAD_COUNTS {
+                let mut pipeline =
+                    ShardedPipeline::new(decay(), config(threads, rep), shards).unwrap();
+                let outcome = drive_sharded(&mut pipeline, &docs);
+                assert!(
+                    outcome.stitched_members.is_some(),
+                    "stitching defaults on for shards > 1"
+                );
+                match &reference {
+                    None => reference = Some(outcome),
+                    Some(r) => assert_eq!(
+                        &outcome, r,
+                        "shards={shards} threads={threads} rep={rep:?} diverged"
+                    ),
+                }
             }
         }
     }
