@@ -1,0 +1,163 @@
+//! **Allocation benchmark** — replays the Experiment-1 stream through the
+//! on-line pipeline with the counting allocator enabled and reports, per
+//! phase (ingest+advance vs recluster) and per topology (unsharded vs
+//! 3-shard), how many heap allocations and bytes the run performed, plus
+//! the peak live-byte high-water mark.
+//!
+//! Unlike wall-clock benches these numbers are hardware-independent: for a
+//! fixed seed, scale, and thread count the allocation counts are exact, so
+//! the CI `alloc-baseline` job can diff them against the checked-in
+//! `results/BENCH_alloc.json` at a tight threshold and catch accidental
+//! allocation regressions (a clone in a hot loop, a lost `with_capacity`).
+//!
+//! Env: `NIDC_SCALE` (default 0.25), `NIDC_EVERY` (days between
+//! re-clusterings, default 10). With `--json <path>` (default
+//! `results/BENCH_alloc.json`) writes BENCH JSON; with `--trace <path>`
+//! (`--trace-summary`) records spans — every span then carries its
+//! allocs/bytes attribution.
+
+use nidc_bench::{scale_from_env, trace_from_args, write_json_report, PreparedCorpus};
+use nidc_core::{ClusteringConfig, ShardedPipeline};
+use nidc_forgetting::{DecayParams, Timestamp};
+use nidc_obs::alloc::{self, AllocStats};
+use nidc_textproc::DocId;
+
+/// Allocation tallies of one phase, accumulated across all windows.
+#[derive(Default, Clone, Copy)]
+struct PhaseTally {
+    allocs: u64,
+    bytes: u64,
+}
+
+impl PhaseTally {
+    fn absorb(&mut self, before: AllocStats, after: AllocStats) {
+        self.allocs += after.allocs - before.allocs;
+        self.bytes += after.bytes_allocated - before.bytes_allocated;
+    }
+}
+
+struct RunReport {
+    shards: usize,
+    rounds: u32,
+    ingest: PhaseTally,
+    recluster: PhaseTally,
+    peak_live_bytes: u64,
+}
+
+/// Replays the stream on `shards` shards, tallying allocations per phase.
+fn run_stream(prep: &PreparedCorpus, shards: usize, every: f64) -> RunReport {
+    let decay = DecayParams::from_spans(7.0, 21.0).expect("valid");
+    let config = ClusteringConfig {
+        k: 24,
+        seed: 42,
+        threads: 1, // pinned: alloc counts are part of the report
+        ..ClusteringConfig::default()
+    };
+    let mut pipeline = ShardedPipeline::new(decay, config, shards).expect("shards >= 1");
+    let mut ingest = PhaseTally::default();
+    let mut recluster = PhaseTally::default();
+    let mut rounds = 0u32;
+    alloc::reset_peak();
+
+    let mut pending: Vec<usize> = Vec::new();
+    let mut flush = |pipeline: &mut ShardedPipeline, pending: &mut Vec<usize>, day: f64| {
+        let before = alloc::stats();
+        for &i in pending.iter() {
+            let a = &prep.corpus.articles()[i];
+            pipeline
+                .ingest(DocId(a.id), Timestamp(a.day), prep.tfs[i].clone())
+                .expect("chronological");
+        }
+        pending.clear();
+        pipeline.advance_to(Timestamp(day)).expect("forward");
+        let mid = alloc::stats();
+        pipeline.recluster_incremental().expect("K >= 1");
+        let after = alloc::stats();
+        ingest.absorb(before, mid);
+        recluster.absorb(mid, after);
+        rounds += 1;
+    };
+
+    let mut next_report = every;
+    for (i, a) in prep.corpus.articles().iter().enumerate() {
+        while a.day >= next_report {
+            flush(&mut pipeline, &mut pending, next_report);
+            next_report += every;
+        }
+        pending.push(i);
+    }
+    flush(&mut pipeline, &mut pending, 178.0);
+
+    RunReport {
+        shards,
+        rounds,
+        ingest,
+        recluster,
+        peak_live_bytes: alloc::stats().peak_live_bytes,
+    }
+}
+
+fn main() {
+    let scale = scale_from_env(0.25);
+    let every: f64 = std::env::var("NIDC_EVERY")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let prep = PreparedCorpus::standard(scale);
+    let trace = trace_from_args();
+    alloc::set_tracking(true);
+
+    println!(
+        "allocation bench: {} articles, re-clustering every {every} days, threads pinned to 1",
+        prep.corpus.len()
+    );
+    println!("| topology  | rounds | ingest allocs | ingest MB | recluster allocs | recluster MB | peak live MB |");
+    println!("|-----------|--------|---------------|-----------|------------------|--------------|--------------|");
+
+    let mut results = Vec::new();
+    for shards in [1usize, 3] {
+        let r = run_stream(&prep, shards, every);
+        let label = if shards == 1 {
+            "unsharded"
+        } else {
+            "sharded_3"
+        };
+        println!(
+            "| {label:<9} | {:>6} | {:>13} | {:>9.1} | {:>16} | {:>12.1} | {:>12.1} |",
+            r.rounds,
+            r.ingest.allocs,
+            r.ingest.bytes as f64 / 1e6,
+            r.recluster.allocs,
+            r.recluster.bytes as f64 / 1e6,
+            r.peak_live_bytes as f64 / 1e6,
+        );
+        results.push(serde_json::json!({
+            "name": label,
+            "shards": r.shards,
+            "rounds": r.rounds,
+            "ingest_allocs": r.ingest.allocs,
+            "ingest_bytes": r.ingest.bytes,
+            "recluster_allocs": r.recluster.allocs,
+            "recluster_bytes": r.recluster.bytes,
+            "peak_live_bytes": r.peak_live_bytes,
+        }));
+    }
+    alloc::set_tracking(false);
+
+    if let Some(t) = trace {
+        t.finish(&mut std::io::stdout()).expect("write trace");
+    }
+
+    let articles = prep.corpus.len();
+    write_json_report(
+        "bench_alloc",
+        Some("results/BENCH_alloc.json"),
+        serde_json::json!({
+            "scale": scale,
+            "report_every_days": every,
+            "threads": 1,
+            "articles": articles,
+            "results": results,
+        }),
+    );
+}

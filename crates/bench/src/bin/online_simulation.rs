@@ -18,12 +18,15 @@
 //! per re-clustering window — the canonical producer for
 //! `metrics_manifest.txt`. With `--trace <path>` (`--trace-summary`),
 //! records spans across the whole replay and writes Chrome trace-event
-//! JSON — the canonical producer for `check_trace`.
+//! JSON — the canonical producer for `check_trace`. With `--alloc-stats`,
+//! counts every heap allocation (spans then carry allocs/bytes columns) and
+//! prints a one-line process summary at the end.
 
 use std::time::Instant;
 
 use nidc_bench::{
-    metrics_from_args, scale_from_env, trace_from_args, write_json_report, PreparedCorpus,
+    alloc_tracking_from_args, metrics_from_args, scale_from_env, trace_from_args,
+    write_json_report, PreparedCorpus,
 };
 use nidc_core::{ClusteringConfig, ShardedPipeline};
 use nidc_eval::{evaluate, Labeling, MARKING_THRESHOLD};
@@ -50,6 +53,7 @@ fn main() {
     let mut pipeline = ShardedPipeline::new(decay, config, shards).expect("shards ≥ 1");
     let mut exporter = metrics_from_args();
     let trace = trace_from_args();
+    let alloc_stats = alloc_tracking_from_args();
 
     println!(
         "on-line simulation: {} articles over 178 days, re-clustering every {every} days, {shards} shard(s)",
@@ -130,6 +134,14 @@ fn main() {
     if let Some(t) = trace {
         t.finish(&mut std::io::stdout())
             .expect("write trace output");
+    }
+    if alloc_stats {
+        let s = nidc_obs::alloc::stats();
+        println!(
+            "alloc-stats: allocs={} deallocs={} reallocs={} bytes_allocated={} \
+             live_bytes={} peak_live_bytes={}",
+            s.allocs, s.deallocs, s.reallocs, s.bytes_allocated, s.live_bytes, s.peak_live_bytes
+        );
     }
 
     println!(

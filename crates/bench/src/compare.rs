@@ -29,7 +29,7 @@ pub enum Direction {
 /// encodes units in field names, so the suffix is the unit.
 pub fn direction_of(path: &str) -> Direction {
     let leaf = path.rsplit('.').next().unwrap_or(path);
-    const LOWER: &[&str] = &["_ms", "_seconds", "_ns", "_bytes"];
+    const LOWER: &[&str] = &["_ms", "_seconds", "_ns", "_bytes", "_allocs", "_count"];
     const HIGHER: &[&str] = &["_per_sec", "_speedup", "_reduction", "_f1", "_purity"];
     if LOWER.iter().any(|s| leaf.ends_with(s)) {
         return Direction::LowerIsBetter;
@@ -299,9 +299,40 @@ mod tests {
     fn direction_suffixes() {
         assert_eq!(direction_of("x.wall_ms"), Direction::LowerIsBetter);
         assert_eq!(direction_of("x.rep_bytes"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("x.ingest_allocs"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("x.spill_count"), Direction::LowerIsBetter);
         assert_eq!(direction_of("x.docs_per_sec"), Direction::HigherIsBetter);
         assert_eq!(direction_of("x.speedup"), Direction::HigherIsBetter);
         assert_eq!(direction_of("x.micro_f1"), Direction::HigherIsBetter);
         assert_eq!(direction_of("x.docs"), Direction::Informational);
+    }
+
+    #[test]
+    fn alloc_growth_regresses_and_shrinkage_does_not() {
+        let old = json!({"phases": [{"name": "ingest", "ingest_allocs": 1000.0,
+                                     "peak_live_bytes": 4096.0}]});
+        let grown = json!({"phases": [{"name": "ingest", "ingest_allocs": 1200.0,
+                                       "peak_live_bytes": 4096.0}]});
+        let c = compare(&old, &grown, 0.10);
+        assert!(c.has_regressions());
+        assert_eq!(c.regressions()[0].path, "phases.ingest.ingest_allocs");
+        let shrunk = json!({"phases": [{"name": "ingest", "ingest_allocs": 500.0,
+                                        "peak_live_bytes": 2048.0}]});
+        assert!(!compare(&old, &shrunk, 0.10).has_regressions());
+    }
+
+    #[test]
+    fn mixed_direction_report_judges_each_suffix_independently() {
+        // Allocs shrink (good), bytes grow past threshold (bad), throughput
+        // grows (good), docs change (info): exactly one regression.
+        let old = json!({"r": {"step_allocs": 1000.0, "peak_live_bytes": 1000.0,
+                               "docs_per_sec": 50.0, "docs": 100.0}});
+        let new = json!({"r": {"step_allocs": 100.0, "peak_live_bytes": 2000.0,
+                               "docs_per_sec": 80.0, "docs": 700.0}});
+        let c = compare(&old, &new, 0.10);
+        let regs = c.regressions();
+        assert_eq!(regs.len(), 1, "{c}");
+        assert_eq!(regs[0].path, "r.peak_live_bytes");
+        assert_eq!(regs[0].direction, Direction::LowerIsBetter);
     }
 }

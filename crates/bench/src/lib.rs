@@ -261,6 +261,19 @@ pub fn trace_from_args() -> Option<nidc_obs::TraceSession> {
     nidc_obs::TraceSession::start(path, summary).expect("create trace output file")
 }
 
+/// The `--alloc-stats` flag of an experiment binary: enables the counting
+/// allocator for the rest of the run (so spans recorded via
+/// [`trace_from_args`] carry per-span allocs/bytes attribution) and returns
+/// whether it was requested. Callers should print
+/// [`nidc_obs::alloc::stats`] when their measured work is done.
+pub fn alloc_tracking_from_args() -> bool {
+    let on = std::env::args().any(|a| a == "--alloc-stats");
+    if on {
+        nidc_obs::alloc::set_tracking(true);
+    }
+    on
+}
+
 /// Writes a BENCH JSON file: `{ "bench": name, "host": {...}, ...payload }`.
 ///
 /// The host block records the hardware parallelism the numbers were taken

@@ -45,7 +45,7 @@ impl Command {
 }
 
 /// Options that never take a value.
-const BOOLEAN_FLAGS: &[&str] = &["json", "help", "trace-summary"];
+const BOOLEAN_FLAGS: &[&str] = &["json", "help", "trace-summary", "alloc-stats"];
 
 impl ParsedArgs {
     /// Parses `args` (without the program name).

@@ -25,6 +25,7 @@ pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     if args.get("metrics").is_some()
         || args.get("trace").is_some()
         || args.flag("trace-summary")
+        || args.flag("alloc-stats")
         || args.get("log-level").is_some()
     {
         nidc_obs::reset_all();
@@ -34,13 +35,30 @@ pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     if let Some(level) = args.get("log-level") {
         nidc_obs::set_log_level(level.parse().map_err(CliError::Usage)?);
     }
-    match args.command {
+    // `--alloc-stats`: count every allocation through the run and print a
+    // one-line summary at the end. Also enriches `--trace-summary` and
+    // Chrome traces with per-span allocs/bytes columns.
+    let track_allocs = args.flag("alloc-stats");
+    if track_allocs {
+        nidc_obs::alloc::set_tracking(true);
+    }
+    let result = match args.command {
         crate::Command::Generate => generate(args, out),
         crate::Command::Stats => stats(args, out),
         crate::Command::Cluster => cluster(args, out),
         crate::Command::Stream => stream(args, out),
         crate::Command::Eval => eval(args, out),
+    };
+    if track_allocs && result.is_ok() {
+        let s = nidc_obs::alloc::stats();
+        writeln!(
+            out,
+            "alloc-stats: allocs={} deallocs={} reallocs={} bytes_allocated={} \
+             live_bytes={} peak_live_bytes={}",
+            s.allocs, s.deallocs, s.reallocs, s.bytes_allocated, s.live_bytes, s.peak_live_bytes
+        )?;
     }
+    result
 }
 
 /// `--rep dense|sparse`: the representative backend (perf knob; results

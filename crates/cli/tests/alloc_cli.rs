@@ -1,0 +1,94 @@
+//! End-to-end `--alloc-stats` coverage, run against the real `nidc` binary
+//! in a subprocess so the process-global counting allocator is exercised
+//! exactly as a user sees it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn nidc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nidc"))
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nidc_alloc_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Parses `key=value` fields out of the `alloc-stats:` summary line.
+fn field(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("missing {key} in {line:?}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn alloc_stats_prints_nonzero_summary_and_span_columns() {
+    let dir = tmpdir();
+    let corpus = dir.join("corpus.jsonl");
+
+    let gen = nidc()
+        .args(["generate", "--out"])
+        .arg(&corpus)
+        .args(["--scale", "0.05", "--seed", "3"])
+        .output()
+        .expect("generate runs");
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
+
+    let run = nidc()
+        .args(["stream", "--input"])
+        .arg(&corpus)
+        .args([
+            "--every",
+            "30",
+            "--k",
+            "6",
+            "--alloc-stats",
+            "--trace-summary",
+        ])
+        .output()
+        .expect("stream runs");
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&run.stdout);
+
+    // The one-line process summary is present with non-trivial tallies…
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("alloc-stats:"))
+        .unwrap_or_else(|| panic!("no alloc-stats line in {stdout}"));
+    assert!(field(line, "allocs") > 1_000, "{line}");
+    assert!(field(line, "bytes_allocated") > field(line, "peak_live_bytes"));
+    assert!(field(line, "peak_live_bytes") >= field(line, "live_bytes"));
+    assert!(field(line, "deallocs") <= field(line, "allocs"));
+
+    // …and the profile tree gained allocs/bytes columns with real values
+    // on the hot spans.
+    let header = stdout
+        .lines()
+        .find(|l| l.starts_with("span"))
+        .expect("summary header");
+    for col in ["allocs", "self-alloc", "bytes", "self-bytes"] {
+        assert!(header.contains(col), "{header}");
+    }
+    let step1 = stdout
+        .lines()
+        .find(|l| l.contains("kmeans.step1"))
+        .expect("kmeans.step1 row");
+    let cols: Vec<&str> = step1.split_whitespace().collect();
+    // span calls total self allocs self-alloc bytes self-bytes
+    assert_eq!(cols.len(), 8, "{step1}");
+    assert_ne!(cols[4], "0", "kmeans.step1 total allocs: {step1}");
+    assert_ne!(cols[6], "0B", "kmeans.step1 total bytes: {step1}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use nidc_forgetting::{DecayParams, Repository, Timestamp};
-use nidc_obs::{buckets, LazyCounter, LazyHistogram};
+use nidc_obs::{buckets, DeepSize, LazyCounter, LazyGauge, LazyHistogram};
 use nidc_similarity::DocVectors;
 use nidc_textproc::{DocId, SparseVector};
 
@@ -30,6 +30,16 @@ static RECLUSTER_SECONDS: LazyHistogram =
     LazyHistogram::new("nidc_pipeline_recluster_seconds", buckets::LATENCY_SECONDS);
 /// Re-clustering requests served (incremental and from-scratch combined).
 static RECLUSTERS: LazyCounter = LazyCounter::new("nidc_pipeline_reclusters_total");
+/// Heap bytes held by the document repository (document map, tf vectors,
+/// term-statistics table), sampled once per re-clustering. On a sharded
+/// pipeline the value is the sum across shards.
+static MEM_REPOSITORY_BYTES: LazyGauge = LazyGauge::new("nidc_mem_repository_bytes");
+/// Heap bytes held by the K cluster representatives of the latest
+/// clustering, sampled once per re-clustering (summed across shards).
+static MEM_REPS_BYTES: LazyGauge = LazyGauge::new("nidc_mem_reps_bytes");
+/// Heap bytes held by the warm-start assignment map carried between
+/// incremental re-clusterings (summed across shards).
+static MEM_WARMSTART_BYTES: LazyGauge = LazyGauge::new("nidc_mem_warmstart_bytes");
 
 /// The stateful novelty-based clustering pipeline.
 ///
@@ -51,6 +61,7 @@ pub struct NoveltyPipeline {
 impl NoveltyPipeline {
     /// Creates an empty pipeline.
     pub fn new(decay: DecayParams, config: ClusteringConfig) -> Self {
+        register_mem_gauges();
         Self {
             repo: Repository::new(decay),
             config,
@@ -207,6 +218,7 @@ impl NoveltyPipeline {
         self.last = Some(clustering.clone());
         timer.stop();
         drop(span);
+        self.sample_mem_gauges();
         self.log_recluster("incremental", &clustering);
         Ok(clustering)
     }
@@ -229,8 +241,34 @@ impl NoveltyPipeline {
         self.last = Some(clustering.clone());
         timer.stop();
         drop(span);
+        self.sample_mem_gauges();
         self.log_recluster("from_scratch", &clustering);
         Ok(clustering)
+    }
+
+    /// Samples this pipeline's heap footprint: repository, last clustering's
+    /// representatives, and the warm-start assignment map, in bytes.
+    pub fn mem_sample(&self) -> (u64, u64, u64) {
+        let repo = self.repo.deep_size_bytes();
+        let reps = self.last.as_ref().map_or(0, |c| {
+            c.clusters()
+                .iter()
+                .map(|cl| cl.rep().deep_size_bytes())
+                .sum()
+        });
+        let warm = self
+            .previous
+            .as_ref()
+            .map_or(0, |prev| nidc_obs::btree_map_size_bytes(prev, |_| 0));
+        (repo, reps, warm)
+    }
+
+    /// Publishes [`NoveltyPipeline::mem_sample`] into the `nidc_mem_*`
+    /// gauges. The sharded pipeline overwrites these with cross-shard sums
+    /// after its fan-out joins (see [`crate::ShardedPipeline`]).
+    fn sample_mem_gauges(&self) {
+        let (repo, reps, warm) = self.mem_sample();
+        set_mem_gauges(repo, reps, warm);
     }
 
     /// One info-level summary line per re-clustering.
@@ -251,6 +289,24 @@ impl NoveltyPipeline {
             );
         }
     }
+}
+
+/// Sets the pipeline memory gauges directly — the sharded pipeline calls
+/// this with cross-shard sums so a multi-shard run reports whole-stream
+/// totals rather than whichever shard reclustered last.
+pub(crate) fn set_mem_gauges(repo_bytes: u64, reps_bytes: u64, warmstart_bytes: u64) {
+    MEM_REPOSITORY_BYTES.set(repo_bytes);
+    MEM_REPS_BYTES.set(reps_bytes);
+    MEM_WARMSTART_BYTES.set(warmstart_bytes);
+}
+
+/// Registers the pipeline memory gauges at zero (no-op while recording is
+/// disabled), so snapshots carry the full schema before the first
+/// re-clustering samples real values.
+pub(crate) fn register_mem_gauges() {
+    MEM_REPOSITORY_BYTES.touch();
+    MEM_REPS_BYTES.touch();
+    MEM_WARMSTART_BYTES.touch();
 }
 
 #[cfg(test)]
@@ -299,6 +355,23 @@ mod tests {
         let c = p.recluster_incremental().unwrap();
         assert_eq!(c.non_empty_clusters(), 2);
         assert!(p.last().is_some());
+    }
+
+    #[test]
+    fn mem_sample_is_zero_empty_and_nonzero_after_reclustering() {
+        let mut p = pipeline();
+        assert_eq!(p.mem_sample(), (0, 0, 0));
+        seed_two_topics(&mut p, 0.0, 0);
+        let (repo, reps, warm) = p.mem_sample();
+        assert!(repo > 0, "8 documents are stored");
+        assert_eq!(reps, 0, "no clustering yet");
+        assert_eq!(warm, 0, "no warm-start assignment yet");
+        p.recluster_incremental().unwrap();
+        let (repo, reps, warm) = p.mem_sample();
+        assert!(repo > 0);
+        assert!(reps > 0, "representatives hold entries");
+        // 8 assignment entries × (8B key + 8B value + node overhead)
+        assert!(warm >= 8 * 16, "{warm}");
     }
 
     #[test]

@@ -61,6 +61,7 @@ fn register_sharded_metrics() {
     MERGE_SECONDS.touch();
     DOCS_PER_SHARD.touch();
     crate::merge::register_stitch_metrics();
+    crate::pipeline::register_mem_gauges();
 }
 
 /// The trace track carrying shard `id`'s spans. Track 0 is the calling
@@ -441,6 +442,17 @@ impl ShardedPipeline {
         }
         timer.stop();
         drop(span);
+        // Each shard's recluster published its own sizes (last shard wins);
+        // overwrite with cross-shard sums so the gauges report the whole
+        // stream's footprint.
+        let (mut repo, mut reps, mut warm) = (0u64, 0u64, 0u64);
+        for s in &self.shards {
+            let (r, c, w) = s.pipeline().mem_sample();
+            repo += r;
+            reps += c;
+            warm += w;
+        }
+        crate::pipeline::set_mem_gauges(repo, reps, warm);
         let _merge_span = nidc_obs::span!("sharded.merge");
         let _merge_timer = MERGE_SECONDS.start_timer();
         let mut merged = MergedClustering::new(clusterings);

@@ -488,6 +488,15 @@ impl Repository {
     }
 }
 
+impl nidc_obs::DeepSize for Repository {
+    /// Heap footprint: the document map (per-entry node overhead plus each
+    /// document's tf vector) and the per-term numerator table.
+    fn deep_size_bytes(&self) -> u64 {
+        nidc_obs::btree_map_size_bytes(&self.docs, |e| nidc_obs::DeepSize::deep_size_bytes(&e.tf))
+            + (self.term_num.capacity() * std::mem::size_of::<f64>()) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +518,21 @@ mod tests {
         assert_eq!(r.doc_weight(DocId(0)).unwrap(), 1.0);
         assert_eq!(r.tdw(), 2.0);
         assert_eq!(r.pr_doc(DocId(0)).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn deep_size_grows_with_documents() {
+        use nidc_obs::DeepSize;
+        let mut r = Repository::new(params());
+        let empty = r.deep_size_bytes();
+        r.insert(DocId(0), Timestamp(0.0), tf(&[(0, 1.0), (2, 3.0)]))
+            .unwrap();
+        let one = r.deep_size_bytes();
+        // one map entry (key + DocEntry + node overhead) plus 2 tf entries
+        // plus the term-numerator table up to term 2.
+        assert!(one >= empty + 2 * 16, "{empty} -> {one}");
+        r.insert(DocId(1), Timestamp(0.0), tf(&[(1, 1.0)])).unwrap();
+        assert!(r.deep_size_bytes() > one);
     }
 
     #[test]

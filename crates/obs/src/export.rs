@@ -104,12 +104,21 @@ impl MetricsExporter {
     /// Exports the current global snapshot, tagged with `meta` fields
     /// (window index, simulation day, …).
     ///
+    /// Samples the allocator tallies into the `nidc_alloc_*` counters first
+    /// (registered at zero when allocation tracking is off), and appends an
+    /// `rss_peak_bytes` meta field (the OS-level `VmHWM` high-water mark;
+    /// 0 off Linux) so long streaming runs expose leak trends even without
+    /// the counting allocator enabled.
+    ///
     /// JSON-lines: appends one line and resets the registry (per-window
     /// deltas). Prometheus: rewrites the file with cumulative totals and
     /// ignores `meta` (the exposition format has no per-sample metadata).
     pub fn record_window(&mut self, meta: &[(&str, f64)]) -> io::Result<()> {
+        crate::alloc::sample_metrics();
         let snap = crate::snapshot();
-        self.export(&snap, meta)
+        let mut meta: Vec<(&str, f64)> = meta.to_vec();
+        meta.push(("rss_peak_bytes", crate::alloc::rss_peak_bytes() as f64));
+        self.export(&snap, &meta)
     }
 
     /// Like [`MetricsExporter::record_window`] for an explicit snapshot.
@@ -193,6 +202,16 @@ mod tests {
         assert!(
             lines[1].contains("\"export_jsonl_total\":5"),
             "delta, not cumulative"
+        );
+        assert!(
+            lines[0].contains("\"rss_peak_bytes\":"),
+            "per-window RSS high-water mark: {:?}",
+            lines[0]
+        );
+        assert!(
+            lines[0].contains("\"nidc_alloc_allocs_total\":"),
+            "alloc counters registered every window: {:?}",
+            lines[0]
         );
         crate::set_enabled(false);
         fs::remove_file(&path).ok();

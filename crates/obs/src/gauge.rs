@@ -1,0 +1,208 @@
+//! Gauges (last-value metrics), their static site handles, and the
+//! [`DeepSize`] trait that feeds the retained-structure heap gauges.
+//!
+//! Counters accumulate and histograms distribute; a [`Gauge`] simply holds
+//! the **last sampled value** — the natural shape for heap footprints
+//! (`nidc_mem_*_bytes`), which are re-measured once per window/recluster
+//! rather than accumulated. The JSONL exporter's per-window [`crate::reset`]
+//! zeroes gauges too, so a window in which a structure was never re-sampled
+//! reports `0` (meaning "not sampled"), not a stale figure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A last-value metric: `set` overwrites, `get` reads.
+///
+/// All relaxed atomics, same determinism contract as [`crate::Counter`]:
+/// the algorithm never reads gauges back.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites the gauge with `value`.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// The last value set (zero if never set or since reset).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge in place (registration survives).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A named gauge site, declared as a `static` next to the code it measures.
+///
+/// Same discipline as [`crate::LazyCounter`]: disabled cost is one relaxed
+/// load + branch, and the registry lookup is cached in a `OnceLock` after
+/// the first event. `set(0)` (or [`LazyGauge::touch`]) registers the gauge
+/// without asserting a measurement.
+///
+/// ```
+/// static HEAP: nidc_obs::LazyGauge = nidc_obs::LazyGauge::new("demo_heap_bytes");
+/// HEAP.set(4096);
+/// ```
+#[derive(Debug)]
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<Arc<Gauge>>,
+}
+
+impl LazyGauge {
+    /// A handle for the gauge registered under `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The metric name this site records under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Overwrites the gauge (no-op while recording is disabled).
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if crate::enabled() {
+            self.cell
+                .get_or_init(|| crate::global().gauge(self.name))
+                .set(value);
+        }
+    }
+
+    /// Registers the gauge without recording, so it shows up (zero) in
+    /// snapshots even in runs where the site never samples.
+    pub fn touch(&self) {
+        if crate::enabled() {
+            self.cell.get_or_init(|| crate::global().gauge(self.name));
+        }
+    }
+}
+
+/// Estimated heap footprint of a retained structure, in bytes.
+///
+/// `deep_size_bytes` returns **heap** bytes only (stack size excluded), so
+/// container impls can sum element contributions plus their own buffers
+/// without double counting. The estimates deliberately use layout constants
+/// rather than allocator introspection: they are deterministic across runs
+/// and platforms with the same pointer width, which is what a regression
+/// gate needs. See DESIGN.md §4.6 for the accounting rules (capacity vs.
+/// length, per-node overhead for tree maps).
+pub trait DeepSize {
+    /// Estimated bytes of heap owned by `self` (excluding `size_of::<Self>()`).
+    fn deep_size_bytes(&self) -> u64;
+}
+
+impl<T: DeepSize> DeepSize for Vec<T> {
+    fn deep_size_bytes(&self) -> u64 {
+        let spine = (self.capacity() * std::mem::size_of::<T>()) as u64;
+        spine + self.iter().map(DeepSize::deep_size_bytes).sum::<u64>()
+    }
+}
+
+impl<T: DeepSize> DeepSize for Option<T> {
+    fn deep_size_bytes(&self) -> u64 {
+        self.as_ref().map_or(0, DeepSize::deep_size_bytes)
+    }
+}
+
+/// Estimated per-entry overhead of `BTreeMap` beyond the key/value payload:
+/// amortised node headers, parent pointers, and slack from nodes running
+/// below capacity. A deterministic constant by design (see [`DeepSize`]).
+pub const BTREE_ENTRY_OVERHEAD: u64 = 16;
+
+/// Estimated heap bytes of a `BTreeMap` with fixed-size keys and values
+/// whose heap payload is measured by `value_heap` (pass `|_| 0` for plain
+/// values).
+pub fn btree_map_size_bytes<K, V>(
+    map: &std::collections::BTreeMap<K, V>,
+    value_heap: impl Fn(&V) -> u64,
+) -> u64 {
+    let entry = (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64;
+    map.len() as u64 * (entry + BTREE_ENTRY_OVERHEAD) + map.values().map(value_heap).sum::<u64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::global_lock;
+
+    #[test]
+    fn gauge_set_overwrites_and_reset_zeroes() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(42);
+        g.set(7);
+        assert_eq!(g.get(), 7, "set must overwrite, not accumulate");
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn lazy_gauge_respects_enable_gate() {
+        let _guard = global_lock();
+        static G: LazyGauge = LazyGauge::new("gauge_gate_bytes");
+        crate::set_enabled(false);
+        G.set(100);
+        assert_eq!(crate::snapshot().gauge("gauge_gate_bytes"), None);
+        crate::set_enabled(true);
+        G.set(256);
+        assert_eq!(crate::snapshot().gauge("gauge_gate_bytes"), Some(256));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn touch_registers_at_zero() {
+        let _guard = global_lock();
+        static G: LazyGauge = LazyGauge::new("gauge_touch_bytes");
+        crate::set_enabled(true);
+        G.touch();
+        assert_eq!(crate::snapshot().gauge("gauge_touch_bytes"), Some(0));
+        crate::set_enabled(false);
+    }
+
+    struct Leaf(Vec<u8>);
+    impl DeepSize for Leaf {
+        fn deep_size_bytes(&self) -> u64 {
+            self.0.capacity() as u64
+        }
+    }
+
+    #[test]
+    fn vec_impl_counts_spine_capacity_plus_elements() {
+        let mut v: Vec<Leaf> = Vec::with_capacity(4);
+        v.push(Leaf(Vec::with_capacity(10)));
+        v.push(Leaf(Vec::with_capacity(6)));
+        let spine = 4 * std::mem::size_of::<Leaf>() as u64;
+        assert_eq!(v.deep_size_bytes(), spine + 16);
+    }
+
+    #[test]
+    fn btree_helper_scales_with_len() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+        assert_eq!(btree_map_size_bytes(&m, |_| 0), 0);
+        for i in 0..10 {
+            m.insert(i, i);
+        }
+        assert_eq!(btree_map_size_bytes(&m, |_| 0), 10 * (16 + 16));
+        assert_eq!(btree_map_size_bytes(&m, |_| 5), 10 * (16 + 16) + 50);
+    }
+}

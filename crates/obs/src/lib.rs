@@ -47,10 +47,14 @@
 //! obs::set_enabled(false);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one `GlobalAlloc` impl in `alloc.rs` carries a
+// scoped `#[allow(unsafe_code)]`; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 mod export;
+mod gauge;
 mod handles;
 mod log;
 mod metrics;
@@ -61,6 +65,7 @@ pub mod trace;
 mod trace_export;
 
 pub use export::{MetricsExporter, MetricsFormat};
+pub use gauge::{btree_map_size_bytes, DeepSize, Gauge, LazyGauge, BTREE_ENTRY_OVERHEAD};
 pub use handles::{LazyCounter, LazyHistogram, PhaseTimer};
 pub use log::{debug, info, log, log_level, log_on, set_log_level, Level};
 pub use metrics::{buckets, Counter, Histogram};
@@ -153,19 +158,24 @@ pub fn reset() {
 }
 
 /// Returns the process to the recorder-off ground state: metric values
-/// zeroed in place (like [`reset`]), metric recording and tracing disabled,
-/// buffered trace events and track labels discarded, and the log level
-/// back to [`Level::Off`].
+/// zeroed in place (like [`reset`]), metric recording, tracing and
+/// allocation tracking disabled, allocation tallies zeroed, buffered trace
+/// events and track labels discarded, and the log level back to
+/// [`Level::Off`].
 ///
 /// This is the boundary between independent runs sharing one process (the
 /// CLI calls it at the top of every command dispatch), so an earlier run's
-/// `--metrics`/`--log-level`/`--trace` cannot leak into the next.
+/// `--metrics`/`--log-level`/`--trace`/`--alloc-stats` cannot leak into the
+/// next.
 pub fn reset_all() {
     GLOBAL.reset();
     set_enabled(false);
     set_log_level(Level::Off);
     trace::set_trace_enabled(false);
     trace::clear();
+    alloc::set_tracking(false);
+    alloc::reset();
+    alloc::reset_sample_baseline();
 }
 
 #[cfg(test)]
@@ -210,6 +220,7 @@ mod tests {
         set_enabled(true);
         set_log_level(Level::Debug);
         trace::set_trace_enabled(true);
+        alloc::set_tracking(true);
         add("lib_test_reset_total", 7);
         {
             let _s = span!("lib_test_reset_span");
@@ -222,6 +233,7 @@ mod tests {
         assert!(enabled());
         assert_eq!(log_level(), Level::Debug);
         assert!(trace::trace_enabled());
+        assert!(alloc::tracking_enabled());
 
         // `reset_all` is the between-runs boundary: flags off, buffers gone.
         add("lib_test_reset_total", 3);
@@ -230,6 +242,8 @@ mod tests {
         assert!(!enabled());
         assert_eq!(log_level(), Level::Off);
         assert!(!trace::trace_enabled());
+        assert!(!alloc::tracking_enabled());
+        assert_eq!(alloc::stats(), alloc::AllocStats::default());
         assert!(trace::drain().is_empty(), "buffered spans discarded");
         assert!(trace::track_labels().is_empty());
     }

@@ -5,9 +5,10 @@
 //! span that spawned it), and merges spans with the same *name path* into
 //! one node: `pipeline.recluster → kmeans.run → kmeans.iteration` is a
 //! single row however many windows and iterations ran. Each node carries a
-//! call count, total wall time, and self time (total minus the time spent
-//! in child spans), rendered as a tree-indented text report by
-//! [`Profile::to_text`] — the `--trace-summary` output.
+//! call count, total wall time, self time (total minus the time spent in
+//! child spans), and — when allocation tracking ran — allocation counts and
+//! bytes with the same total/self split, rendered as a tree-indented text
+//! report by [`Profile::to_text`] — the `--trace-summary` output.
 
 use std::collections::BTreeMap;
 
@@ -25,6 +26,14 @@ pub struct ProfileNode {
     /// Σ (span duration − child span durations); time spent in this node's
     /// own code rather than in instrumented children.
     pub self_ns: u64,
+    /// Σ allocation events inside these spans (0 when tracking was off).
+    pub total_allocs: u64,
+    /// Σ (span allocations − child span allocations).
+    pub self_allocs: u64,
+    /// Σ bytes allocated inside these spans (0 when tracking was off).
+    pub total_bytes: u64,
+    /// Σ (span bytes − child span bytes).
+    pub self_bytes: u64,
     /// Child nodes, sorted by descending total time.
     pub children: Vec<ProfileNode>,
 }
@@ -43,6 +52,10 @@ struct Agg {
     calls: u64,
     total_ns: u64,
     self_ns: u64,
+    total_allocs: u64,
+    self_allocs: u64,
+    total_bytes: u64,
+    self_bytes: u64,
     children: BTreeMap<&'static str, usize>,
 }
 
@@ -51,12 +64,18 @@ impl Profile {
     /// missing an end event (which [`crate::trace::validate_events`] would
     /// reject) are skipped.
     pub fn from_events(events: &[TraceEvent]) -> Self {
-        // Match begin/end pairs into (name, parent, duration) records.
+        // Match begin/end pairs into (name, parent, duration, allocation
+        // delta) records. Like `dur_ns`, the alloc fields hold the begin
+        // snapshot until the end event converts them into deltas.
         struct Rec {
             name: &'static str,
             parent: u64,
             dur_ns: u64,
             child_ns: u64,
+            allocs: u64,
+            child_allocs: u64,
+            bytes: u64,
+            child_bytes: u64,
         }
         let mut recs: BTreeMap<u64, Rec> = BTreeMap::new();
         for ev in events {
@@ -69,12 +88,18 @@ impl Profile {
                             parent: ev.parent,
                             dur_ns: ev.ts_ns, // begin ts until the end arrives
                             child_ns: 0,
+                            allocs: ev.allocs,
+                            child_allocs: 0,
+                            bytes: ev.bytes,
+                            child_bytes: 0,
                         },
                     );
                 }
                 TracePhase::End => {
                     if let Some(r) = recs.get_mut(&ev.id) {
                         r.dur_ns = ev.ts_ns.saturating_sub(r.dur_ns);
+                        r.allocs = ev.allocs.saturating_sub(r.allocs);
+                        r.bytes = ev.bytes.saturating_sub(r.bytes);
                     }
                 }
             }
@@ -88,15 +113,18 @@ impl Profile {
         }
         recs.retain(|id, _| ended.contains_key(id));
 
-        // Charge each span's duration to its parent's child-time tally.
-        let child_sums: Vec<(u64, u64)> = recs
+        // Charge each span's duration and allocations to its parent's
+        // child tallies.
+        let child_sums: Vec<(u64, u64, u64, u64)> = recs
             .values()
             .filter(|r| r.parent != 0)
-            .map(|r| (r.parent, r.dur_ns))
+            .map(|r| (r.parent, r.dur_ns, r.allocs, r.bytes))
             .collect();
-        for (parent, dur) in child_sums {
+        for (parent, dur, allocs, bytes) in child_sums {
             if let Some(p) = recs.get_mut(&parent) {
                 p.child_ns += dur;
+                p.child_allocs += allocs;
+                p.child_bytes += bytes;
             }
         }
 
@@ -134,6 +162,10 @@ impl Profile {
             arena[slot].calls += 1;
             arena[slot].total_ns += r.dur_ns;
             arena[slot].self_ns += r.dur_ns.saturating_sub(r.child_ns);
+            arena[slot].total_allocs += r.allocs;
+            arena[slot].self_allocs += r.allocs.saturating_sub(r.child_allocs);
+            arena[slot].total_bytes += r.bytes;
+            arena[slot].self_bytes += r.bytes.saturating_sub(r.child_bytes);
         }
 
         fn build(name: &'static str, idx: usize, arena: &[Agg]) -> ProfileNode {
@@ -149,6 +181,10 @@ impl Profile {
                 calls: a.calls,
                 total_ns: a.total_ns,
                 self_ns: a.self_ns,
+                total_allocs: a.total_allocs,
+                self_allocs: a.self_allocs,
+                total_bytes: a.total_bytes,
+                self_bytes: a.self_bytes,
                 children,
             }
         }
@@ -171,27 +207,32 @@ impl Profile {
     /// The tree-indented text report, e.g.:
     ///
     /// ```text
-    /// span                                      calls      total       self
-    /// pipeline.recluster                            4    38.21ms     1.02ms
-    ///   kmeans.run                                  4    35.70ms     0.41ms
-    ///     kmeans.iteration                         19    35.29ms    20.11ms
-    ///       kmeans.step1                           19    15.18ms    15.18ms
+    /// span                                      calls      total       self     allocs self-alloc      bytes self-bytes
+    /// pipeline.recluster                            4    38.21ms     1.02ms      52.1k       1.2k    11.4MB    201.0KB
+    ///   kmeans.run                                  4    35.70ms     0.41ms      50.9k       0.3k    11.2MB     90.5KB
     /// ```
+    ///
+    /// The allocation columns render as `0` throughout when allocation
+    /// tracking was off during the traced run.
     pub fn to_text(&self) -> String {
         const NAME_WIDTH: usize = 40;
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<NAME_WIDTH$} {:>6} {:>10} {:>10}\n",
-            "span", "calls", "total", "self"
+            "{:<NAME_WIDTH$} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "span", "calls", "total", "self", "allocs", "self-alloc", "bytes", "self-bytes"
         ));
         fn walk(node: &ProfileNode, depth: usize, out: &mut String) {
             let label = format!("{}{}", "  ".repeat(depth), node.name);
             out.push_str(&format!(
-                "{:<NAME_WIDTH$} {:>6} {:>10} {:>10}\n",
+                "{:<NAME_WIDTH$} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
                 label,
                 node.calls,
                 fmt_ns(node.total_ns),
                 fmt_ns(node.self_ns),
+                fmt_count(node.total_allocs),
+                fmt_count(node.self_allocs),
+                fmt_bytes(node.total_bytes),
+                fmt_bytes(node.self_bytes),
             ));
             for child in &node.children {
                 walk(child, depth + 1, out);
@@ -201,6 +242,32 @@ impl Profile {
             walk(root, 0, &mut out);
         }
         out
+    }
+}
+
+/// `999` / `12.3k` / `4.5M` — event counts, unit by magnitude.
+fn fmt_count(n: u64) -> String {
+    let n = n as f64;
+    if n < 10_000.0 {
+        format!("{n:.0}")
+    } else if n < 10_000_000.0 {
+        format!("{:.1}k", n / 1_000.0)
+    } else {
+        format!("{:.1}M", n / 1_000_000.0)
+    }
+}
+
+/// `999B` / `12.3KB` / `4.5MB` / `6.7GB` — byte volumes, unit by magnitude.
+fn fmt_bytes(b: u64) -> String {
+    let b = b as f64;
+    if b < 1_024.0 {
+        format!("{b:.0}B")
+    } else if b < 1_048_576.0 {
+        format!("{:.1}KB", b / 1_024.0)
+    } else if b < 1_073_741_824.0 {
+        format!("{:.1}MB", b / 1_048_576.0)
+    } else {
+        format!("{:.1}GB", b / 1_073_741_824.0)
     }
 }
 
@@ -231,6 +298,24 @@ mod tests {
             thread: 0,
             phase,
             ts_ns,
+            allocs: 0,
+            bytes: 0,
+        }
+    }
+
+    fn ev_alloc(
+        name: &'static str,
+        id: u64,
+        parent: u64,
+        phase: TracePhase,
+        ts_ns: u64,
+        allocs: u64,
+        bytes: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            allocs,
+            bytes,
+            ..ev(name, id, parent, phase, ts_ns)
         }
     }
 
@@ -286,6 +371,26 @@ mod tests {
     }
 
     #[test]
+    fn alloc_deltas_aggregate_with_self_split() {
+        use TracePhase::{Begin, End};
+        // outer allocates 10 events / 1000 bytes overall, of which the
+        // inner span accounts for 4 events / 300 bytes.
+        let events = vec![
+            ev_alloc("outer", 1, 0, Begin, 0, 100, 5_000),
+            ev_alloc("inner", 2, 1, Begin, 10, 103, 5_200),
+            ev_alloc("inner", 2, 1, End, 20, 107, 5_500),
+            ev_alloc("outer", 1, 0, End, 30, 110, 6_000),
+        ];
+        let p = Profile::from_events(&events);
+        let outer = &p.roots[0];
+        assert_eq!((outer.total_allocs, outer.total_bytes), (10, 1_000));
+        assert_eq!((outer.self_allocs, outer.self_bytes), (6, 700));
+        let inner = &outer.children[0];
+        assert_eq!((inner.total_allocs, inner.total_bytes), (4, 300));
+        assert_eq!((inner.self_allocs, inner.self_bytes), (4, 300));
+    }
+
+    #[test]
     fn text_report_is_tree_indented() {
         use TracePhase::{Begin, End};
         let events = vec![
@@ -317,5 +422,18 @@ mod tests {
         assert_eq!(fmt_ns(12_340), "12.34µs");
         assert_eq!(fmt_ns(5_670_000), "5.67ms");
         assert_eq!(fmt_ns(8_900_000_000), "8.90s");
+    }
+
+    #[test]
+    fn fmt_count_and_bytes_units() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(9_999), "9999");
+        assert_eq!(fmt_count(52_100), "52.1k");
+        assert_eq!(fmt_count(12_500_000), "12.5M");
+        assert_eq!(fmt_bytes(0), "0B");
+        assert_eq!(fmt_bytes(1_023), "1023B");
+        assert_eq!(fmt_bytes(205_824), "201.0KB");
+        assert_eq!(fmt_bytes(11_953_766), "11.4MB");
+        assert_eq!(fmt_bytes(2_147_483_648), "2.0GB");
     }
 }

@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use crate::gauge::Gauge;
 use crate::metrics::{Counter, Histogram};
 use crate::snapshot::{HistogramSnapshot, Snapshot};
 
@@ -41,16 +42,18 @@ impl Recorder for NoopRecorder {
     fn observe(&self, _name: &'static str, _bounds: &'static [f64], _value: f64) {}
 }
 
-/// A named collection of counters and histograms.
+/// A named collection of counters, gauges and histograms.
 ///
 /// Metrics are registered on first use and never removed; [`Registry::reset`]
 /// zeroes them in place so `Arc` handles cached by call sites stay valid.
-/// Counter and histogram names live in separate namespaces, but the naming
-/// convention (see DESIGN.md §Observability) keeps them disjoint anyway
-/// (`*_total` counters vs. `*_seconds`/value-distribution histograms).
+/// Counter, gauge and histogram names live in separate namespaces, but the
+/// naming convention (see DESIGN.md §Observability) keeps them disjoint
+/// anyway (`*_total` counters vs. `nidc_mem_*_bytes` gauges vs.
+/// `*_seconds`/value-distribution histograms).
 #[derive(Debug)]
 pub struct Registry {
     counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
 }
 
@@ -59,6 +62,7 @@ impl Registry {
     pub const fn new() -> Self {
         Self {
             counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
         }
     }
@@ -73,6 +77,11 @@ impl Registry {
     /// The counter registered under `name`, created at zero on first use.
     pub fn counter(&self, name: &'static str) -> Arc<Counter> {
         Arc::clone(Self::lock(&self.counters).entry(name).or_default())
+    }
+
+    /// The gauge registered under `name`, created at zero on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(Self::lock(&self.gauges).entry(name).or_default())
     }
 
     /// The histogram registered under `name`, created with `bounds` on first
@@ -91,6 +100,10 @@ impl Registry {
             .iter()
             .map(|(name, c)| (name.to_string(), c.get()))
             .collect();
+        let gauges = Self::lock(&self.gauges)
+            .iter()
+            .map(|(name, g)| (name.to_string(), g.get()))
+            .collect();
         let histograms = Self::lock(&self.histograms)
             .iter()
             .map(|(name, h)| {
@@ -107,6 +120,7 @@ impl Registry {
             .collect();
         Snapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -115,6 +129,9 @@ impl Registry {
     pub fn reset(&self) {
         for c in Self::lock(&self.counters).values() {
             c.reset();
+        }
+        for g in Self::lock(&self.gauges).values() {
+            g.reset();
         }
         for h in Self::lock(&self.histograms).values() {
             h.reset();
@@ -178,6 +195,22 @@ mod tests {
         // The pre-reset handle still feeds the same counter.
         c.add(1);
         assert_eq!(r.snapshot().counter("kept_total"), Some(1));
+    }
+
+    #[test]
+    fn gauge_handles_are_shared_and_reset_zeroes_them() {
+        let r = Registry::new();
+        let a = r.gauge("shared_bytes");
+        let b = r.gauge("shared_bytes");
+        a.set(100);
+        b.set(250);
+        assert_eq!(r.gauge("shared_bytes").get(), 250, "last set wins");
+        assert_eq!(r.snapshot().gauge("shared_bytes"), Some(250));
+        r.reset();
+        assert_eq!(r.snapshot().gauge("shared_bytes"), Some(0));
+        // The pre-reset handle still feeds the same gauge.
+        a.set(9);
+        assert_eq!(r.snapshot().gauge("shared_bytes"), Some(9));
     }
 
     #[test]

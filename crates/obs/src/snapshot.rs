@@ -16,12 +16,14 @@ pub struct HistogramSnapshot {
 
 /// Frozen state of a [`crate::Registry`] — the per-window report type.
 ///
-/// Both collections are sorted by metric name (inherited from the
+/// Every collection is sorted by metric name (inherited from the
 /// registry's BTreeMap ordering), so serialisations are deterministic.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Snapshot {
     /// `(name, value)` for every registered counter.
     pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge (last sampled value).
+    pub gauges: Vec<(String, u64)>,
     /// `(name, state)` for every registered histogram.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
@@ -35,6 +37,11 @@ impl Snapshot {
             .map(|&(_, v)| v)
     }
 
+    /// Value of the named gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
     /// State of the named histogram, if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms
@@ -43,24 +50,27 @@ impl Snapshot {
             .map(|(_, h)| h)
     }
 
-    /// Every registered metric name (counters then histograms, each sorted).
+    /// Every registered metric name (counters, gauges, then histograms,
+    /// each sorted).
     pub fn metric_names(&self) -> Vec<&str> {
         self.counters
             .iter()
             .map(|(n, _)| n.as_str())
+            .chain(self.gauges.iter().map(|(n, _)| n.as_str()))
             .chain(self.histograms.iter().map(|(n, _)| n.as_str()))
             .collect()
     }
 
     /// Whether nothing has been registered.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
     /// One JSON object (single line, no trailing newline).
     ///
     /// Shape:
-    /// `{"counters":{"name":n,...},"histograms":{"name":{"count":n,"sum":s,`
+    /// `{"counters":{"name":n,...},"gauges":{"name":n,...},`
+    /// `"histograms":{"name":{"count":n,"sum":s,`
     /// `"buckets":[{"le":b,"n":n},...,{"le":"+Inf","n":n}]},...}}`
     pub fn to_json(&self) -> String {
         self.to_json_line(&[])
@@ -79,6 +89,15 @@ impl Snapshot {
         }
         out.push_str("\"counters\":{");
         for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -117,14 +136,23 @@ impl Snapshot {
     }
 
     /// Prometheus text exposition format (version 0.0.4): `# TYPE` comments,
-    /// counters as-is, histograms as cumulative `_bucket{le="..."}` series
-    /// plus `_sum` and `_count`.
+    /// counters and gauges as-is, histograms as cumulative
+    /// `_bucket{le="..."}` series plus `_sum` and `_count`.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(512);
         for (name, value) in &self.counters {
             out.push_str("# TYPE ");
             out.push_str(name);
             out.push_str(" counter\n");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" gauge\n");
             out.push_str(name);
             out.push(' ');
             out.push_str(&value.to_string());
@@ -211,6 +239,7 @@ mod tests {
     fn sample() -> Snapshot {
         Snapshot {
             counters: vec![("a_total".to_string(), 3), ("b_total".to_string(), 0)],
+            gauges: vec![("g_bytes".to_string(), 4096)],
             histograms: vec![(
                 "p_seconds".to_string(),
                 HistogramSnapshot {
@@ -228,9 +257,14 @@ mod tests {
         let s = sample();
         assert_eq!(s.counter("a_total"), Some(3));
         assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.gauge("g_bytes"), Some(4096));
+        assert_eq!(s.gauge("missing"), None);
         assert_eq!(s.histogram("p_seconds").unwrap().count, 4);
         assert!(s.histogram("missing").is_none());
-        assert_eq!(s.metric_names(), vec!["a_total", "b_total", "p_seconds"]);
+        assert_eq!(
+            s.metric_names(),
+            vec!["a_total", "b_total", "g_bytes", "p_seconds"]
+        );
         assert!(!s.is_empty());
         assert!(Snapshot::default().is_empty());
     }
@@ -241,6 +275,7 @@ mod tests {
         let line = s.to_json_line(&[("window", 3.0), ("day", 14.5)]);
         assert!(line.starts_with("{\"window\":3,\"day\":14.5,\"counters\":{"));
         assert!(line.contains("\"a_total\":3"));
+        assert!(line.contains("\"gauges\":{\"g_bytes\":4096}"));
         assert!(line.contains("\"p_seconds\":{\"count\":4,\"sum\":1.7562,\"buckets\":["));
         assert!(line.contains("{\"le\":0.001,\"n\":1}"));
         assert!(line.contains("{\"le\":\"+Inf\",\"n\":1}"));
@@ -252,6 +287,7 @@ mod tests {
     fn prometheus_shape_is_cumulative() {
         let text = sample().to_prometheus();
         assert!(text.contains("# TYPE a_total counter\na_total 3\n"));
+        assert!(text.contains("# TYPE g_bytes gauge\ng_bytes 4096\n"));
         assert!(text.contains("# TYPE p_seconds histogram\n"));
         assert!(text.contains("p_seconds_bucket{le=\"0.001\"} 1\n"));
         assert!(text.contains("p_seconds_bucket{le=\"0.25\"} 3\n"));

@@ -73,6 +73,13 @@ pub struct TraceEvent {
     pub phase: TracePhase,
     /// Nanoseconds since the process trace origin, monotone per thread.
     pub ts_ns: u64,
+    /// Snapshot of the recording thread's allocation-event tally at event
+    /// time (monotone per thread, like `ts_ns`; 0 while allocation
+    /// tracking is disabled). End − begin = allocations inside the span.
+    pub allocs: u64,
+    /// Snapshot of the recording thread's bytes-allocated tally at event
+    /// time (same semantics as `allocs`).
+    pub bytes: u64,
 }
 
 /// Master switch, independent of the metrics enable flag.
@@ -203,6 +210,7 @@ pub fn span(name: &'static str) -> Span {
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let ts_ns = now_ns();
+    let (allocs, bytes) = crate::alloc::thread_tallies();
     let state = LOCAL
         .try_with(|l| {
             let mut l = l.borrow_mut();
@@ -222,6 +230,8 @@ pub fn span(name: &'static str) -> Span {
                 thread: st.thread,
                 phase: TracePhase::Begin,
                 ts_ns,
+                allocs,
+                bytes,
             });
             st
         })
@@ -236,6 +246,9 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(st) = self.state.take() else { return };
         let ts_ns = now_ns();
+        // Spans close on their opening thread (the type is !Send), so this
+        // reads the same thread's tally the begin event snapshotted.
+        let (allocs, bytes) = crate::alloc::thread_tallies();
         let ev = TraceEvent {
             name: st.name,
             id: st.id,
@@ -244,6 +257,8 @@ impl Drop for Span {
             thread: st.thread,
             phase: TracePhase::End,
             ts_ns,
+            allocs,
+            bytes,
         };
         let pushed = LOCAL.try_with(|l| {
             let mut l = l.borrow_mut();
@@ -703,6 +718,35 @@ mod tests {
     }
 
     #[test]
+    fn span_events_snapshot_alloc_tallies() {
+        let _guard = global_lock();
+        clear();
+        crate::alloc::set_tracking(true);
+        set_trace_enabled(true);
+        {
+            let _s = span("trace_test_allocating");
+            let v: Vec<u64> = Vec::with_capacity(256);
+            drop(v);
+        }
+        set_trace_enabled(false);
+        crate::alloc::set_tracking(false);
+        let events = drain();
+        let begin = events
+            .iter()
+            .find(|e| e.name == "trace_test_allocating" && e.phase == TracePhase::Begin)
+            .unwrap();
+        let end = events
+            .iter()
+            .find(|e| e.name == "trace_test_allocating" && e.phase == TracePhase::End)
+            .unwrap();
+        assert!(
+            end.allocs > begin.allocs,
+            "the Vec alloc must be attributed"
+        );
+        assert!(end.bytes - begin.bytes >= 2048, "256 × 8 bytes expected");
+    }
+
+    #[test]
     fn validator_rejects_malformed_streams() {
         let ev = |name, id, parent, phase, ts_ns| TraceEvent {
             name,
@@ -712,6 +756,8 @@ mod tests {
             thread: 0,
             phase,
             ts_ns,
+            allocs: 0,
+            bytes: 0,
         };
         // Unbalanced: begin without end.
         let events = vec![ev("a", 1, 0, TracePhase::Begin, 10)];

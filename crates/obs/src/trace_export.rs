@@ -63,21 +63,25 @@ pub fn write_chrome_trace(
             TracePhase::Begin => write!(
                 w,
                 "{{\"ph\":\"B\",\"pid\":1,\"tid\":{},\"ts\":{us}.{frac:03},\"name\":{},\
-                 \"args\":{{\"id\":{},\"parent\":{},\"thread\":{}}}}}",
+                 \"args\":{{\"id\":{},\"parent\":{},\"thread\":{},\"allocs\":{},\"bytes\":{}}}}}",
                 ev.track,
                 json_str(ev.name),
                 ev.id,
                 ev.parent,
-                ev.thread
+                ev.thread,
+                ev.allocs,
+                ev.bytes
             )?,
             TracePhase::End => write!(
                 w,
                 "{{\"ph\":\"E\",\"pid\":1,\"tid\":{},\"ts\":{us}.{frac:03},\"name\":{},\
-                 \"args\":{{\"id\":{},\"thread\":{}}}}}",
+                 \"args\":{{\"id\":{},\"thread\":{},\"allocs\":{},\"bytes\":{}}}}}",
                 ev.track,
                 json_str(ev.name),
                 ev.id,
-                ev.thread
+                ev.thread,
+                ev.allocs,
+                ev.bytes
             )?,
         }
     }
@@ -184,6 +188,8 @@ mod tests {
             thread: 0,
             phase,
             ts_ns,
+            allocs: 7,
+            bytes: 640,
         }
     }
 
@@ -204,8 +210,10 @@ mod tests {
         assert!(text.trim_end().ends_with("]}"));
         assert!(text.contains("\"thread_name\",\"args\":{\"name\":\"main\"}"));
         assert!(text.contains("\"ph\":\"B\",\"pid\":1,\"tid\":0,\"ts\":1.500"));
-        assert!(text.contains("\"args\":{\"id\":1,\"parent\":0,\"thread\":0}"));
+        assert!(text
+            .contains("\"args\":{\"id\":1,\"parent\":0,\"thread\":0,\"allocs\":7,\"bytes\":640}"));
         assert!(text.contains("\"ph\":\"E\""));
+        assert!(text.contains("\"args\":{\"id\":1,\"thread\":0,\"allocs\":7,\"bytes\":640}"));
         assert!(text.contains("\\\"q\\\""), "names are JSON-escaped");
     }
 

@@ -8,6 +8,7 @@ fn sample_registry() -> Registry {
     let r = Registry::new();
     r.add("rt_docs_total", 41);
     r.add("rt_windows_total", 3);
+    r.gauge("rt_heap_bytes").set(2048);
     for v in [0.0002, 0.013, 0.013, 0.7, 120.0] {
         r.observe("rt_phase_seconds", buckets::LATENCY_SECONDS, v);
     }
@@ -25,6 +26,13 @@ fn snapshot_from_json(v: &Value) -> Snapshot {
         .expect("counters object")
         .iter()
         .map(|(name, val)| (name.clone(), val.as_u64().expect("counter value")))
+        .collect();
+    let gauges = v
+        .get("gauges")
+        .and_then(Value::as_object)
+        .expect("gauges object")
+        .iter()
+        .map(|(name, val)| (name.clone(), val.as_u64().expect("gauge value")))
         .collect();
     let histograms = v
         .get("histograms")
@@ -55,6 +63,7 @@ fn snapshot_from_json(v: &Value) -> Snapshot {
         .collect();
     Snapshot {
         counters,
+        gauges,
         histograms,
     }
 }
@@ -87,7 +96,10 @@ fn prometheus_exposition_is_valid_on_real_data() {
             let mut parts = comment.split_whitespace();
             assert_eq!(parts.next(), Some("TYPE"));
             assert!(parts.next().is_some());
-            assert!(matches!(parts.next(), Some("counter") | Some("histogram")));
+            assert!(matches!(
+                parts.next(),
+                Some("counter") | Some("gauge") | Some("histogram")
+            ));
             continue;
         }
         let (series_part, value) = line.rsplit_once(' ').expect("value present");
@@ -105,8 +117,9 @@ fn prometheus_exposition_is_valid_on_real_data() {
         );
         series += 1;
     }
-    // 2 counters + 2 histograms × (buckets + sum + count).
-    let expected = 2 + (buckets::LATENCY_SECONDS.len() + 1 + 2) + (buckets::SIZES.len() + 1 + 2);
+    // 2 counters + 1 gauge + 2 histograms × (buckets + sum + count).
+    let expected =
+        2 + 1 + (buckets::LATENCY_SECONDS.len() + 1 + 2) + (buckets::SIZES.len() + 1 + 2);
     assert_eq!(series, expected);
 }
 

@@ -13,6 +13,7 @@
 //! `n > 1` spawns at most `n` scoped workers.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use nidc_obs::{buckets, LazyCounter, LazyHistogram};
 
@@ -28,10 +29,19 @@ static CHUNK_SECONDS: LazyHistogram =
     LazyHistogram::new("nidc_parallel_chunk_seconds", buckets::FINE_SECONDS);
 
 /// The number of hardware threads, falling back to 1 when unknown.
+///
+/// Cached after the first call: `available_parallelism` re-reads cgroup
+/// limits on every invocation (file I/O plus heap allocations), and
+/// `resolve_threads(0)` sits on hot paths — with the counting allocator on,
+/// the per-call allocations would also make `threads: 0` runs tally
+/// differently from explicit thread counts.
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Resolves a user-facing thread knob: `0` → [`available_threads`],
@@ -57,6 +67,50 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
         .map(|c| (c * per)..((c + 1) * per).min(len))
         .filter(|r| !r.is_empty())
         .collect()
+}
+
+/// Shared accumulator for worker-thread allocation deltas across one
+/// fan-out. Workers measure their own thread-local tallies around the chunk
+/// closure; the spawner folds the sum into *its* thread tallies before the
+/// fan-out span closes, so enclosing spans attribute worker allocations the
+/// same way `SpanContext` chaining attributes worker spans. Inert (and
+/// entirely unused) while allocation tracking is off.
+struct WorkerAllocFold {
+    active: bool,
+    allocs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl WorkerAllocFold {
+    fn new() -> Self {
+        Self {
+            active: nidc_obs::alloc::tracking_enabled(),
+            allocs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `work` on a worker thread, accumulating its allocation delta.
+    fn measure<R>(&self, work: impl FnOnce() -> R) -> R {
+        if !self.active {
+            return work();
+        }
+        let (a0, b0) = nidc_obs::alloc::thread_tallies();
+        let out = work();
+        let (a1, b1) = nidc_obs::alloc::thread_tallies();
+        self.allocs
+            .fetch_add(a1.wrapping_sub(a0), Ordering::Relaxed);
+        self.bytes.fetch_add(b1.wrapping_sub(b0), Ordering::Relaxed);
+        out
+    }
+
+    /// Folds the accumulated worker deltas into the calling thread.
+    /// Call after the scope join, before the fan-out span drops.
+    fn fold_into_caller(self) {
+        if self.active {
+            nidc_obs::alloc::add_external(self.allocs.into_inner(), self.bytes.into_inner());
+        }
+    }
 }
 
 /// Whether fanning `len` items out over `threads` workers is worthwhile;
@@ -107,12 +161,14 @@ where
     // it in each worker so spans opened by `f` parent under this call.
     let _fan_span = nidc_obs::span!("parallel.fan_out");
     let ctx = nidc_obs::trace::current_context();
+    let fold = WorkerAllocFold::new();
     let ranges = chunk_ranges(len, threads);
     let mut results: Vec<Option<R>> = Vec::new();
     results.resize_with(ranges.len(), || None);
     std::thread::scope(|scope| {
         for (slot, range) in results.iter_mut().zip(ranges) {
             let f = &f;
+            let fold = &fold;
             scope.spawn(move || {
                 // Declared first so it drops last: the flush must follow
                 // every span close, and must run even if `f` panics, so the
@@ -121,10 +177,13 @@ where
                 let _ctx = ctx.attach();
                 CHUNKS.inc();
                 let _timer = CHUNK_SECONDS.start_timer();
-                *slot = Some(f(range));
+                *slot = Some(fold.measure(|| f(range)));
             });
         }
     });
+    // Before `_fan_span` drops: the fan-out span (and everything above it)
+    // absorbs the worker-thread allocation deltas.
+    fold.fold_into_caller();
     results
         .into_iter()
         .map(|r| r.expect("worker filled its slot"))
@@ -196,6 +255,7 @@ where
     // (and inherit its track) rather than dangle as roots.
     let _fan_span = nidc_obs::span!("parallel.fan_out_mut");
     let ctx = nidc_obs::trace::current_context();
+    let fold = WorkerAllocFold::new();
     let ranges = chunk_ranges(len, threads);
     let mut results: Vec<Option<Vec<R>>> = Vec::new();
     results.resize_with(ranges.len(), || None);
@@ -207,16 +267,19 @@ where
             offset = range.end;
             rest = tail;
             let f = &f;
+            let fold = &fold;
             scope.spawn(move || {
                 // First so it drops last; see the par_chunks worker.
                 let _flush = nidc_obs::trace::flush_on_exit();
                 let _ctx = ctx.attach();
                 CHUNKS.inc();
                 let _timer = CHUNK_SECONDS.start_timer();
-                *slot = Some(chunk.iter_mut().map(f).collect());
+                *slot = Some(fold.measure(|| chunk.iter_mut().map(f).collect()));
             });
         }
     });
+    // Same as par_chunks: fold worker deltas in while the span is open.
+    fold.fold_into_caller();
     results
         .into_iter()
         .flat_map(|r| r.expect("worker filled its slot"))
@@ -355,6 +418,24 @@ mod tests {
         let mut one = vec![7u32];
         assert_eq!(par_map_mut(&mut one, 4, |x| *x + 1), vec![8]);
         assert_eq!(one, vec![7]); // closure read, did not assign
+    }
+
+    #[test]
+    fn worker_alloc_deltas_fold_into_the_caller() {
+        // The only test in this binary that toggles allocation tracking, so
+        // no cross-test lock is needed; tallies are per-thread anyway.
+        nidc_obs::alloc::set_tracking(true);
+        let (a0, b0) = nidc_obs::alloc::thread_tallies();
+        let results = par_map_indices(16, 4, |i| vec![i as u64; 64]);
+        let (a1, b1) = nidc_obs::alloc::thread_tallies();
+        nidc_obs::alloc::set_tracking(false);
+        assert_eq!(results.len(), 16);
+        assert!(
+            a1 - a0 >= 16,
+            "every worker-side Vec allocation must fold into the caller ({})",
+            a1 - a0
+        );
+        assert!(b1 - b0 >= 16 * 64 * 8, "folded bytes: {}", b1 - b0);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! per-cluster dot products, which is what preserves the workspace's
 //! thread-count determinism contract end to end.
 
-use nidc_obs::{buckets, LazyCounter, LazyHistogram};
+use nidc_obs::{buckets, DeepSize, LazyCounter, LazyGauge, LazyHistogram};
 use nidc_textproc::{SparseVector, TermId};
 
 use crate::ClusterRep;
@@ -42,6 +42,10 @@ static REBUILDS: LazyCounter = LazyCounter::new("nidc_index_rebuilds_total");
 /// vocabulary runs in microseconds.
 static REBUILD_SECONDS: LazyHistogram =
     LazyHistogram::new("nidc_index_rebuild_seconds", buckets::FINE_SECONDS);
+/// Heap bytes held by the postings spine and lists, sampled after each
+/// rebuild (last-rebuild semantics — incremental add/remove drift between
+/// rebuilds is not tracked; the K-means loop rebuilds once per iteration).
+static POSTINGS_BYTES: LazyGauge = LazyGauge::new("nidc_mem_index_postings_bytes");
 
 /// An inverted postings map `TermId → [(cluster, weight)]` mirroring the
 /// sparse representatives of K clusters.
@@ -73,6 +77,7 @@ impl ClusterIndex {
         ADD_OPS.add(0);
         REBUILDS.add(0);
         REBUILD_SECONDS.touch();
+        POSTINGS_BYTES.touch();
     }
 
     /// An empty index over `k` cluster slots.
@@ -193,6 +198,7 @@ impl ClusterIndex {
                 self.postings[idx].push((q as u32, w));
             });
         }
+        POSTINGS_BYTES.set(self.deep_size_bytes());
     }
 
     /// Scores `φ` against **all** K clusters in one pass over its terms:
@@ -216,6 +222,21 @@ impl ClusterIndex {
             }
         }
         POSTINGS_TOUCHED.add(touched as u64);
+    }
+}
+
+impl DeepSize for ClusterIndex {
+    /// Heap footprint: the spine's capacity plus every posting list's
+    /// capacity (spare capacity is kept deliberately across rebuilds, so the
+    /// gauge should see it).
+    fn deep_size_bytes(&self) -> u64 {
+        let spine = self.postings.capacity() * std::mem::size_of::<Vec<(u32, f64)>>();
+        let lists: usize = self
+            .postings
+            .iter()
+            .map(|l| l.capacity() * std::mem::size_of::<(u32, f64)>())
+            .sum();
+        (spine + lists) as u64
     }
 }
 
@@ -318,6 +339,16 @@ mod tests {
         assert_eq!(index.weight(TermId(9), 1), 0.0);
         assert_eq!(index.term_count(), 2);
         assert_eq!(index.postings_len(), 3);
+    }
+
+    #[test]
+    fn deep_size_covers_spine_and_lists() {
+        let mut index = ClusterIndex::new(2);
+        assert_eq!(index.deep_size_bytes(), 0);
+        index.add(0, &phi(&[(3, 1.5)]));
+        index.add(1, &phi(&[(3, 2.0), (7, 0.5)]));
+        // spine reaches term 7 → ≥8 slots × 24B, plus ≥3 postings × 16B.
+        assert!(index.deep_size_bytes() >= (8 * 24 + 3 * 16) as u64);
     }
 
     #[test]

@@ -576,6 +576,17 @@ impl ClusterRep {
     }
 }
 
+impl nidc_obs::DeepSize for ClusterRep {
+    /// Heap footprint of the stored vector (full buffer capacity on both
+    /// backends); the cached scalar statistics are inline and excluded.
+    fn deep_size_bytes(&self) -> u64 {
+        match &self.storage {
+            Storage::Dense(v) => (v.capacity() * std::mem::size_of::<f64>()) as u64,
+            Storage::Sparse(s) => s.deep_size_bytes(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -983,6 +994,22 @@ mod tests {
                 assert_eq!(conv.dot_doc(&probe), rep.dot_doc(&probe), "{src}→{dst}");
             }
         }
+    }
+
+    #[test]
+    fn deep_size_reflects_backend_storage() {
+        use nidc_obs::DeepSize;
+        let members = sample_members();
+        let dense = ClusterRep::from_members_with(RepBackend::Dense, members.iter());
+        let sparse = ClusterRep::from_members_with(RepBackend::Sparse, members.iter());
+        // dense: 4 term slots × 8 bytes minimum; sparse: 4 nnz × 16 bytes.
+        assert!(
+            dense.deep_size_bytes() >= 4 * 8,
+            "{}",
+            dense.deep_size_bytes()
+        );
+        assert!(sparse.deep_size_bytes() >= 4 * 16);
+        assert_eq!(ClusterRep::new().deep_size_bytes(), 0);
     }
 
     #[test]

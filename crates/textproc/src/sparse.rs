@@ -308,6 +308,15 @@ impl SparseVector {
     }
 }
 
+impl nidc_obs::DeepSize for SparseVector {
+    /// Heap footprint: the entry buffer's full *capacity* (spare capacity is
+    /// real resident memory — `axpy_in_place` deliberately over-allocates to
+    /// amortise churn, and the gauges should see that).
+    fn deep_size_bytes(&self) -> u64 {
+        (self.entries.capacity() * std::mem::size_of::<(TermId, f64)>()) as u64
+    }
+}
+
 impl FromIterator<(TermId, f64)> for SparseVector {
     fn from_iter<I: IntoIterator<Item = (TermId, f64)>>(iter: I) -> Self {
         Self::from_entries(iter.into_iter().collect())
@@ -441,6 +450,15 @@ mod tests {
         let b = v(&[(0, 2.0), (1, 2.0)]);
         assert!((a.cosine(&b) - 1.0).abs() < 1e-12);
         assert_eq!(a.cosine(&SparseVector::new()), 0.0);
+    }
+
+    #[test]
+    fn deep_size_counts_capacity_not_len() {
+        use nidc_obs::DeepSize;
+        assert_eq!(SparseVector::new().deep_size_bytes(), 0);
+        let s = v(&[(0, 1.0), (3, 2.0)]);
+        let per_entry = std::mem::size_of::<(TermId, f64)>() as u64;
+        assert!(s.deep_size_bytes() >= 2 * per_entry);
     }
 
     #[test]

@@ -207,6 +207,128 @@ fn tracing_on_off_results_are_bit_identical() {
     }
 }
 
+/// The counting allocator is held to the same pure-observer contract:
+/// tracking every heap allocation must not change a single bit of any
+/// clustering result, across both representative backends and all thread
+/// counts.
+#[test]
+fn alloc_tracking_on_off_results_are_bit_identical() {
+    let _guard = flag_lock();
+    for backend in [RepBackend::Sparse, RepBackend::Dense] {
+        for threads in THREAD_COUNTS {
+            khy2006::obs::alloc::set_tracking(false);
+            let off = run_pipeline(backend, threads);
+
+            khy2006::obs::alloc::set_tracking(true);
+            let on = run_pipeline(backend, threads);
+            khy2006::obs::alloc::set_tracking(false);
+
+            assert_eq!(
+                off, on,
+                "alloc tracking flipped the result at backend {backend:?}, threads {threads}"
+            );
+        }
+    }
+}
+
+/// A stream small enough that every parallel call site stays below its
+/// fan-out gate (`len >= 2 * threads`) for every thread count under test:
+/// three documents over a three-term vocabulary — `par_chunks` over the
+/// vocabulary dimension (statistics recompute) and over the document count
+/// (step 1, doc-vector build) both see `len == 3 < 4`.
+fn tiny_stream() -> Vec<(u64, f64, SparseVector)> {
+    vec![
+        (0, 0.0, tf(&[(0, 3.0), (1, 1.0)])),
+        (1, 0.4, tf(&[(1, 2.0), (2, 1.0)])),
+        (2, 0.8, tf(&[(2, 3.0), (0, 1.0)])),
+    ]
+}
+
+/// Two ingest → advance → recluster windows over the tiny stream.
+fn run_tiny(threads: usize) {
+    let decay = DecayParams::from_spans(4.0, 8.0).unwrap();
+    let config = ClusteringConfig {
+        k: 2,
+        seed: 7,
+        threads,
+        ..ClusteringConfig::default()
+    };
+    let mut pipeline = NoveltyPipeline::new(decay, config);
+    for (id, day, tf) in tiny_stream() {
+        pipeline.ingest(DocId(id), Timestamp(day), tf).unwrap();
+    }
+    pipeline.advance_to(Timestamp(1.0)).unwrap();
+    let _ = pipeline.recluster_incremental().unwrap();
+    pipeline.advance_to(Timestamp(2.0)).unwrap();
+    let _ = pipeline.recluster_incremental().unwrap();
+}
+
+/// For a fixed seed and config, allocation tallies are a pure function of
+/// the input — not of the thread count. The workload stays below every
+/// fan-out gate so all four thread counts run the identical sequential
+/// code path, and the per-thread tallies (immune to allocations from other
+/// test threads) must agree exactly.
+#[test]
+fn alloc_counts_are_thread_count_invariant() {
+    let _guard = flag_lock();
+    khy2006::obs::set_enabled(false);
+    khy2006::obs::trace::set_trace_enabled(false);
+    khy2006::obs::alloc::set_tracking(true);
+    // Warm-up: absorb one-time allocations (lazy registration, TLS and
+    // OnceLock first touches) before measuring.
+    for threads in THREAD_COUNTS {
+        run_tiny(threads);
+    }
+    let deltas: Vec<(u64, u64)> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let (a0, b0) = khy2006::obs::alloc::thread_tallies();
+            run_tiny(threads);
+            let (a1, b1) = khy2006::obs::alloc::thread_tallies();
+            (a1 - a0, b1 - b0)
+        })
+        .collect();
+    khy2006::obs::alloc::set_tracking(false);
+
+    assert!(deltas[0].0 > 0, "the pipeline run allocates");
+    for (i, d) in deltas.iter().enumerate() {
+        assert_eq!(
+            *d, deltas[0],
+            "allocation tallies diverged at threads={}",
+            THREAD_COUNTS[i]
+        );
+    }
+}
+
+/// `par_map_mut` attributes worker-thread allocations back to the caller:
+/// whatever the thread count, the caller's per-thread tallies grow by at
+/// least the closures' own allocations (16 boxed slices of 512 × u64),
+/// because fan-out runs fold worker deltas into the calling thread before
+/// returning.
+#[test]
+fn par_map_mut_folds_worker_allocations_into_the_caller() {
+    let _guard = flag_lock();
+    khy2006::obs::alloc::set_tracking(true);
+    for threads in THREAD_COUNTS {
+        let mut items: Vec<u64> = (0..16).collect();
+        let (a0, b0) = khy2006::obs::alloc::thread_tallies();
+        let out = nidc_parallel::par_map_mut(&mut items, threads, |x| vec![*x; 512]);
+        let (a1, b1) = khy2006::obs::alloc::thread_tallies();
+        assert_eq!(out.len(), 16);
+        assert!(
+            a1 - a0 >= 16,
+            "caller saw only {} allocations at threads={threads}",
+            a1 - a0
+        );
+        assert!(
+            b1 - b0 >= 16 * 512 * 8,
+            "caller saw only {} bytes at threads={threads}",
+            b1 - b0
+        );
+    }
+    khy2006::obs::alloc::set_tracking(false);
+}
+
 /// Warm-start bookkeeping survives the recorder: running the same
 /// assignment twice through `cluster_with_initial` with metrics on yields
 /// the same clustering as with metrics off.
