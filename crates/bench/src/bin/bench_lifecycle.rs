@@ -1,0 +1,204 @@
+//! **Cluster lifecycle benchmark** — replays the Expt-1 on-line stream
+//! (chronological ingest, periodic incremental re-clustering, forgetting-
+//! driven expiry) and reports what the [`nidc_core::LineageTracker`] saw:
+//! lifecycle totals (births, deaths, splits, merges), drift, churn and
+//! outlier rates, the mean consecutive-window co-membership stability
+//! ([`nidc_eval::consecutive_stability`]), and the final cohesion/
+//! separation quality gauges — once unsharded and once with 3 stream
+//! shards, so sharding's effect on cluster *stability* is tracked the
+//! same way `bench_shards` tracks its effect on F1.
+//!
+//! Writes `results/BENCH_quality.json` (override with `--json <path>`) in
+//! the shared BENCH schema, diffable with `bench_compare` — churn and
+//! outlier rates count as regressions when they grow, cohesion and
+//! separation when they shrink.
+//!
+//! Env: `NIDC_SCALE` (default 0.2), `NIDC_EVERY` (days between
+//! re-clusterings, default 10).
+
+use std::time::Instant;
+
+use nidc_bench::{scale_from_env, write_json_report, PreparedCorpus};
+use nidc_core::{ClusteringConfig, ShardedPipeline};
+use nidc_forgetting::{DecayParams, Timestamp};
+use nidc_textproc::DocId;
+
+/// Lifecycle and quality aggregates of one full stream replay.
+struct LifecycleStats {
+    rounds: u32,
+    wall_ms: f64,
+    births: u64,
+    deaths: u64,
+    splits: u64,
+    merges: u64,
+    mean_drift_max: f64,
+    mean_churn_rate: f64,
+    mean_outlier_rate: f64,
+    mean_stability: f64,
+    final_cohesion: f64,
+    final_separation: f64,
+}
+
+fn replay(prep: &PreparedCorpus, shards: usize, every: f64) -> LifecycleStats {
+    // Counters accumulate across the whole replay; zero them so earlier
+    // configurations (or registration noise) don't leak in.
+    nidc_obs::reset();
+
+    let decay = DecayParams::from_spans(7.0, 21.0).expect("valid");
+    let config = ClusteringConfig {
+        k: 24,
+        seed: 42,
+        ..ClusteringConfig::default()
+    };
+    let mut pipeline = ShardedPipeline::new(decay, config, shards).expect("shards ≥ 1");
+
+    let t0 = Instant::now();
+    let mut rounds = 0u32;
+    let (mut drift_sum, mut churn_sum, mut outlier_sum) = (0.0, 0.0, 0.0);
+    // co-membership stability between consecutive windows (eval crate's
+    // label-free Rand index over surviving docs); first window has no
+    // predecessor, so it contributes nothing
+    let mut stability_sum = 0.0;
+    let mut stability_rounds = 0u32;
+    let mut prev_members: Option<Vec<Vec<DocId>>> = None;
+    let mut recluster = |pipeline: &mut ShardedPipeline, pending: &mut Vec<usize>, day: f64| {
+        for &i in pending.iter() {
+            let a = &prep.corpus.articles()[i];
+            pipeline
+                .ingest(DocId(a.id), Timestamp(a.day), prep.tfs[i].clone())
+                .expect("chronological");
+        }
+        pending.clear();
+        pipeline.advance_to(Timestamp(day)).expect("forward");
+        let merged = pipeline.recluster_incremental().expect("K ≥ 1");
+        let members = merged
+            .stitched()
+            .map(|s| s.member_lists())
+            .unwrap_or_else(|| merged.member_lists());
+        if let Some(prev) = prev_members.replace(members) {
+            stability_sum +=
+                nidc_eval::consecutive_stability(&prev, prev_members.as_ref().unwrap());
+            stability_rounds += 1;
+        }
+        let s = nidc_obs::snapshot();
+        drift_sum += s.fgauge("nidc_lifecycle_drift_max").unwrap_or(0.0);
+        churn_sum += s.fgauge("nidc_quality_churn_rate").unwrap_or(0.0);
+        outlier_sum += s.fgauge("nidc_quality_outlier_rate").unwrap_or(0.0);
+        rounds += 1;
+    };
+
+    let mut next_report = every;
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, a) in prep.corpus.articles().iter().enumerate() {
+        while a.day >= next_report {
+            recluster(&mut pipeline, &mut pending, next_report);
+            next_report += every;
+        }
+        pending.push(i);
+    }
+    recluster(&mut pipeline, &mut pending, 178.0);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let s = nidc_obs::snapshot();
+    LifecycleStats {
+        rounds,
+        wall_ms,
+        births: s.counter("nidc_lifecycle_births_total").unwrap_or(0),
+        deaths: s.counter("nidc_lifecycle_deaths_total").unwrap_or(0),
+        splits: s.counter("nidc_lifecycle_splits_total").unwrap_or(0),
+        merges: s.counter("nidc_lifecycle_merges_total").unwrap_or(0),
+        mean_drift_max: drift_sum / rounds as f64,
+        mean_churn_rate: churn_sum / rounds as f64,
+        mean_outlier_rate: outlier_sum / rounds as f64,
+        mean_stability: stability_sum / stability_rounds.max(1) as f64,
+        final_cohesion: s.fgauge("nidc_quality_cohesion").unwrap_or(0.0),
+        final_separation: s.fgauge("nidc_quality_separation").unwrap_or(0.0),
+    }
+}
+
+fn result_entry(name: &str, s: &LifecycleStats) -> serde_json::Value {
+    // (bound to locals: the vendored json! macro needs single-token values)
+    let rounds = s.rounds;
+    let wall_ms = s.wall_ms;
+    let births = s.births;
+    let deaths = s.deaths;
+    let splits = s.splits;
+    let merges = s.merges;
+    let mean_drift_max = s.mean_drift_max;
+    let mean_churn_rate = s.mean_churn_rate;
+    let mean_outlier_rate = s.mean_outlier_rate;
+    let mean_stability = s.mean_stability;
+    let final_cohesion = s.final_cohesion;
+    let final_separation = s.final_separation;
+    serde_json::json!({
+        "name": name,
+        "rounds": rounds,
+        "wall_ms": wall_ms,
+        "births": births,
+        "deaths": deaths,
+        "splits": splits,
+        "merges": merges,
+        "mean_drift_max": mean_drift_max,
+        "mean_churn_rate": mean_churn_rate,
+        "mean_outlier_rate": mean_outlier_rate,
+        "mean_stability": mean_stability,
+        "final_cohesion": final_cohesion,
+        "final_separation": final_separation,
+    })
+}
+
+fn main() {
+    let scale = scale_from_env(0.2);
+    let every: f64 = std::env::var("NIDC_EVERY")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let prep = PreparedCorpus::standard(scale);
+
+    // The gauges are read back programmatically, so recording must be on;
+    // the clustering itself is observation-independent (see
+    // tests/obs_determinism.rs), so this changes nothing but visibility.
+    nidc_obs::set_enabled(true);
+
+    println!(
+        "lifecycle benchmark: {} articles over 178 days, re-clustering every {every} days",
+        prep.corpus.len()
+    );
+    println!("(K=24, beta=7d, gamma=21d)\n");
+    println!("| config    | rounds | births | deaths | splits | merges | drift | churn | outlier | stability | cohesion | separation |");
+    println!("|-----------|--------|--------|--------|--------|--------|-------|-------|---------|-----------|----------|------------|");
+
+    let mut entries = Vec::new();
+    for (name, shards) in [("unsharded", 1usize), ("shards_3", 3usize)] {
+        let s = replay(&prep, shards, every);
+        println!(
+            "| {name:<9} | {:>6} | {:>6} | {:>6} | {:>6} | {:>6} | {:>5.3} | {:>5.3} | {:>7.3} | {:>9.3} | {:>8.3} | {:>10.3} |",
+            s.rounds,
+            s.births,
+            s.deaths,
+            s.splits,
+            s.merges,
+            s.mean_drift_max,
+            s.mean_churn_rate,
+            s.mean_outlier_rate,
+            s.mean_stability,
+            s.final_cohesion,
+            s.final_separation
+        );
+        entries.push(result_entry(name, &s));
+    }
+    nidc_obs::reset_all();
+
+    let articles = prep.corpus.len();
+    let results = serde_json::Value::Array(entries);
+    write_json_report(
+        "bench_lifecycle",
+        Some("results/BENCH_quality.json"),
+        serde_json::json!({
+            "scale": scale,
+            "report_every_days": every,
+            "articles": articles,
+            "results": results,
+        }),
+    );
+}

@@ -8,9 +8,9 @@
 //!
 //! The manifest is one metric name per line; blank lines and `#` comments
 //! are ignored. A metric counts as present when any snapshot line lists it
-//! under `counters`, `gauges`, or `histograms` — per-window deltas reset
-//! between lines, so presence is checked against the union across all
-//! windows.
+//! under `counters`, `gauges`, `fgauges`, or `histograms` — per-window
+//! deltas reset between lines, so presence is checked against the union
+//! across all windows.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
@@ -35,7 +35,7 @@ fn collect_names(jsonl: &str) -> Result<BTreeSet<String>, String> {
         }
         let v: serde_json::Value = serde_json::from_str(line)
             .map_err(|e| format!("line {}: invalid JSON: {e}", lineno + 1))?;
-        for section in ["counters", "gauges", "histograms"] {
+        for section in ["counters", "gauges", "fgauges", "histograms"] {
             if let Some(map) = v.get(section).and_then(|s| s.as_object()) {
                 for (name, _) in map {
                     names.insert(name.clone());

@@ -16,7 +16,9 @@
 //! also writes the aggregate timings as BENCH JSON. With `--metrics <path>`
 //! (`--metrics-format jsonl|prom`), exports one instrumentation snapshot
 //! per re-clustering window — the canonical producer for
-//! `metrics_manifest.txt`. With `--trace <path>` (`--trace-summary`),
+//! `metrics_manifest.txt`. With `--events <path>`, exports the cluster
+//! lifecycle event stream (births, deaths, splits, merges, drift — see
+//! `check_events`) as JSON lines. With `--trace <path>` (`--trace-summary`),
 //! records spans across the whole replay and writes Chrome trace-event
 //! JSON — the canonical producer for `check_trace`. With `--alloc-stats`,
 //! counts every heap allocation (spans then carry allocs/bytes columns) and
@@ -25,7 +27,7 @@
 use std::time::Instant;
 
 use nidc_bench::{
-    alloc_tracking_from_args, metrics_from_args, scale_from_env, trace_from_args,
+    alloc_tracking_from_args, events_from_args, metrics_from_args, scale_from_env, trace_from_args,
     write_json_report, PreparedCorpus,
 };
 use nidc_core::{ClusteringConfig, ShardedPipeline};
@@ -52,6 +54,7 @@ fn main() {
     };
     let mut pipeline = ShardedPipeline::new(decay, config, shards).expect("shards ≥ 1");
     let mut exporter = metrics_from_args();
+    let events = events_from_args();
     let trace = trace_from_args();
     let alloc_stats = alloc_tracking_from_args();
 
@@ -130,6 +133,9 @@ fn main() {
 
     if let Some(m) = exporter.as_mut() {
         m.finish().expect("flush metrics export");
+    }
+    if let Some(e) = events {
+        e.finish().expect("flush events export");
     }
     if let Some(t) = trace {
         t.finish(&mut std::io::stdout())

@@ -27,10 +27,34 @@ pub enum Direction {
 
 /// Infers a metric's direction from its path suffix — the BENCH schema
 /// encodes units in field names, so the suffix is the unit.
+///
+/// `_rate` suffixes are judged by which rate it is: churn and outlier rates
+/// measure instability, so growth is a regression; cohesion and separation
+/// are quality scores, so shrinkage is; rates that merely describe the
+/// stream's shape (novelty rate — how many documents are new is a property
+/// of the input, not of the clustering) stay informational.
 pub fn direction_of(path: &str) -> Direction {
     let leaf = path.rsplit('.').next().unwrap_or(path);
-    const LOWER: &[&str] = &["_ms", "_seconds", "_ns", "_bytes", "_allocs", "_count"];
-    const HIGHER: &[&str] = &["_per_sec", "_speedup", "_reduction", "_f1", "_purity"];
+    const LOWER: &[&str] = &[
+        "_ms",
+        "_seconds",
+        "_ns",
+        "_bytes",
+        "_allocs",
+        "_count",
+        "churn_rate",
+        "outlier_rate",
+    ];
+    const HIGHER: &[&str] = &[
+        "_per_sec",
+        "_speedup",
+        "_reduction",
+        "_f1",
+        "_purity",
+        "cohesion",
+        "separation",
+        "_stability",
+    ];
     if LOWER.iter().any(|s| leaf.ends_with(s)) {
         return Direction::LowerIsBetter;
     }
@@ -304,6 +328,22 @@ mod tests {
         assert_eq!(direction_of("x.docs_per_sec"), Direction::HigherIsBetter);
         assert_eq!(direction_of("x.speedup"), Direction::HigherIsBetter);
         assert_eq!(direction_of("x.micro_f1"), Direction::HigherIsBetter);
+        // lifecycle/quality leaves from BENCH_quality.json: instability
+        // rates go down, cluster quality goes up, stream shape is info only
+        assert_eq!(direction_of("x.mean_churn_rate"), Direction::LowerIsBetter);
+        assert_eq!(
+            direction_of("x.mean_outlier_rate"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(direction_of("x.final_cohesion"), Direction::HigherIsBetter);
+        assert_eq!(
+            direction_of("x.final_separation"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction_of("x.mean_stability"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("x.purity"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("x.novelty_rate"), Direction::Informational);
+        assert_eq!(direction_of("x.mean_drift_max"), Direction::Informational);
         assert_eq!(direction_of("x.docs"), Direction::Informational);
     }
 

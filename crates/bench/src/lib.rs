@@ -242,6 +242,23 @@ pub fn metrics_from_args() -> Option<nidc_obs::MetricsExporter> {
     Some(exporter)
 }
 
+/// The `--events <path>` argument of an experiment binary, as a ready
+/// [`nidc_obs::EventSession`] (creating it enables global lifecycle-event
+/// recording). `None` without `--events` — event emission then costs one
+/// relaxed load per window. Callers must hand the session to
+/// [`nidc_obs::EventSession::finish`] when their measured work is done.
+pub fn events_from_args() -> Option<nidc_obs::EventSession> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--events" {
+            let path = args.next().expect("--events requires a path");
+            let session = nidc_obs::EventSession::create(path).expect("create events export file");
+            return Some(session);
+        }
+    }
+    None
+}
+
 /// The `--trace <path>` / `--trace-summary` arguments of an experiment
 /// binary, as a started [`nidc_obs::TraceSession`] recording spans for the
 /// rest of the run. `None` when neither was given — spans then cost one

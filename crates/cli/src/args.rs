@@ -29,6 +29,8 @@ pub enum Command {
     Stream,
     /// Evaluate a window against labels.
     Eval,
+    /// Render per-lineage timelines from an event stream.
+    Inspect,
 }
 
 impl Command {
@@ -39,6 +41,7 @@ impl Command {
             "cluster" => Some(Command::Cluster),
             "stream" => Some(Command::Stream),
             "eval" => Some(Command::Eval),
+            "inspect" => Some(Command::Inspect),
             _ => None,
         }
     }
@@ -203,6 +206,7 @@ mod tests {
             ("cluster", Command::Cluster),
             ("stream", Command::Stream),
             ("eval", Command::Eval),
+            ("inspect", Command::Inspect),
         ] {
             assert_eq!(ParsedArgs::parse([w]).unwrap().command, c);
         }

@@ -27,6 +27,7 @@ pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         || args.flag("trace-summary")
         || args.flag("alloc-stats")
         || args.get("log-level").is_some()
+        || (args.command != crate::Command::Inspect && args.get("events").is_some())
     {
         nidc_obs::reset_all();
     }
@@ -48,6 +49,7 @@ pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         crate::Command::Cluster => cluster(args, out),
         crate::Command::Stream => stream(args, out),
         crate::Command::Eval => eval(args, out),
+        crate::Command::Inspect => inspect(args, out),
     };
     if track_allocs && result.is_ok() {
         let s = nidc_obs::alloc::stats();
@@ -110,6 +112,18 @@ fn metrics_exporter(args: &ParsedArgs) -> Result<Option<nidc_obs::MetricsExporte
         Some(s) => s.parse().map_err(CliError::Usage)?,
     };
     Ok(Some(nidc_obs::MetricsExporter::create(path, format)?))
+}
+
+/// `--events FILE`: opens the structured lifecycle-event stream (creating
+/// it enables global event recording, so the pipeline's `LineageTracker`
+/// serialises births, deaths, splits, merges, drift and per-document moves
+/// to FILE as JSON lines). `None` without `--events` — emission then costs
+/// one relaxed load per window. Events never alter clustering results.
+fn events_session(args: &ParsedArgs) -> Result<Option<nidc_obs::EventSession>> {
+    let Some(path) = args.get("events") else {
+        return Ok(None);
+    };
+    Ok(Some(nidc_obs::EventSession::create(path)?))
 }
 
 /// `--trace FILE [--trace-summary]`: starts a span-recording session that
@@ -252,6 +266,7 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     };
     let top = args.get_usize("top", 10)?;
     let mut exporter = metrics_exporter(args)?;
+    let events = events_session(args)?;
     let trace = trace_session(args)?;
 
     let mut repo = Repository::new(decay);
@@ -275,6 +290,13 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
     if let Some(m) = exporter.as_mut() {
         m.record_window(&[("from", from), ("to", to)])?;
         m.finish()?;
+    }
+    if let Some(e) = events {
+        // A one-shot clustering has no previous window, so the stream is a
+        // single window of births — still useful as a machine-readable
+        // cluster inventory, and inspectable with `nidc inspect`.
+        nidc_core::LineageTracker::new().observe_clustering(&clustering);
+        e.finish()?;
     }
     if let Some(s) = trace {
         s.finish(out)?;
@@ -343,6 +365,7 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         ..ClusteringConfig::default()
     };
     let mut exporter = metrics_exporter(args)?;
+    let events = events_session(args)?;
     let trace = trace_session(args)?;
     // --shards N: independent stream shards behind the deterministic
     // router (1 = today's single-pipeline behaviour, bit for bit).
@@ -462,6 +485,9 @@ fn stream<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
             ("docs", pipeline.num_docs() as f64),
         ])?;
         m.finish()?;
+    }
+    if let Some(e) = events {
+        e.finish()?;
     }
     if let Some(s) = trace {
         s.finish(out)?;
@@ -602,6 +628,214 @@ fn eval<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
         e.detected_topics.len(),
         clustering.outliers().len()
     )?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------- inspect
+
+/// Everything `inspect` accumulates about one lineage while scanning the
+/// event stream.
+struct LineageTimeline {
+    born: u64,
+    /// `None` for a birth, `Some(parent)` for a split.
+    parent: Option<u64>,
+    /// `(window, cause)` once dead.
+    death: Option<(u64, String)>,
+    /// Member count at each window the lineage reported in.
+    sizes: Vec<usize>,
+    /// Drift at each continuation (empty for single-window lineages).
+    drifts: Vec<f64>,
+}
+
+impl LineageTimeline {
+    fn last_window(&self) -> u64 {
+        match self.death {
+            Some((w, _)) => w,
+            None => self.born + self.sizes.len().max(1) as u64 - 1,
+        }
+    }
+
+    fn lifetime(&self) -> u64 {
+        self.last_window() - self.born + 1
+    }
+}
+
+/// Renders `values` as a fixed-height Unicode sparkline, scaled to `max`
+/// (values at or above `max` hit the tallest bar; a zero `max` flatlines).
+fn sparkline(values: &[f64], max: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                return BARS[0];
+            }
+            let level = ((v / max).clamp(0.0, 1.0) * 7.0).round() as usize;
+            BARS[level.min(7)]
+        })
+        .collect()
+}
+
+fn inspect_field(v: &serde_json::Value, name: &str, lineno: usize) -> Result<u64> {
+    v.get(name).and_then(|f| f.as_u64()).ok_or_else(|| {
+        CliError::Other(format!(
+            "line {lineno}: missing or non-integer field \"{name}\""
+        ))
+    })
+}
+
+/// `nidc inspect --events FILE [--top N]`: reads a lifecycle event stream
+/// (the `--events` output of `stream`/`cluster`) and renders one timeline
+/// row per lineage — birth window, lifetime, size trajectory, drift
+/// sparkline, and how it ended.
+fn inspect<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<()> {
+    let path = args.require("events")?;
+    let top = args.get_usize("top", 24)?;
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| CliError::Other(format!("{path}: empty event stream")))?;
+    let hv: serde_json::Value = serde_json::from_str(header)?;
+    if hv.get("schema").and_then(|s| s.as_str()) != Some("nidc-events") {
+        return Err(CliError::Other(format!(
+            "{path}: not an nidc-events stream"
+        )));
+    }
+    let version = hv.get("v").and_then(|s| s.as_u64()).unwrap_or(0);
+    if version != u64::from(nidc_obs::EVENTS_SCHEMA_VERSION) {
+        return Err(CliError::Other(format!(
+            "{path}: schema version {version} is not the supported version {}",
+            nidc_obs::EVENTS_SCHEMA_VERSION
+        )));
+    }
+
+    let mut timelines: BTreeMap<u64, LineageTimeline> = BTreeMap::new();
+    let mut last_window = 0u64;
+    let (mut splits, mut merges, mut moved, mut outliered) = (0u64, 0u64, 0u64, 0u64);
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let v: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| CliError::Other(format!("line {lineno}: invalid JSON: {e}")))?;
+        let kind = v.get("kind").and_then(|k| k.as_str()).unwrap_or("");
+        let window = inspect_field(&v, "window", lineno)?;
+        last_window = last_window.max(window);
+        match kind {
+            "birth" | "split" => {
+                let lineage = inspect_field(&v, "lineage", lineno)?;
+                let parent = match kind {
+                    "split" => {
+                        splits += 1;
+                        Some(inspect_field(&v, "parent", lineno)?)
+                    }
+                    _ => None,
+                };
+                timelines.insert(
+                    lineage,
+                    LineageTimeline {
+                        born: window,
+                        parent,
+                        death: None,
+                        sizes: vec![inspect_field(&v, "size", lineno)? as usize],
+                        drifts: Vec::new(),
+                    },
+                );
+            }
+            "continuation" => {
+                let lineage = inspect_field(&v, "lineage", lineno)?;
+                let size = inspect_field(&v, "size", lineno)? as usize;
+                let drift = v.get("drift").and_then(|d| d.as_f64()).unwrap_or(0.0);
+                if let Some(t) = timelines.get_mut(&lineage) {
+                    t.sizes.push(size);
+                    t.drifts.push(drift);
+                }
+            }
+            "death" => {
+                let lineage = inspect_field(&v, "lineage", lineno)?;
+                let cause = v
+                    .get("cause")
+                    .and_then(|c| c.as_str())
+                    .unwrap_or("?")
+                    .to_owned();
+                if let Some(t) = timelines.get_mut(&lineage) {
+                    t.death = Some((window, cause));
+                }
+            }
+            "merge" => merges += 1,
+            "moved" => moved += 1,
+            "outliered" => outliered += 1,
+            // Additive schema: unknown kinds are skipped, not an error.
+            _ => {}
+        }
+    }
+
+    let alive = timelines.values().filter(|t| t.death.is_none()).count();
+    writeln!(
+        out,
+        "{}: {} window(s), {} lineages ({} alive), {} splits, {} merges, \
+         {} docs moved, {} outliered",
+        path,
+        last_window + 1,
+        timelines.len(),
+        alive,
+        splits,
+        merges,
+        moved,
+        outliered
+    )?;
+
+    // Longest-lived lineages, rendered in birth order.
+    let mut ranked: Vec<(&u64, &LineageTimeline)> = timelines.iter().collect();
+    ranked.sort_by(|a, b| b.1.lifetime().cmp(&a.1.lifetime()).then(a.0.cmp(b.0)));
+    ranked.truncate(top);
+    ranked.sort_by_key(|(id, t)| (t.born, **id));
+    if ranked.len() < timelines.len() {
+        writeln!(
+            out,
+            "(showing the {} longest-lived of {} lineages — raise with --top)",
+            ranked.len(),
+            timelines.len()
+        )?;
+    }
+    let drift_ceiling = timelines
+        .values()
+        .flat_map(|t| t.drifts.iter().copied())
+        .fold(0.0f64, f64::max);
+    writeln!(
+        out,
+        "\nlineage   windows          fate              size          trajectory / drift (▁..█ = 0..{drift_ceiling:.3})"
+    )?;
+    for (id, t) in ranked {
+        let fate = match &t.death {
+            Some((_, cause)) => cause.clone(),
+            None => "alive".to_owned(),
+        };
+        let origin = match t.parent {
+            Some(p) => format!("  (split of #{p})"),
+            None => String::new(),
+        };
+        let first = t.sizes.first().copied().unwrap_or(0);
+        let last = t.sizes.last().copied().unwrap_or(0);
+        let peak = t.sizes.iter().copied().max().unwrap_or(0) as f64;
+        let size_spark = sparkline(&t.sizes.iter().map(|&s| s as f64).collect::<Vec<_>>(), peak);
+        let drift_spark = sparkline(&t.drifts, drift_ceiling);
+        writeln!(
+            out,
+            "#{:<8} w{:<3}–w{:<3}        {:<10}        {:>4}→{:<4}     {}  {}{origin}",
+            id,
+            t.born,
+            t.last_window(),
+            fate,
+            first,
+            last,
+            size_spark,
+            drift_spark
+        )?;
+    }
     Ok(())
 }
 
@@ -821,6 +1055,66 @@ mod tests {
         let text = String::from_utf8(out2).unwrap();
         assert!(text.contains("across 2 shard(s)"), "{text}");
         assert!(text.contains("overrides --shards 5"), "{text}");
+    }
+
+    /// One sequential test for the whole `--events`/`inspect` surface: the
+    /// event sink is process-global, so two parallel tests opening sessions
+    /// would steal each other's stream.
+    #[test]
+    fn events_export_and_inspect() {
+        let path = generate_corpus("g16.jsonl");
+        let events = temp_path("g16.events.jsonl");
+        let events_s = events.to_string_lossy().into_owned();
+
+        // stream writes a header plus lifecycle events
+        let args = ParsedArgs::parse([
+            "stream", "--input", &path, "--every", "30", "--k", "8", "--events", &events_s,
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = std::fs::read_to_string(&events).unwrap();
+        assert!(
+            text.lines()
+                .next()
+                .unwrap()
+                .contains("\"schema\":\"nidc-events\""),
+            "{text}"
+        );
+        assert!(text.contains("\"kind\":\"birth\""), "{text}");
+
+        // inspect renders per-lineage timelines from it
+        let args = ParsedArgs::parse(["inspect", "--events", &events_s]).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("lineages"), "{rendered}");
+        assert!(rendered.contains("#0"), "{rendered}");
+        assert!(
+            rendered.contains('▁') || rendered.contains('█'),
+            "no sparkline: {rendered}"
+        );
+
+        // a one-shot `cluster --events` is a single window of births
+        let once = temp_path("g16.cluster.events.jsonl");
+        let once_s = once.to_string_lossy().into_owned();
+        let args = ParsedArgs::parse([
+            "cluster", "--input", &path, "--k", "8", "--to", "30", "--events", &once_s,
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = std::fs::read_to_string(&once).unwrap();
+        assert!(text.contains("\"kind\":\"birth\""), "{text}");
+        assert!(!text.contains("\"kind\":\"continuation\""), "{text}");
+
+        // inspect refuses a stream without the schema header
+        let bad = temp_path("g16.bad.jsonl");
+        std::fs::write(&bad, "{\"kind\":\"birth\"}\n").unwrap();
+        let bad_s = bad.to_string_lossy().into_owned();
+        let args = ParsedArgs::parse(["inspect", "--events", &bad_s]).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run(&args, &mut out), Err(CliError::Other(_))));
     }
 
     #[test]

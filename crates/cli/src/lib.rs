@@ -64,17 +64,21 @@ COMMANDS:
                --input FILE [--k N=24] [--beta DAYS=7] [--gamma DAYS=30]
                [--from DAY=0] [--to DAY=end] [--top N=10] [--json]
                [--threads N=0] [--rep sparse|dense] [--metrics FILE]
+               [--events FILE]
     stream     replay the corpus incrementally, printing overviews
                --input FILE [--k N=16] [--beta DAYS=7] [--gamma DAYS=21]
                [--every DAYS=5] [--state FILE] [--shards N=1]
                [--stitch on|off] [--stitch-threshold T]
                [--threads N=0] [--rep sparse|dense] [--metrics FILE]
+               [--events FILE]
                (--state: resume from / checkpoint to a pipeline state file)
     eval       cluster a window and score it against the labels
                --input FILE --window N(1-6) [--k N=24] [--beta DAYS=7]
                [--gamma DAYS=30] [--seed N] [--threads N=0]
                [--shards N=1] [--stitch on|off] [--stitch-threshold T]
                [--rep sparse|dense] [--metrics FILE]
+    inspect    render per-lineage timelines from an event stream
+               --events FILE [--top N=24]
 
 --threads N: worker threads for the clustering hot paths (0 = all hardware
 threads, 1 = sequential). Results are identical for any value.
@@ -97,6 +101,13 @@ snapshots to FILE — per window for `stream`, once at the end for `cluster`
 and `eval`. --metrics-format jsonl|prom picks the layout (default jsonl:
 one per-window delta object per line; prom: cumulative Prometheus text).
 Metrics never alter clustering results — recording is observation only.
+--events FILE (stream, cluster): export the cluster lifecycle event stream
+as JSON lines (schema header, then one birth/death/continuation/split/
+merge/moved/outliered object per line). Lineage ids are persistent across
+windows and checkpoints; `nidc inspect --events FILE` renders them as
+per-lineage timelines and `check_events` (nidc-bench) validates a stream.
+Like metrics, events are observation only — results are bit-identical
+with the stream on or off.
 --log-level off|info|debug: structured `key=value` tracing on stderr
 (info: per-recluster summaries; debug: per-iteration K-means traces).
 

@@ -71,6 +71,7 @@ mod algorithm;
 mod clustering;
 mod config;
 mod error;
+mod lineage;
 mod merge;
 mod persist;
 mod pipeline;
@@ -80,6 +81,9 @@ pub use algorithm::{cluster_batch, cluster_with_initial, InitialState};
 pub use clustering::{Cluster, Clustering};
 pub use config::{ClusteringConfig, Criterion, RepBackend};
 pub use error::Error;
+pub use lineage::{
+    DeathCause, LifecycleEvent, LineageSlotState, LineageState, LineageTracker, ObservedCluster,
+};
 pub use merge::{
     GlobalClusterId, MergedClustering, StitchedCluster, StitchedClustering,
     DEFAULT_STITCH_THRESHOLD,

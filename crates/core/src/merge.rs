@@ -8,6 +8,20 @@
 //! sets across shards are disjoint by construction (the router partitions
 //! `DocId`s), so cross-shard representative merges via
 //! [`ClusterRep::merge_from`] are exact (eq. 21/25).
+//!
+//! # Id stability
+//!
+//! Both views guarantee **id stability across identical inputs**: a
+//! [`MergedClustering`] keys every cluster by its `(shard, local)` slot
+//! verbatim, and a stitching pass deterministically keeps the *lowest*
+//! shard-major source id as the surviving [`StitchedCluster::id`] no
+//! matter the agglomeration order (fragments always fold into the
+//! lower-id slot). Two queries over the same per-shard clusterings
+//! therefore name every cluster identically — the property the
+//! [`crate::LineageTracker`] relies on to match clusters across windows
+//! without reading deaths+births into a mere re-query. Pinned by
+//! `stitched_clusters_keep_the_lowest_shard_major_source_id` in
+//! `tests/shard_determinism.rs`.
 
 use std::collections::BTreeMap;
 

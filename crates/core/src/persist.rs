@@ -11,6 +11,7 @@ use nidc_forgetting::RepositoryState;
 use nidc_textproc::DocId;
 
 use crate::config::Criterion;
+use crate::lineage::LineageState;
 use crate::{ClusteringConfig, Error, NoveltyPipeline, Result, ShardedPipeline};
 
 /// The sharded checkpoint format version this build reads and writes.
@@ -85,6 +86,11 @@ pub struct PipelineState {
     /// The previous clustering's assignment (`doc id → cluster index`),
     /// used to warm-start the next re-clustering.
     pub previous_assignment: Option<Vec<(u64, usize)>>,
+    /// The lineage tracker's state, so persistent lineage ids survive
+    /// save → load → resume. `None` in checkpoints written before lineage
+    /// tracking existed (missing fields deserialise as `None`) or when the
+    /// tracker had observed no window yet.
+    pub lineage: Option<LineageState>,
 }
 
 /// One shard's persisted state: its repository and its warm-start
@@ -113,6 +119,10 @@ pub struct ShardedPipelineState {
     pub config: ConfigState,
     /// Per-shard states, in shard-index order.
     pub shard_states: Vec<ShardState>,
+    /// The top-level lineage tracker's state (over merged/stitched cluster
+    /// ids). Additive and optional, so version-1 checkpoints from before
+    /// lineage tracking still load (missing fields deserialise as `None`).
+    pub lineage: Option<LineageState>,
 }
 
 impl NoveltyPipeline {
@@ -126,6 +136,7 @@ impl NoveltyPipeline {
             previous_assignment: self
                 .previous_assignment()
                 .map(|m| m.iter().map(|(&d, &p)| (d.0, p)).collect()),
+            lineage: self.lineage_state(),
         }
     }
 
@@ -141,7 +152,11 @@ impl NoveltyPipeline {
             .previous_assignment
             .as_ref()
             .map(|v| v.iter().map(|&(d, p)| (DocId(d), p)).collect());
-        Ok(NoveltyPipeline::from_parts(repo, config, previous))
+        let mut pipeline = NoveltyPipeline::from_parts(repo, config, previous);
+        if let Some(lineage) = &state.lineage {
+            pipeline.restore_lineage_state(lineage);
+        }
+        Ok(pipeline)
     }
 
     /// Serialises the pipeline state as JSON.
@@ -178,6 +193,7 @@ impl ShardedPipeline {
                         .map(|m| m.iter().map(|(&d, &p)| (d.0, p)).collect()),
                 })
                 .collect(),
+            lineage: self.lineage_state(),
         }
     }
 
@@ -214,7 +230,11 @@ impl ShardedPipeline {
                 Ok(NoveltyPipeline::from_parts(repo, config.clone(), previous))
             })
             .collect::<Result<Vec<_>>>()?;
-        ShardedPipeline::from_shard_pipelines(pipelines, config)
+        let mut sharded = ShardedPipeline::from_shard_pipelines(pipelines, config)?;
+        if let Some(lineage) = &state.lineage {
+            sharded.restore_lineage_state(lineage);
+        }
+        Ok(sharded)
     }
 
     /// Serialises the sharded pipeline state as JSON.
@@ -242,8 +262,14 @@ impl ShardedPipeline {
             let pipeline =
                 NoveltyPipeline::from_state(&state).map_err(|e| invalid(e.to_string()))?;
             let config = pipeline.config().clone();
-            ShardedPipeline::from_shard_pipelines(vec![pipeline], config)
-                .map_err(|e| invalid(e.to_string()))
+            let mut sharded = ShardedPipeline::from_shard_pipelines(vec![pipeline], config)
+                .map_err(|e| invalid(e.to_string()))?;
+            // A single pipeline's lineage keys are already shard-0 global
+            // ids, so the one-shard migration continues the same lineages.
+            if let Some(lineage) = &state.lineage {
+                sharded.restore_lineage_state(lineage);
+            }
+            Ok(sharded)
         }
     }
 }

@@ -8,6 +8,7 @@ use nidc_obs::{buckets, DeepSize, LazyCounter, LazyGauge, LazyHistogram};
 use nidc_similarity::DocVectors;
 use nidc_textproc::{DocId, SparseVector};
 
+use crate::lineage::{LineageState, LineageTracker};
 use crate::{cluster_with_initial, Clustering, ClusteringConfig, InitialState, Result};
 
 /// Wall-clock seconds per `ingest`/`ingest_batch` call (§5.1 incremental
@@ -56,6 +57,12 @@ pub struct NoveltyPipeline {
     config: ClusteringConfig,
     previous: Option<BTreeMap<DocId, usize>>,
     last: Option<Clustering>,
+    /// Matches clusters across re-clusterings (persistent lineage ids,
+    /// lifecycle events). `None` on the shards of a [`crate::ShardedPipeline`],
+    /// which tracks lineage over merged/stitched ids at the top level instead
+    /// — otherwise every cross-shard stitch would double-report as per-shard
+    /// deaths plus a top-level continuation.
+    lineage: Option<LineageTracker>,
 }
 
 impl NoveltyPipeline {
@@ -67,6 +74,7 @@ impl NoveltyPipeline {
             config,
             previous: None,
             last: None,
+            lineage: Some(LineageTracker::new()),
         }
     }
 
@@ -101,7 +109,36 @@ impl NoveltyPipeline {
             config,
             previous,
             last: None,
+            lineage: Some(LineageTracker::new()),
         }
+    }
+
+    /// The lineage tracker, if this pipeline tracks lineage itself (always,
+    /// except on the shards of a [`crate::ShardedPipeline`]).
+    pub fn lineage(&self) -> Option<&LineageTracker> {
+        self.lineage.as_ref()
+    }
+
+    /// Stops per-pipeline lineage tracking. The sharded pipeline calls this
+    /// on its shards so lifecycle events are classified once, over
+    /// merged/stitched cluster ids, not once per shard.
+    pub fn disable_lineage(&mut self) {
+        self.lineage = None;
+    }
+
+    /// Captures the lineage tracker's state for checkpointing (`None` when
+    /// lineage tracking is disabled or no window has been observed yet).
+    pub fn lineage_state(&self) -> Option<LineageState> {
+        self.lineage
+            .as_ref()
+            .filter(|t| t.windows_observed() > 0)
+            .map(LineageTracker::to_state)
+    }
+
+    /// Restores the lineage tracker from a checkpointed state, so lineage
+    /// ids continue across save → load → resume.
+    pub fn restore_lineage_state(&mut self, state: &LineageState) {
+        self.lineage = Some(LineageTracker::from_state(state));
     }
 
     /// Ingests one document acquired at `t` (statistics update is
@@ -218,6 +255,7 @@ impl NoveltyPipeline {
         self.last = Some(clustering.clone());
         timer.stop();
         drop(span);
+        self.observe_lineage(&clustering);
         self.sample_mem_gauges();
         self.log_recluster("incremental", &clustering);
         Ok(clustering)
@@ -241,9 +279,19 @@ impl NoveltyPipeline {
         self.last = Some(clustering.clone());
         timer.stop();
         drop(span);
+        self.observe_lineage(&clustering);
         self.sample_mem_gauges();
         self.log_recluster("from_scratch", &clustering);
         Ok(clustering)
+    }
+
+    /// Feeds a finished clustering to the lineage tracker (pure observer:
+    /// nothing it computes flows back into the algorithm).
+    fn observe_lineage(&mut self, clustering: &Clustering) {
+        if let Some(tracker) = self.lineage.as_mut() {
+            let _span = nidc_obs::span!("pipeline.lineage");
+            tracker.observe_clustering(clustering);
+        }
     }
 
     /// Samples this pipeline's heap footprint: repository, last clustering's

@@ -29,6 +29,7 @@ use nidc_forgetting::{DecayParams, Repository, RepositoryStats, Timestamp};
 use nidc_obs::{buckets, LazyCounter, LazyHistogram};
 use nidc_textproc::{DocId, SparseVector, TermId};
 
+use crate::lineage::{LineageState, LineageTracker, ObservedCluster};
 use crate::merge::MergedClustering;
 use crate::{Clustering, ClusteringConfig, Error, NoveltyPipeline, Result};
 
@@ -62,6 +63,7 @@ fn register_sharded_metrics() {
     DOCS_PER_SHARD.touch();
     crate::merge::register_stitch_metrics();
     crate::pipeline::register_mem_gauges();
+    crate::lineage::register_lifecycle_metrics();
 }
 
 /// The trace track carrying shard `id`'s spans. Track 0 is the calling
@@ -195,6 +197,12 @@ pub struct ShardedPipeline {
     /// disables stitching. Only takes effect with more than one shard —
     /// a single shard has no cross-shard fragments to reunite.
     stitch: Option<f64>,
+    /// Tracks cluster lineage over the *merged* (and, when stitching is on,
+    /// *stitched*) cluster ids, so a topic whose fragments get reunited
+    /// across shards reads as one continuing lineage instead of per-shard
+    /// deaths and a birth. The per-shard pipelines have their own trackers
+    /// disabled (see [`NoveltyPipeline::disable_lineage`]).
+    lineage: Option<LineageTracker>,
 }
 
 impl ShardedPipeline {
@@ -225,12 +233,43 @@ impl ShardedPipeline {
             shards: pipelines
                 .into_iter()
                 .enumerate()
-                .map(|(id, p)| StreamShard::new(id, p))
+                .map(|(id, mut p)| {
+                    // Lineage is classified once, over the merged/stitched
+                    // view — never per shard.
+                    p.disable_lineage();
+                    StreamShard::new(id, p)
+                })
                 .collect(),
             router,
             config,
             stitch: Some(crate::merge::DEFAULT_STITCH_THRESHOLD),
+            lineage: Some(LineageTracker::new()),
         })
+    }
+
+    /// The top-level lineage tracker (over merged/stitched cluster ids).
+    pub fn lineage(&self) -> Option<&LineageTracker> {
+        self.lineage.as_ref()
+    }
+
+    /// Stops lineage tracking on this pipeline entirely.
+    pub fn disable_lineage(&mut self) {
+        self.lineage = None;
+    }
+
+    /// Captures the lineage tracker's state for checkpointing (`None` when
+    /// disabled or before the first re-clustering).
+    pub fn lineage_state(&self) -> Option<LineageState> {
+        self.lineage
+            .as_ref()
+            .filter(|t| t.windows_observed() > 0)
+            .map(LineageTracker::to_state)
+    }
+
+    /// Restores the lineage tracker from a checkpointed state, so lineage
+    /// ids continue across save → load → resume.
+    pub fn restore_lineage_state(&mut self, state: &LineageState) {
+        self.lineage = Some(LineageTracker::from_state(state));
     }
 
     /// Sets the stitching threshold τ for the query-time repair pass:
@@ -453,14 +492,53 @@ impl ShardedPipeline {
             warm += w;
         }
         crate::pipeline::set_mem_gauges(repo, reps, warm);
-        let _merge_span = nidc_obs::span!("sharded.merge");
-        let _merge_timer = MERGE_SECONDS.start_timer();
-        let mut merged = MergedClustering::new(clusterings);
-        if let Some(tau) = self.effective_stitch() {
-            // inside the merge span, so `sharded.stitch` nests under it
-            merged.stitch_in_place(tau);
-        }
+        let merged = {
+            let _merge_span = nidc_obs::span!("sharded.merge");
+            let _merge_timer = MERGE_SECONDS.start_timer();
+            let mut merged = MergedClustering::new(clusterings);
+            if let Some(tau) = self.effective_stitch() {
+                // inside the merge span, so `sharded.stitch` nests under it
+                merged.stitch_in_place(tau);
+            }
+            merged
+        };
+        self.observe_lineage(&merged);
         Ok(merged)
+    }
+
+    /// Feeds the window's merged view to the lineage tracker. Stitched ids
+    /// when stitching ran (so cross-shard stitches are one lineage), raw
+    /// merged `(shard, local)` ids otherwise. Pure observer — nothing here
+    /// feeds back into the clustering.
+    fn observe_lineage(&mut self, merged: &MergedClustering) {
+        let Some(tracker) = self.lineage.as_mut() else {
+            return;
+        };
+        let _span = nidc_obs::span!("sharded.lineage");
+        if let Some(stitched) = merged.stitched() {
+            let observed: Vec<ObservedCluster<'_>> = stitched
+                .clusters()
+                .iter()
+                .filter(|c| !c.members().is_empty())
+                .map(|c| ObservedCluster {
+                    id: c.id(),
+                    members: c.members(),
+                    rep: c.rep(),
+                })
+                .collect();
+            tracker.observe(&observed, stitched.outliers(), stitched.g());
+        } else {
+            let observed: Vec<ObservedCluster<'_>> = merged
+                .iter_non_empty()
+                .map(|(id, c)| ObservedCluster {
+                    id,
+                    members: c.members(),
+                    rep: c.rep(),
+                })
+                .collect();
+            let outliers = merged.outliers();
+            tracker.observe(&observed, &outliers, merged.g());
+        }
     }
 
     /// The merged view of every shard's most recent clustering, or `None`

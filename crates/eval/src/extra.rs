@@ -126,6 +126,57 @@ pub fn ari<L: Copy + Ord>(clusters: &[Vec<DocId>], labels: &Labeling<L>) -> f64 
     (sum_joint - expected) / (max_index - expected)
 }
 
+/// Co-membership stability between two consecutive partitions of an
+/// evolving document set: the Rand index restricted to documents present
+/// in both windows — the fraction of surviving document pairs whose
+/// together/apart relation is preserved.
+///
+/// 1.0 means the new window re-partitions the surviving documents exactly
+/// as the old one did; decay-driven expiry and fresh arrivals do not count
+/// against it (a document in only one window simply drops out of the pair
+/// population). This is the label-free companion of [`ari`] for online
+/// streams, where consecutive windows have no shared ground truth but do
+/// share documents. Degenerate inputs (fewer than two surviving documents)
+/// score 1.0 — nothing observable moved.
+pub fn consecutive_stability(prev: &[Vec<DocId>], next: &[Vec<DocId>]) -> f64 {
+    let index_of = |partition: &[Vec<DocId>]| {
+        let mut of: BTreeMap<DocId, usize> = BTreeMap::new();
+        for (p, members) in partition.iter().enumerate() {
+            for &d in members {
+                of.insert(d, p);
+            }
+        }
+        of
+    };
+    let prev_of = index_of(prev);
+    let next_of = index_of(next);
+    // contingency over the surviving documents: cell (p, q) counts docs in
+    // prev cluster p and next cluster q
+    let mut joint: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut prev_tot: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut next_tot: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut n = 0usize;
+    for (&d, &p) in &prev_of {
+        if let Some(&q) = next_of.get(&d) {
+            *joint.entry((p, q)).or_insert(0) += 1;
+            *prev_tot.entry(p).or_insert(0) += 1;
+            *next_tot.entry(q).or_insert(0) += 1;
+            n += 1;
+        }
+    }
+    if n < 2 {
+        return 1.0;
+    }
+    let c2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_joint: f64 = joint.values().map(|&c| c2(c)).sum();
+    let sum_prev: f64 = prev_tot.values().map(|&c| c2(c)).sum();
+    let sum_next: f64 = next_tot.values().map(|&c| c2(c)).sum();
+    let total = c2(n);
+    // Rand index: pairs together in both (sum_joint) plus pairs apart in
+    // both (total − sum_prev − sum_next + sum_joint), over all pairs
+    ((total + 2.0 * sum_joint - sum_prev - sum_next) / total).clamp(0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +262,44 @@ mod tests {
         let l = labels();
         assert!((purity(&clusters_split, &l) - 1.0).abs() < 1e-12);
         assert!(nmi(&clusters_split, &l) < nmi(&clusters_exact, &l));
+    }
+
+    #[test]
+    fn identical_consecutive_windows_are_perfectly_stable() {
+        let w = vec![
+            (0..4).map(DocId).collect::<Vec<_>>(),
+            (4..8).map(DocId).collect(),
+        ];
+        assert_eq!(consecutive_stability(&w, &w), 1.0);
+    }
+
+    #[test]
+    fn splitting_one_cluster_costs_exactly_the_broken_pairs() {
+        // {1,2,3} → {1} + {2,3}: pairs (1,2) and (1,3) break, (2,3) holds
+        let prev = vec![vec![DocId(1), DocId(2), DocId(3)]];
+        let next = vec![vec![DocId(1)], vec![DocId(2), DocId(3)]];
+        let s = consecutive_stability(&prev, &next);
+        assert!((s - 1.0 / 3.0).abs() < 1e-12, "s = {s}");
+        // symmetric: a merge breaks the same apart-pairs
+        assert_eq!(consecutive_stability(&next, &prev), s);
+    }
+
+    #[test]
+    fn expired_and_fresh_docs_do_not_count_against_stability() {
+        // doc 9 expires, doc 10 arrives; the surviving pair population is
+        // unchanged, so the score matches the fixture above exactly
+        let prev = vec![vec![DocId(1), DocId(2), DocId(3)], vec![DocId(9)]];
+        let next = vec![vec![DocId(1), DocId(10)], vec![DocId(2), DocId(3)]];
+        let s = consecutive_stability(&prev, &next);
+        assert!((s - 1.0 / 3.0).abs() < 1e-12, "s = {s}");
+    }
+
+    #[test]
+    fn stability_degenerate_inputs_score_one() {
+        assert_eq!(consecutive_stability(&[], &[]), 1.0);
+        // disjoint windows: no surviving pairs, nothing observable moved
+        let prev = vec![vec![DocId(0), DocId(1)]];
+        let next = vec![vec![DocId(2), DocId(3)]];
+        assert_eq!(consecutive_stability(&prev, &next), 1.0);
     }
 }

@@ -44,7 +44,7 @@ mod marking;
 mod sharded;
 
 pub use contingency::Contingency;
-pub use extra::{ari, nmi, purity};
+pub use extra::{ari, consecutive_stability, nmi, purity};
 pub use marking::{evaluate, ClusterReport, Evaluation, Labeling};
 pub use sharded::{evaluate_sharded, ShardedEvaluation};
 

@@ -1,0 +1,208 @@
+//! Structured lifecycle-event stream (JSON lines).
+//!
+//! Metrics answer "how much / how fast"; the event stream answers **what
+//! happened to the clusters** — births, deaths, splits, merges, drift —
+//! one JSON object per line, in the order the pipeline observed them.
+//! The producer side lives in `nidc-core` (`LineageTracker` serialises its
+//! typed events); this module owns the process-global sink those lines go
+//! through, mirroring the discipline of the metrics registry:
+//!
+//! * **off by default** — an emit site pays one relaxed atomic load plus a
+//!   branch while no session is active, and builds no strings;
+//! * **pure observer** — nothing in the algorithm reads the sink back, so
+//!   clustering results are bit-identical with events on or off (enforced
+//!   by `tests/obs_determinism.rs`);
+//! * **line-buffered** — every completed event reaches the file when its
+//!   newline is written, so an aborted run leaves whole, parseable lines.
+//!
+//! The first line of every stream is a header object
+//! `{"schema":"nidc-events","v":N}`; consumers (`check_events`,
+//! `nidc inspect`) refuse streams whose version they do not know.
+
+use std::fs::{self, File};
+use std::io::{self, LineWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Version of the event-stream wire schema, written in the header line.
+///
+/// Bump when an event kind changes shape or meaning; additive new kinds do
+/// not require a bump (consumers must skip unknown `kind`s).
+pub const EVENTS_SCHEMA_VERSION: u32 = 1;
+
+/// Whether an event session is currently active. Relaxed: same determinism
+/// contract as the metrics enable flag.
+static EVENTS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The open sink, installed by [`EventSession::create`].
+static SINK: Mutex<Option<LineWriter<File>>> = Mutex::new(None);
+
+fn sink() -> MutexGuard<'static, Option<LineWriter<File>>> {
+    // A poisoned sink only means a writer thread panicked mid-line; the
+    // stream stays usable and observability must never take the process
+    // down.
+    SINK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether an event sink is installed. Emit sites check this **before**
+/// building their JSON line, so the disabled cost is one relaxed load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    EVENTS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Appends one pre-serialised JSON object to the active stream (no-op when
+/// no session is active). `json` must be a single line without a trailing
+/// newline; write errors are swallowed here and surfaced by
+/// [`EventSession::finish`].
+pub fn emit_line(json: &str) {
+    debug_assert!(!json.contains('\n'), "event lines must be single-line");
+    if !enabled() {
+        return;
+    }
+    if let Some(w) = sink().as_mut() {
+        let mut line = String::with_capacity(json.len() + 1);
+        line.push_str(json);
+        line.push('\n');
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+/// Tears the sink down without flushing beyond what line-buffering already
+/// pushed out. Part of [`crate::reset_all`], the between-runs boundary.
+pub(crate) fn reset() {
+    EVENTS_ENABLED.store(false, Ordering::Relaxed);
+    *sink() = None;
+}
+
+/// An active event stream: created at the top of a run, finished at the end.
+///
+/// Creating a session truncates `path`, writes the schema header line, and
+/// installs the process-global sink; [`EventSession::finish`] flushes and
+/// uninstalls it. Only one session can be active at a time — creating a
+/// second replaces the first (matching `reset_all` semantics between CLI
+/// runs).
+#[derive(Debug)]
+pub struct EventSession {
+    path: PathBuf,
+}
+
+impl EventSession {
+    /// Creates (truncating) the event file at `path`, making parent
+    /// directories as needed, writes the schema header, and starts
+    /// recording.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut writer = LineWriter::new(File::create(&path)?);
+        writer.write_all(
+            format!("{{\"schema\":\"nidc-events\",\"v\":{EVENTS_SCHEMA_VERSION}}}\n").as_bytes(),
+        )?;
+        *sink() = Some(writer);
+        EVENTS_ENABLED.store(true, Ordering::Relaxed);
+        Ok(Self { path })
+    }
+
+    /// Where events go.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stops recording, flushes, and surfaces any deferred I/O error.
+    pub fn finish(self) -> io::Result<()> {
+        EVENTS_ENABLED.store(false, Ordering::Relaxed);
+        let writer = sink().take();
+        match writer {
+            Some(mut w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for EventSession {
+    fn drop(&mut self) {
+        // Best-effort finish for sessions dropped without `finish()` (e.g.
+        // an early `?` return); errors are swallowed as `Drop` must.
+        EVENTS_ENABLED.store(false, Ordering::Relaxed);
+        if let Some(mut w) = sink().take() {
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::global_lock;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "nidc_obs_events_{tag}_{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn disabled_emit_is_a_no_op() {
+        let _guard = global_lock();
+        reset();
+        assert!(!enabled());
+        emit_line("{\"kind\":\"lost\"}"); // must not panic, must not write
+    }
+
+    #[test]
+    fn session_writes_header_then_lines_and_finish_tears_down() {
+        let _guard = global_lock();
+        let path = tmp("roundtrip");
+        let session = EventSession::create(&path).unwrap();
+        assert!(enabled());
+        assert_eq!(session.path(), path.as_path());
+        emit_line("{\"kind\":\"birth\",\"lineage\":1}");
+        emit_line("{\"kind\":\"death\",\"lineage\":1}");
+        session.finish().unwrap();
+        assert!(!enabled());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            format!("{{\"schema\":\"nidc-events\",\"v\":{EVENTS_SCHEMA_VERSION}}}")
+        );
+        assert!(lines[1].contains("\"birth\""));
+        assert!(lines[2].contains("\"death\""));
+        // After finish, emits go nowhere.
+        emit_line("{\"kind\":\"late\"}");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_without_finish_still_flushes_and_disables() {
+        let _guard = global_lock();
+        let path = tmp("drop");
+        {
+            let _session = EventSession::create(&path).unwrap();
+            emit_line("{\"kind\":\"birth\",\"lineage\":7}");
+        }
+        assert!(!enabled());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "header + one event: {text:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_makes_parent_dirs() {
+        let _guard = global_lock();
+        let dir = std::env::temp_dir().join(format!("nidc_obs_events_dir_{}", std::process::id()));
+        let path = dir.join("nested/events.jsonl");
+        let session = EventSession::create(&path).unwrap();
+        session.finish().unwrap();
+        assert!(path.is_file());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -96,6 +96,97 @@ impl LazyGauge {
     }
 }
 
+/// A last-value metric holding an `f64` — the shape of the per-window
+/// quality signals (`nidc_quality_*`), which are ratios and similarities
+/// rather than byte counts.
+///
+/// Stored as the IEEE-754 bit pattern in a relaxed `AtomicU64`; same
+/// determinism contract as [`Gauge`]: the algorithm never reads it back.
+/// Resetting restores `0.0`, which per-window JSONL readers interpret as
+/// "not sampled this window".
+#[derive(Debug)]
+pub struct FloatGauge {
+    bits: AtomicU64,
+}
+
+impl Default for FloatGauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FloatGauge {
+    /// A gauge at `0.0`.
+    pub const fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites the gauge with `value`. Non-finite values are dropped
+    /// (the exporters would degrade them to `0` anyway, and a poisoned
+    /// gauge must not masquerade as a measurement).
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if value.is_finite() {
+            self.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The last value set (`0.0` if never set or since reset).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Zeroes the gauge in place (registration survives).
+    pub fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A named [`FloatGauge`] site, declared as a `static` next to the code it
+/// measures. Same discipline as [`LazyGauge`]: disabled cost is one relaxed
+/// load + branch, and `touch` registers without asserting a measurement.
+#[derive(Debug)]
+pub struct LazyFloatGauge {
+    name: &'static str,
+    cell: OnceLock<Arc<FloatGauge>>,
+}
+
+impl LazyFloatGauge {
+    /// A handle for the float gauge registered under `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The metric name this site records under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Overwrites the gauge (no-op while recording is disabled).
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if crate::enabled() {
+            self.cell
+                .get_or_init(|| crate::global().fgauge(self.name))
+                .set(value);
+        }
+    }
+
+    /// Registers the gauge without recording, so it shows up (`0.0`) in
+    /// snapshots even in runs where the site never samples.
+    pub fn touch(&self) {
+        if crate::enabled() {
+            self.cell.get_or_init(|| crate::global().fgauge(self.name));
+        }
+    }
+}
+
 /// Estimated heap footprint of a retained structure, in bytes.
 ///
 /// `deep_size_bytes` returns **heap** bytes only (stack size excluded), so
@@ -165,6 +256,39 @@ mod tests {
         crate::set_enabled(true);
         G.set(256);
         assert_eq!(crate::snapshot().gauge("gauge_gate_bytes"), Some(256));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn float_gauge_overwrites_drops_non_finite_and_resets() {
+        let g = FloatGauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.75);
+        g.set(0.25);
+        assert_eq!(g.get(), 0.25, "set must overwrite, not accumulate");
+        g.set(f64::NAN);
+        g.set(f64::INFINITY);
+        assert_eq!(g.get(), 0.25, "non-finite samples are dropped");
+        g.reset();
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn lazy_float_gauge_respects_enable_gate() {
+        let _guard = global_lock();
+        static G: LazyFloatGauge = LazyFloatGauge::new("fgauge_gate_ratio");
+        crate::set_enabled(false);
+        G.set(0.5);
+        assert_eq!(crate::snapshot().fgauge("fgauge_gate_ratio"), None);
+        crate::set_enabled(true);
+        G.set(0.125);
+        assert_eq!(crate::snapshot().fgauge("fgauge_gate_ratio"), Some(0.125));
+        G.touch();
+        assert_eq!(
+            crate::snapshot().fgauge("fgauge_gate_ratio"),
+            Some(0.125),
+            "touch after set must not clobber the sample"
+        );
         crate::set_enabled(false);
     }
 

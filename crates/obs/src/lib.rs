@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod events;
 mod export;
 mod gauge;
 mod handles;
@@ -64,8 +65,12 @@ mod snapshot;
 pub mod trace;
 mod trace_export;
 
+pub use events::{EventSession, EVENTS_SCHEMA_VERSION};
 pub use export::{MetricsExporter, MetricsFormat};
-pub use gauge::{btree_map_size_bytes, DeepSize, Gauge, LazyGauge, BTREE_ENTRY_OVERHEAD};
+pub use gauge::{
+    btree_map_size_bytes, DeepSize, FloatGauge, Gauge, LazyFloatGauge, LazyGauge,
+    BTREE_ENTRY_OVERHEAD,
+};
 pub use handles::{LazyCounter, LazyHistogram, PhaseTimer};
 pub use log::{debug, info, log, log_level, log_on, set_log_level, Level};
 pub use metrics::{buckets, Counter, Histogram};
@@ -176,6 +181,7 @@ pub fn reset_all() {
     alloc::set_tracking(false);
     alloc::reset();
     alloc::reset_sample_baseline();
+    events::reset();
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use crate::gauge::Gauge;
+use crate::gauge::{FloatGauge, Gauge};
 use crate::metrics::{Counter, Histogram};
 use crate::snapshot::{HistogramSnapshot, Snapshot};
 
@@ -54,6 +54,7 @@ impl Recorder for NoopRecorder {
 pub struct Registry {
     counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    fgauges: Mutex<BTreeMap<&'static str, Arc<FloatGauge>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
 }
 
@@ -63,6 +64,7 @@ impl Registry {
         Self {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            fgauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
         }
     }
@@ -82,6 +84,14 @@ impl Registry {
     /// The gauge registered under `name`, created at zero on first use.
     pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
         Arc::clone(Self::lock(&self.gauges).entry(name).or_default())
+    }
+
+    /// The float gauge registered under `name`, created at `0.0` on first
+    /// use. Float gauges live in their own namespace (and their own
+    /// snapshot section) so integer byte-gauges keep exact `u64` wire
+    /// values.
+    pub fn fgauge(&self, name: &'static str) -> Arc<FloatGauge> {
+        Arc::clone(Self::lock(&self.fgauges).entry(name).or_default())
     }
 
     /// The histogram registered under `name`, created with `bounds` on first
@@ -104,6 +114,10 @@ impl Registry {
             .iter()
             .map(|(name, g)| (name.to_string(), g.get()))
             .collect();
+        let fgauges = Self::lock(&self.fgauges)
+            .iter()
+            .map(|(name, g)| (name.to_string(), g.get()))
+            .collect();
         let histograms = Self::lock(&self.histograms)
             .iter()
             .map(|(name, h)| {
@@ -121,6 +135,7 @@ impl Registry {
         Snapshot {
             counters,
             gauges,
+            fgauges,
             histograms,
         }
     }
@@ -131,6 +146,9 @@ impl Registry {
             c.reset();
         }
         for g in Self::lock(&self.gauges).values() {
+            g.reset();
+        }
+        for g in Self::lock(&self.fgauges).values() {
             g.reset();
         }
         for h in Self::lock(&self.histograms).values() {
@@ -211,6 +229,22 @@ mod tests {
         // The pre-reset handle still feeds the same gauge.
         a.set(9);
         assert_eq!(r.snapshot().gauge("shared_bytes"), Some(9));
+    }
+
+    #[test]
+    fn fgauge_handles_are_shared_and_reset_zeroes_them() {
+        let r = Registry::new();
+        let a = r.fgauge("shared_ratio");
+        let b = r.fgauge("shared_ratio");
+        a.set(0.5);
+        b.set(0.75);
+        assert_eq!(r.fgauge("shared_ratio").get(), 0.75, "last set wins");
+        assert_eq!(r.snapshot().fgauge("shared_ratio"), Some(0.75));
+        r.reset();
+        assert_eq!(r.snapshot().fgauge("shared_ratio"), Some(0.0));
+        // The pre-reset handle still feeds the same gauge.
+        a.set(0.25);
+        assert_eq!(r.snapshot().fgauge("shared_ratio"), Some(0.25));
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// `(name, value)` for every registered gauge (last sampled value).
     pub gauges: Vec<(String, u64)>,
+    /// `(name, value)` for every registered float gauge (last sampled
+    /// value). Kept apart from `gauges` so integer byte-gauges stay exact.
+    pub fgauges: Vec<(String, f64)>,
     /// `(name, state)` for every registered histogram.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
@@ -42,6 +45,14 @@ impl Snapshot {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
+    /// Value of the named float gauge, if registered.
+    pub fn fgauge(&self, name: &str) -> Option<f64> {
+        self.fgauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
     /// State of the named histogram, if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms
@@ -50,27 +61,31 @@ impl Snapshot {
             .map(|(_, h)| h)
     }
 
-    /// Every registered metric name (counters, gauges, then histograms,
-    /// each sorted).
+    /// Every registered metric name (counters, gauges, float gauges, then
+    /// histograms, each sorted).
     pub fn metric_names(&self) -> Vec<&str> {
         self.counters
             .iter()
             .map(|(n, _)| n.as_str())
             .chain(self.gauges.iter().map(|(n, _)| n.as_str()))
+            .chain(self.fgauges.iter().map(|(n, _)| n.as_str()))
             .chain(self.histograms.iter().map(|(n, _)| n.as_str()))
             .collect()
     }
 
     /// Whether nothing has been registered.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.fgauges.is_empty()
+            && self.histograms.is_empty()
     }
 
     /// One JSON object (single line, no trailing newline).
     ///
     /// Shape:
     /// `{"counters":{"name":n,...},"gauges":{"name":n,...},`
-    /// `"histograms":{"name":{"count":n,"sum":s,`
+    /// `"fgauges":{"name":x,...},"histograms":{"name":{"count":n,"sum":s,`
     /// `"buckets":[{"le":b,"n":n},...,{"le":"+Inf","n":n}]},...}}`
     pub fn to_json(&self) -> String {
         self.to_json_line(&[])
@@ -104,6 +119,15 @@ impl Snapshot {
             push_json_str(&mut out, name);
             out.push(':');
             out.push_str(&value.to_string());
+        }
+        out.push_str("},\"fgauges\":{");
+        for (i, (name, value)) in self.fgauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            push_json_num(&mut out, *value);
         }
         out.push_str("},\"histograms\":{");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
@@ -156,6 +180,15 @@ impl Snapshot {
             out.push_str(name);
             out.push(' ');
             out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (name, value) in &self.fgauges {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" gauge\n");
+            out.push_str(name);
+            out.push(' ');
+            push_prom_num(&mut out, *value);
             out.push('\n');
         }
         for (name, h) in &self.histograms {
@@ -240,6 +273,7 @@ mod tests {
         Snapshot {
             counters: vec![("a_total".to_string(), 3), ("b_total".to_string(), 0)],
             gauges: vec![("g_bytes".to_string(), 4096)],
+            fgauges: vec![("q_ratio".to_string(), 0.375)],
             histograms: vec![(
                 "p_seconds".to_string(),
                 HistogramSnapshot {
@@ -259,11 +293,13 @@ mod tests {
         assert_eq!(s.counter("missing"), None);
         assert_eq!(s.gauge("g_bytes"), Some(4096));
         assert_eq!(s.gauge("missing"), None);
+        assert_eq!(s.fgauge("q_ratio"), Some(0.375));
+        assert_eq!(s.fgauge("missing"), None);
         assert_eq!(s.histogram("p_seconds").unwrap().count, 4);
         assert!(s.histogram("missing").is_none());
         assert_eq!(
             s.metric_names(),
-            vec!["a_total", "b_total", "g_bytes", "p_seconds"]
+            vec!["a_total", "b_total", "g_bytes", "q_ratio", "p_seconds"]
         );
         assert!(!s.is_empty());
         assert!(Snapshot::default().is_empty());
@@ -276,6 +312,7 @@ mod tests {
         assert!(line.starts_with("{\"window\":3,\"day\":14.5,\"counters\":{"));
         assert!(line.contains("\"a_total\":3"));
         assert!(line.contains("\"gauges\":{\"g_bytes\":4096}"));
+        assert!(line.contains("\"fgauges\":{\"q_ratio\":0.375}"));
         assert!(line.contains("\"p_seconds\":{\"count\":4,\"sum\":1.7562,\"buckets\":["));
         assert!(line.contains("{\"le\":0.001,\"n\":1}"));
         assert!(line.contains("{\"le\":\"+Inf\",\"n\":1}"));
@@ -288,6 +325,7 @@ mod tests {
         let text = sample().to_prometheus();
         assert!(text.contains("# TYPE a_total counter\na_total 3\n"));
         assert!(text.contains("# TYPE g_bytes gauge\ng_bytes 4096\n"));
+        assert!(text.contains("# TYPE q_ratio gauge\nq_ratio 0.375\n"));
         assert!(text.contains("# TYPE p_seconds histogram\n"));
         assert!(text.contains("p_seconds_bucket{le=\"0.001\"} 1\n"));
         assert!(text.contains("p_seconds_bucket{le=\"0.25\"} 3\n"));

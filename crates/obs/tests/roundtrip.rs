@@ -9,6 +9,7 @@ fn sample_registry() -> Registry {
     r.add("rt_docs_total", 41);
     r.add("rt_windows_total", 3);
     r.gauge("rt_heap_bytes").set(2048);
+    r.fgauge("rt_cohesion").set(0.8125);
     for v in [0.0002, 0.013, 0.013, 0.7, 120.0] {
         r.observe("rt_phase_seconds", buckets::LATENCY_SECONDS, v);
     }
@@ -33,6 +34,13 @@ fn snapshot_from_json(v: &Value) -> Snapshot {
         .expect("gauges object")
         .iter()
         .map(|(name, val)| (name.clone(), val.as_u64().expect("gauge value")))
+        .collect();
+    let fgauges = v
+        .get("fgauges")
+        .and_then(Value::as_object)
+        .expect("fgauges object")
+        .iter()
+        .map(|(name, val)| (name.clone(), val.as_f64().expect("fgauge value")))
         .collect();
     let histograms = v
         .get("histograms")
@@ -64,6 +72,7 @@ fn snapshot_from_json(v: &Value) -> Snapshot {
     Snapshot {
         counters,
         gauges,
+        fgauges,
         histograms,
     }
 }
@@ -117,9 +126,10 @@ fn prometheus_exposition_is_valid_on_real_data() {
         );
         series += 1;
     }
-    // 2 counters + 1 gauge + 2 histograms × (buckets + sum + count).
+    // 2 counters + 1 gauge + 1 fgauge + 2 histograms × (buckets + sum +
+    // count).
     let expected =
-        2 + 1 + (buckets::LATENCY_SECONDS.len() + 1 + 2) + (buckets::SIZES.len() + 1 + 2);
+        2 + 1 + 1 + (buckets::LATENCY_SECONDS.len() + 1 + 2) + (buckets::SIZES.len() + 1 + 2);
     assert_eq!(series, expected);
 }
 

@@ -136,6 +136,26 @@ impl ClusterRep {
         rep
     }
 
+    /// Rebuilds a representative from persisted parts: the stored non-zero
+    /// entries (ascending term order, as [`ClusterRep::for_each_entry`]
+    /// yields them) plus the cached statistics **verbatim**.
+    ///
+    /// This is the checkpoint-restore constructor: `cr_self` and `ss` are
+    /// taken as given rather than recomputed, so a restored representative
+    /// produces bit-identical similarity scores to the one that was saved
+    /// (recomputing `Σw²` could differ in the last bit from the
+    /// incrementally-maintained value). Always sparse-backed; use
+    /// [`ClusterRep::to_backend`] afterwards if a dense copy is needed.
+    pub fn from_parts(entries: Vec<(TermId, f64)>, size: usize, cr_self: f64, ss: f64) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        Self {
+            storage: Storage::Sparse(SparseVector::from_sorted(entries)),
+            size,
+            cr_self,
+            ss,
+        }
+    }
+
     /// Which backend stores this representative.
     pub fn backend(&self) -> RepBackend {
         match self.storage {
@@ -993,6 +1013,22 @@ mod tests {
                 assert_eq!(conv.nnz(), rep.nnz());
                 assert_eq!(conv.dot_doc(&probe), rep.dot_doc(&probe), "{src}→{dst}");
             }
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_entries_and_stats_verbatim() {
+        for backend in BACKENDS {
+            let rep = ClusterRep::from_members_with(backend, sample_members().iter());
+            let mut entries = Vec::new();
+            rep.for_each_entry(|t, w| entries.push((t, w)));
+            let restored = ClusterRep::from_parts(entries, rep.size(), rep.cr_self(), rep.ss());
+            assert_eq!(restored.backend(), RepBackend::Sparse);
+            assert_eq!(restored.size(), rep.size());
+            assert_eq!(restored.cr_self().to_bits(), rep.cr_self().to_bits());
+            assert_eq!(restored.ss().to_bits(), rep.ss().to_bits());
+            let probe = phi(&[(0, 0.2), (1, 0.4), (2, 0.1), (3, 0.9)]);
+            assert!((restored.dot_doc(&probe) - rep.dot_doc(&probe)).abs() < 1e-15);
         }
     }
 

@@ -177,6 +177,46 @@ fn enabled_run_covers_all_instrumented_layers() {
     assert_eq!(Some(starts), snap.counter("nidc_kmeans_runs_total"));
 }
 
+/// The lifecycle event stream is held to the same pure-observer contract:
+/// running with an active `--events` sink (which also makes the
+/// `LineageTracker` serialise every event) must not change a single bit of
+/// any clustering result, across both representative backends and all
+/// thread counts — and the stream left behind must be non-trivial.
+#[test]
+fn events_on_off_results_are_bit_identical() {
+    let _guard = flag_lock();
+    let path = std::env::temp_dir().join(format!(
+        "nidc_obs_determinism_events_{}.jsonl",
+        std::process::id()
+    ));
+    for backend in [RepBackend::Sparse, RepBackend::Dense] {
+        for threads in THREAD_COUNTS {
+            let off = run_pipeline(backend, threads);
+
+            let session = khy2006::obs::EventSession::create(&path).unwrap();
+            let on = run_pipeline(backend, threads);
+            session.finish().unwrap();
+
+            assert_eq!(
+                off, on,
+                "the event stream flipped the result at backend {backend:?}, threads {threads}"
+            );
+            let text = std::fs::read_to_string(&path).unwrap();
+            let mut lines = text.lines();
+            assert_eq!(
+                lines.next(),
+                Some("{\"schema\":\"nidc-events\",\"v\":1}"),
+                "stream must start with the schema header"
+            );
+            assert!(
+                text.contains("\"kind\":\"birth\""),
+                "a multi-window run must record births: {text}"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
 /// Tracing is held to the same pure-observer contract as the metrics
 /// recorder: recording spans (begin/end events, ids, parent links,
 /// timestamps) across every instrumented layer must not change a single bit
